@@ -1,0 +1,27 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each benchmark file regenerates one table/figure of the paper: it prints
+the rows/series (grep for ``[figNN]`` / ``[tableN]`` markers), asserts the
+paper's qualitative *shape*, and times a representative core operation with
+pytest-benchmark.  Heavy search work is cached inside ``repro.bench``, so
+the suite re-schedules rather than re-searches wherever possible.
+
+Scale via ``REPRO_BENCH_SCALE`` in {small, default, large}.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import banner
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print a tagged, greppable block of figure output."""
+
+    def _show(tag: str, text: str) -> None:
+        print()
+        print(banner(tag, text))
+
+    return _show

@@ -1,0 +1,26 @@
+"""Ablation — beam-extend parameter sensitivity (offset_beam, beam_width).
+
+With long per-CTA candidate lists (2 CTAs/query), beam extend must beat
+the pure-greedy control at every reasonable parameter choice, recall must
+be robust, and the trade-off (wider beams skip more sorts but waste more
+expansions) must be visible in the table.
+"""
+
+from repro.bench.experiments import ablation_beam_params
+
+
+def test_ablation_beam_params(benchmark, show):
+    text, data = ablation_beam_params("sift1m-mini")
+    show("ablation-beam", text)
+    off_lat = data["off"][1]
+    beam_rows = {k: v for k, v in data.items() if k != "off"}
+    recalls = [v[0] for v in data.values()]
+    assert min(recalls) > 0.8, "recall should be robust across beam params"
+    # Beam extend beats the greedy control for every tested configuration.
+    for (o, w), (rec, lat, qps) in beam_rows.items():
+        assert lat < off_lat, f"beam(off={o},w={w}) slower than greedy control"
+    # The best beam config saves a meaningful fraction of latency.
+    best = min(v[1] for v in beam_rows.values())
+    assert best < 0.95 * off_lat
+
+    benchmark(ablation_beam_params, "sift1m-mini", (8,), (4,))

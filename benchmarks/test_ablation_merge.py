@@ -1,0 +1,18 @@
+"""Ablation — TopK merge location: ALGAS CPU merge vs GPU merge kernel.
+
+Paper claim (§IV-B): offloading the merge to the CPU removes the merge
+kernel from the GPU critical path, reducing latency.
+"""
+
+from repro.bench.experiments import ablation_merge
+
+
+def test_ablation_merge(benchmark, show):
+    text, data = ablation_merge("sift1m-mini")
+    show("ablation-merge", text)
+    cpu_lat, cpu_qps = data[True]
+    gpu_lat, gpu_qps = data[False]
+    assert cpu_lat < gpu_lat, "CPU cooperative merge should lower latency"
+    assert cpu_qps >= 0.95 * gpu_qps, "CPU merge shouldn't cost throughput"
+
+    benchmark(ablation_merge, "sift1m-mini")

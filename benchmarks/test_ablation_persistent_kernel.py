@@ -1,0 +1,19 @@
+"""Ablation — persistent kernel vs partitioned kernel (§IV-A).
+
+The partitioned alternative (exit every S steps so the host can inspect
+slots) pays kernel relaunch + shared-memory re-staging per partition; the
+overhead must shrink as S grows and be substantial for small S.
+"""
+
+from repro.bench.experiments import ablation_persistent_kernel
+
+
+def test_ablation_persistent_kernel(benchmark, show):
+    text, data = ablation_persistent_kernel("sift1m-mini")
+    show("ablation-pk", text)
+    persistent = data["persistent"]
+    assert data[1] > data[4] > data[16] >= data[64] > 0
+    assert data[1] > 1.5 * persistent, "1-step partitions should be much slower"
+    assert data[64] < 1.5 * persistent, "coarse partitions approach persistence"
+
+    benchmark(ablation_persistent_kernel, "sift1m-mini", (4,))

@@ -1,0 +1,24 @@
+"""Ablation — CTAs per query (N_parallel) and the adaptive tuner (§IV-C).
+
+More CTAs per query shorten per-query GPU time (parallel sub-searches)
+until residency/merge overheads bite; the tuner must pick a feasible
+configuration automatically.
+"""
+
+from repro.bench.experiments import ablation_tuning
+from repro.core import tune
+from repro.gpusim import RTX_A6000
+
+
+def test_ablation_tuning(benchmark, show):
+    text, data = ablation_tuning("sift1m-mini", parallels=(1, 2, 4, 8))
+    show("ablation-tuning", text)
+    lat = {p: v[1] for p, v in data.items()}
+    assert lat[8] < lat[1], "8 CTAs/query should beat single-CTA latency"
+    for p, (rec, _, _) in data.items():
+        assert rec > 0.7, f"N_parallel={p}: recall collapsed"
+    # The adaptive tuner picks a feasible plan at the bench operating point.
+    t = tune(RTX_A6000, n_slots=16, l_total=128, k=16, max_degree=16, dim=128)
+    assert t.feasible and t.n_parallel >= 8
+
+    benchmark(ablation_tuning, "sift1m-mini", (8,))

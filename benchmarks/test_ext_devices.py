@@ -1,0 +1,55 @@
+"""Extension — device portability of the adaptive tuner.
+
+The same workload scheduled on three device presets.  The tuner must emit
+feasible plans everywhere, and the higher-bandwidth/higher-clock parts
+must not serve slower.
+"""
+
+from repro.analysis.report import format_table
+from repro.bench.runner import cached_search, make_system
+from repro.data.workload import closed_loop
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import DEVICE_PRESETS
+
+
+def _serve_on(dev):
+    # Search once on the default system; reprice + reschedule per device.
+    system = make_system("algas", "sift1m-mini", "cagra")
+    _, _, traces = cached_search(system, "sift1m-mini", "cagra")
+    from repro.core.dynamic_batcher import DynamicBatchConfig, DynamicBatchEngine
+
+    cm = CostModel(dev)
+    jobs = []
+    from repro.core.serving import QueryJob
+
+    for ev, tr in zip(closed_loop(len(traces)), traces):
+        durs = tuple(cm.cta_duration_us(c) for c in tr.ctas)
+        jobs.append(QueryJob(ev.query_id, ev.arrival_us, durs, tr.dim, system.k))
+    cfg = DynamicBatchConfig(n_slots=16, n_parallel=system.n_parallel, k=system.k)
+    return DynamicBatchEngine(dev, cm, cfg).serve(jobs)
+
+
+def test_ext_devices(benchmark, show):
+    from repro.core import tune
+
+    rows = []
+    results = {}
+    for name, dev in DEVICE_PRESETS.items():
+        t = tune(dev, n_slots=16, l_total=128, k=16, max_degree=16, dim=128,
+                 max_parallel=8)
+        assert t.feasible, f"{name}: tuner failed"
+        rep = _serve_on(dev)
+        rows.append((name, t.n_parallel, rep.mean_latency_us(), rep.throughput_qps))
+        results[name] = rep
+    show(
+        "ext-devices",
+        format_table(["device", "N_parallel", "latency_us", "qps"], rows,
+                     title="ALGAS across device presets (same traces)"),
+    )
+    # A100 (more bandwidth, more SMs) must not lose to the A6000.
+    assert (
+        results["A100 SXM"].mean_latency_us()
+        <= results["RTX A6000"].mean_latency_us() * 1.05
+    )
+
+    benchmark(_serve_on, DEVICE_PRESETS["RTX A6000"])

@@ -1,0 +1,67 @@
+"""Extension — ALGAS serving across graph families.
+
+The paper claims ALGAS supports "general GPU graphs" (it evaluates CAGRA
+and NSW).  We extend the matrix with HNSW (layer 0) and NSG: all four must
+serve with sane recall, and the fixed-out-degree CAGRA graph must be at
+least competitive (its regular fetches are what the multi-CTA kernels are
+designed around).
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.bench.runner import get_dataset
+from repro.core import ALGASSystem
+from repro.data import recall as recall_of
+from repro.graphs import build_cagra, build_hnsw, build_nsg, build_nsw_fast
+
+_cache = {}
+
+
+def _family_rows():
+    if "rows" in _cache:
+        return _cache["rows"]
+    ds = get_dataset("sift1m-mini")
+    n = min(ds.n, 3000)
+    base, queries = ds.base[:n], ds.queries[:32]
+    from repro.data.groundtruth import exact_knn
+
+    gt, _ = exact_knn(queries, base, 16, metric=ds.metric)
+    graphs = {
+        "cagra": build_cagra(base, graph_degree=16, metric=ds.metric),
+        "nsw": build_nsw_fast(base, m=8, metric=ds.metric),
+        "hnsw": build_hnsw(base, m=8, ef_construction=48, metric=ds.metric),
+        "nsg": build_nsg(base, out_degree=16, search_l=48, metric=ds.metric),
+    }
+    rows = {}
+    for name, g in graphs.items():
+        system = ALGASSystem(base, g, metric=ds.metric, k=16, l_total=128,
+                             batch_size=16, n_parallel=8)
+        ids, _, traces = system.search_all(queries)
+        from repro.data.workload import closed_loop
+
+        jobs = system.jobs_from_traces(traces, closed_loop(len(traces)))
+        rep = system.make_engine().serve(jobs)
+        rows[name] = (recall_of(ids, gt), rep.mean_latency_us(), rep.throughput_qps)
+    _cache["rows"] = rows
+    return rows
+
+
+def test_ext_graph_families(benchmark, show):
+    rows = _family_rows()
+    show(
+        "ext-graphs",
+        format_table(
+            ["graph", "recall@16", "latency_us", "qps"],
+            [(n, f"{r:.3f}", lat, qps) for n, (r, lat, qps) in rows.items()],
+            title="ALGAS on four graph families (sift-mini subset)",
+        ),
+    )
+    for name, (rec, lat, qps) in rows.items():
+        assert rec > 0.7, f"{name}: recall collapsed"
+        assert lat > 0 and qps > 0
+    # CAGRA's fixed-degree graph should be among the best on recall.
+    best = max(r for r, _, _ in rows.values())
+    assert rows["cagra"][0] >= best - 0.05
+
+    benchmark(lambda: _family_rows())

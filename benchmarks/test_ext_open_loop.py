@@ -1,0 +1,46 @@
+"""Extension — open-loop online serving (the paper's §I motivation).
+
+Drives dynamic and static disciplines with identical Poisson arrivals and
+identical traces.  End-to-end latency (arrival -> return) must favour
+dynamic batching at every offered load, most dramatically at low load
+where a static batch waits to fill.
+"""
+
+from repro.bench.runner import cached_search, make_system
+from repro.core.static_batcher import StaticBatchConfig, StaticBatchEngine
+from repro.data.workload import poisson_arrivals
+
+
+def _run(rate_qps):
+    system = make_system("algas", "sift1m-mini", "cagra")
+    _, _, traces = cached_search(system, "sift1m-mini", "cagra")
+    events = poisson_arrivals(len(traces), rate_qps=rate_qps, seed=3)
+    jobs = system.jobs_from_traces(traces, sorted(events, key=lambda e: e.query_id))
+    dyn = system.make_engine().serve(jobs)
+    stat = StaticBatchEngine(
+        system.device,
+        system.cost_model,
+        StaticBatchConfig(
+            batch_size=system.batch_size, n_parallel=system.n_parallel,
+            k=system.k, merge_on_gpu=True, mem_per_block=system.mem_per_block(),
+        ),
+    ).serve(jobs)
+    return dyn, stat
+
+
+def test_ext_open_loop(benchmark, show):
+    rows = []
+    for rate in (50_000, 200_000):
+        dyn, stat = _run(rate)
+        d, s = dyn.mean_latency_us("e2e"), stat.mean_latency_us("e2e")
+        rows.append(f"rate={rate/1000:.0f}k qps: dynamic={d:.1f}us static={s:.1f}us")
+        assert d < s, f"dynamic should win e2e latency at {rate} qps"
+    # Low load hurts static the most (batch-accumulation time).
+    dyn_lo, stat_lo = _run(50_000)
+    ratio_lo = stat_lo.mean_latency_us("e2e") / dyn_lo.mean_latency_us("e2e")
+    dyn_hi, stat_hi = _run(400_000)
+    ratio_hi = stat_hi.mean_latency_us("e2e") / dyn_hi.mean_latency_us("e2e")
+    assert ratio_lo > ratio_hi > 1.0
+    show("ext-openloop", "\n".join(rows))
+
+    benchmark(_run, 200_000)

@@ -1,0 +1,75 @@
+"""Extension — multi-GPU scale-out: replication vs sharding.
+
+Replication must scale throughput near-linearly at unchanged latency;
+sharding must preserve recall through the cross-shard merge.
+"""
+
+from repro.analysis.report import format_table
+from repro.bench.runner import get_dataset, get_graph
+from repro.core.cluster import ReplicatedServer, ShardedServer
+from repro.data import recall as recall_of
+from repro.graphs import build_cagra
+
+_cache = {}
+
+
+def _run():
+    if "rows" in _cache:
+        return _cache["rows"]
+    ds = get_dataset("sift1m-mini")
+    g = get_graph("sift1m-mini", "cagra")
+    kw = dict(metric=ds.metric, k=16, l_total=128, batch_size=16, n_parallel=8)
+    rows = {}
+    for n_gpus in (1, 2, 4):
+        rep = ReplicatedServer(ds.base, g, n_gpus=n_gpus, **kw).serve(ds.queries)
+        rows[("replicate", n_gpus)] = (
+            recall_of(rep.ids, ds.gt_at(16)), rep.mean_latency_us, rep.throughput_qps
+        )
+    from repro.bench.runner import SCALE
+
+    builder = lambda pts: build_cagra(
+        pts, graph_degree=SCALE.graph_degree, metric=ds.metric
+    )
+    shard = ShardedServer(ds.base, builder, n_gpus=2, **kw).serve(ds.queries)
+    rows[("shard", 2)] = (
+        recall_of(shard.ids, ds.gt_at(16)), shard.mean_latency_us,
+        shard.throughput_qps,
+    )
+    _cache["rows"] = (rows, ds)
+    return _cache["rows"]
+
+
+def test_ext_scaleout(benchmark, show):
+    rows, ds = _run()
+    show(
+        "ext-scaleout",
+        format_table(
+            ["mode", "gpus", "recall", "latency_us", "qps"],
+            [(m, g, f"{r:.3f}", lat, qps) for (m, g), (r, lat, qps) in rows.items()],
+            title="Multi-GPU scale-out (sift-mini)",
+        ),
+    )
+    from repro.bench.runner import SCALE
+
+    r1 = rows[("replicate", 1)]
+    r4 = rows[("replicate", 4)]
+    # With very few queries per replica (smoke scale) ramp effects damp
+    # the measured scaling; require near-linear only at real scales.
+    factor = 2.5 if SCALE.n_queries >= 64 else 1.7
+    assert r4[2] > factor * r1[2], "replication should scale throughput"
+    assert r4[1] < 1.3 * r1[1], "replication should not inflate latency"
+    assert rows[("shard", 2)][0] >= r1[0] - 0.05, "sharding lost recall"
+
+    # Benchmark the replication *scheduling* step on cached traces.
+    from repro.bench.runner import cached_search, make_system
+    from repro.data.workload import closed_loop
+
+    system = make_system("algas", "sift1m-mini", "cagra")
+    _, _, traces = cached_search(system, "sift1m-mini", "cagra")
+    jobs = system.jobs_from_traces(traces, closed_loop(len(traces)))
+    groups = [jobs[g::4] for g in range(4)]
+
+    def schedule_replicas():
+        return [system.make_engine().serve(g) for g in groups]
+
+    benchmark(schedule_replicas)

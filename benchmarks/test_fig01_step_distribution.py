@@ -1,0 +1,30 @@
+"""Fig. 1 — distribution of query steps over the whole query set.
+
+Paper claim: queries' step counts vary widely; the slowest queries reach
+147.9-190.2 % of the average step count.
+"""
+
+from repro.bench.figures import fig01_data
+from repro.bench.runner import BENCH_DATASETS, SCALE
+
+# The tail shrinks when the candidate list covers a large fraction of a
+# tiny corpus; relax the bound at the smoke scale.
+TAIL = 1.2 if SCALE.n_base >= 4000 else 1.05
+
+
+def test_fig01_step_distribution(benchmark, show):
+    text, data = fig01_data()
+    show("fig01", text)
+    for name in BENCH_DATASETS:
+        st = data[name]
+        # Heavy upper tail: max well above the mean (paper: 1.479-1.902x).
+        assert st.max_over_mean > TAIL, f"{name}: no step-count tail"
+        assert st.max_over_mean < 3.5, f"{name}: tail implausibly heavy"
+        assert st.min >= 1
+
+    # Benchmark the step-statistics computation on the cached traces.
+    from repro.analysis.stats import step_statistics
+    from repro.bench.figures import _greedy_traces
+
+    _, traces = _greedy_traces("sift1m-mini")
+    benchmark(step_statistics, traces)

@@ -1,0 +1,29 @@
+"""Fig. 2 — step spread *within* batches (batch size 32).
+
+Paper claim: even inside a small batch the slowest query takes up to
+~32 % more steps than the fastest, so the batch barrier wastes GPU time.
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig02_data
+from repro.bench.runner import BENCH_DATASETS
+
+
+def test_fig02_batch_step_spread(benchmark, show):
+    text, data = fig02_data(batch_size=32)
+    show("fig02", text)
+    for name in BENCH_DATASETS:
+        ratios = [r for _, _, r in data[name]]
+        assert ratios, f"{name}: no batches formed"
+        # Slowest query in a batch is meaningfully slower than the fastest.
+        from repro.bench.runner import SCALE
+
+        floor = 1.05 if SCALE.n_base >= 4000 else 1.02
+        assert np.mean(ratios) > floor, f"{name}: batches are too uniform"
+
+    from repro.analysis.stats import batch_step_spread
+    from repro.bench.figures import _greedy_traces
+
+    _, traces = _greedy_traces("sift1m-mini")
+    benchmark(batch_step_spread, traces, 32)

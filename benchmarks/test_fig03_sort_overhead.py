@@ -1,0 +1,22 @@
+"""Fig. 3 — share of search time spent sorting vs calculating.
+
+Paper claim: parallel sorting (candidate-list maintenance) costs
+19.9-33.9 % of intra-CTA search time.
+"""
+
+from repro.bench.figures import fig03_data
+from repro.bench.runner import BENCH_DATASETS
+
+
+def test_fig03_sorting_share(benchmark, show):
+    text, data = fig03_data()
+    show("fig03", text)
+    for name in BENCH_DATASETS:
+        frac = data[name]
+        assert 0.10 < frac < 0.45, f"{name}: sorting share {frac:.2f} out of range"
+
+    from repro.analysis.stats import sort_time_fraction
+    from repro.bench.figures import _greedy_traces
+
+    system, traces = _greedy_traces("sift1m-mini")
+    benchmark(sort_time_fraction, traces, system.cost_model)

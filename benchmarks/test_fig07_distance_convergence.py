@@ -1,0 +1,22 @@
+"""Fig. 7 — distance of the expanded candidate vs search step.
+
+Paper claim: distances decrease sharply in the early (localization) phase
+and converge in the later (diffusing) phase — the observation motivating
+beam extend.
+"""
+
+from repro.bench.figures import fig07_data
+
+
+def test_fig07_distance_convergence(benchmark, show):
+    text, curve = fig07_data("sift1m-mini")
+    show("fig07", text)
+    # Sharp early drop: by 30 % of the steps the selected-candidate
+    # distance has fallen well below its start.
+    assert curve[3] < 0.6 * curve[0], "no sharp early decrease"
+    # Late-phase convergence: the second half changes slowly (diffusion).
+    late_span = max(curve[5:]) - min(curve[5:])
+    early_span = curve[0] - min(curve)
+    assert late_span < 0.6 * early_span, "late phase not converged"
+
+    benchmark(fig07_data, "sift1m-mini")

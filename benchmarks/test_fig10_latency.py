@@ -1,0 +1,28 @@
+"""Fig. 10 — mean query latency per {graph x method} + IVF (batch 16).
+
+Paper claim: ALGAS has the lowest latency on both graph types across all
+four datasets; GANNS (no multi-CTA) is far slower at small batch.
+"""
+
+from repro.bench.experiments import fig10_11_data
+from repro.bench.runner import BENCH_DATASETS, cached_search, make_system
+
+
+def test_fig10_latency(benchmark, show):
+    text, data = fig10_11_data()
+    show("fig10", text)
+    for name in BENCH_DATASETS:
+        for graph in ("cagra", "nsw"):
+            algas = data[(name, graph, "algas")]
+            cagra = data[(name, graph, "cagra")]
+            ganns = data[(name, graph, "ganns")]
+            assert algas[1] < cagra[1], f"{name}/{graph}: ALGAS not faster than CAGRA"
+            assert algas[1] < ganns[1], f"{name}/{graph}: ALGAS not faster than GANNS"
+
+    # Benchmark the dynamic engine scheduling the cached jobs.
+    from repro.data.workload import closed_loop
+
+    system = make_system("algas", "sift1m-mini", "cagra")
+    _, _, traces = cached_search(system, "sift1m-mini", "cagra")
+    jobs = system.jobs_from_traces(traces, closed_loop(len(traces)))
+    benchmark(lambda: system.make_engine().serve(jobs))

@@ -1,0 +1,28 @@
+"""Fig. 11 — throughput per {graph x method} + IVF (batch 16).
+
+Paper claim: ALGAS improves throughput over CAGRA by 27.8-55.2 % at small
+batch; GANNS underutilizes the GPU without multi-CTA.
+"""
+
+from repro.bench.experiments import fig10_11_data
+from repro.bench.runner import BENCH_DATASETS, cached_search, make_system
+
+
+def test_fig11_throughput(benchmark, show):
+    text, data = fig10_11_data()
+    show("fig11", text)
+    for name in BENCH_DATASETS:
+        for graph in ("cagra", "nsw"):
+            algas = data[(name, graph, "algas")]
+            cagra = data[(name, graph, "cagra")]
+            ganns = data[(name, graph, "ganns")]
+            assert algas[2] > cagra[2], f"{name}/{graph}: ALGAS qps not above CAGRA"
+            assert algas[2] > 1.5 * ganns[2], f"{name}/{graph}: GANNS should lag badly"
+
+    from repro.core.static_batcher import StaticBatchConfig, StaticBatchEngine
+    from repro.data.workload import closed_loop
+
+    system = make_system("cagra", "sift1m-mini", "cagra")
+    _, _, traces = cached_search(system, "sift1m-mini", "cagra")
+    jobs = system.jobs_from_traces(traces, closed_loop(len(traces)))
+    benchmark(lambda: system.make_engine().serve(jobs))

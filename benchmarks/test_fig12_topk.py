@@ -1,0 +1,21 @@
+"""Fig. 12 — latency vs TopK, with recall labels.
+
+Paper claim: latency grows with TopK (bigger lists to maintain and merge);
+ALGAS stays below CAGRA across the sweep.
+"""
+
+from repro.bench.experiments import fig12_data
+
+
+def test_fig12_topk(benchmark, show):
+    topks = (16, 32, 64, 128)
+    text, data = fig12_data("sift1m-mini", topks)
+    show("fig12", text)
+    for method in ("algas", "cagra"):
+        lats = [data[(method, t)][1] for t in topks]
+        assert lats[-1] > lats[0], f"{method}: latency should grow with TopK"
+    for t in topks:
+        assert data[("algas", t)][1] < data[("cagra", t)][1], f"TopK={t}: ALGAS slower"
+        assert data[("algas", t)][0] > 0.7, f"TopK={t}: recall collapsed"
+
+    benchmark(fig12_data, "sift1m-mini", (16,))

@@ -1,0 +1,22 @@
+"""Fig. 13 — sorted per-query latency: dynamic vs static batching.
+
+Paper claim: under dynamic batching, fast queries return early, so the
+sorted latency curve sits below the static one except possibly at the very
+tail (the slowest queries cost the same either way).
+"""
+
+import numpy as np
+
+from repro.bench.experiments import fig13_data
+
+
+def test_fig13_sorted_latency(benchmark, show):
+    text, data = fig13_data("sift1m-mini")
+    show("fig13", text)
+    dyn, stat = data["dynamic"], data["static"]
+    assert dyn.mean() < stat.mean(), "dynamic batching should lower mean latency"
+    # The lower half of the distribution benefits the most (early exit).
+    assert np.percentile(dyn, 25) < np.percentile(stat, 25)
+    assert np.percentile(dyn, 50) < np.percentile(stat, 50)
+
+    benchmark(fig13_data, "sift1m-mini")

@@ -1,0 +1,24 @@
+"""Fig. 14 — throughput vs batch size (fixed recall).
+
+Paper claim: ALGAS's throughput advantage over CAGRA holds across batch
+sizes (paper: +18.8-145.9 %), and everyone's throughput grows with batch.
+"""
+
+from repro.bench.experiments import fig14_15_data
+
+BATCHES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def test_fig14_batch_throughput(benchmark, show):
+    text, data = fig14_15_data(batch_sizes=BATCHES)
+    show("fig14", text)
+    for name in ("sift1m-mini", "glove200-mini"):
+        for b in (4, 8, 16, 32):
+            a = data[(name, "algas", b)][2]
+            c = data[(name, "cagra", b)][2]
+            assert a > c, f"{name} b={b}: ALGAS qps {a:.0f} <= CAGRA {c:.0f}"
+        # throughput grows with batch for the batched systems
+        qps = [data[(name, "algas", b)][2] for b in BATCHES]
+        assert qps[-1] > 2 * qps[0], f"{name}: no batch scaling"
+
+    benchmark(fig14_15_data, ("sift1m-mini",), (16,))

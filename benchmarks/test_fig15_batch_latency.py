@@ -1,0 +1,25 @@
+"""Fig. 15 — latency vs batch size (fixed recall).
+
+Paper claim: per-query latency grows with batch size for static batching
+(fewer resources per query + batch barrier); ALGAS stays below CAGRA
+(paper: -17.7-61.8 %), with the gap widening at larger batches.
+"""
+
+from repro.bench.experiments import fig14_15_data
+
+BATCHES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def test_fig15_batch_latency(benchmark, show):
+    text, data = fig14_15_data(batch_sizes=BATCHES)
+    show("fig15", text)
+    for name in ("sift1m-mini", "glove200-mini"):
+        for b in (4, 8, 16, 32, 64):
+            a = data[(name, "algas", b)][1]
+            c = data[(name, "cagra", b)][1]
+            assert a < c, f"{name} b={b}: ALGAS lat {a:.1f} >= CAGRA {c:.1f}"
+        # static batching latency grows with batch size
+        cagra_lat = [data[(name, "cagra", b)][1] for b in BATCHES]
+        assert cagra_lat[-1] > cagra_lat[0], f"{name}: CAGRA latency flat?"
+
+    benchmark(fig14_15_data, ("sift1m-mini",), (16,))

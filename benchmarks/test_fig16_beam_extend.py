@@ -1,0 +1,39 @@
+"""Fig. 16 — beam extend vs greedy extend (8 CTAs).
+
+Paper claim: beam extend raises throughput/lowers latency, with the gain
+growing at high recall (large candidate lists), at no recall cost.  With
+8 CTAs the per-CTA list is L/8, so the sweep spans per-CTA lists 16..96.
+"""
+
+from repro.bench.experiments import fig16_data
+from repro.bench.runner import BENCH_DATASETS, SCALE
+
+LS = (128, 256, 512, 768)
+# At the smoke scale the candidate list covers a big corpus fraction and
+# per-L differences are noisy; loosen the no-regression band there.
+_NO_REGRESS = 0.95 if SCALE.n_base >= 4000 else 0.85
+
+
+def test_fig16_beam_extend(benchmark, show):
+    text, data = fig16_data(l_values=LS)
+    show("fig16", text)
+    for name in BENCH_DATASETS:
+        for l_total in LS:
+            g = data[(name, "greedy-extend", l_total)]
+            b = data[(name, "beam-extend", l_total)]
+            # never meaningfully slower, never loses recall
+            assert b[2] > _NO_REGRESS * g[2], f"{name} L={l_total}: beam extend regressed"
+            assert b[0] >= g[0] - 0.02, f"{name} L={l_total}: beam extend lost recall"
+        # at the largest L (high recall) beam extend must win on latency
+        g = data[(name, "greedy-extend", LS[-1])]
+        b = data[(name, "beam-extend", LS[-1])]
+        assert b[1] < g[1], f"{name}: beam extend not faster at high recall"
+    # The relative latency gain grows with L on most datasets.
+    grows = 0
+    for name in BENCH_DATASETS:
+        gain_small = data[(name, "greedy-extend", LS[0])][1] / data[(name, "beam-extend", LS[0])][1]
+        gain_large = data[(name, "greedy-extend", LS[-1])][1] / data[(name, "beam-extend", LS[-1])][1]
+        grows += gain_large > gain_small
+    assert grows >= len(BENCH_DATASETS) - 1, "beam gain should grow with recall"
+
+    benchmark(fig16_data, ("sift1m-mini",), (256,))

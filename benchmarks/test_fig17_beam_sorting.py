@@ -1,0 +1,20 @@
+"""Fig. 17 — sorting share before/after beam extend.
+
+Paper claim: beam extend reduces time spent sorting by roughly 14.2-25 %
+of search time in the later stages, visible as a drop in the sorting
+share.
+"""
+
+from repro.bench.experiments import fig17_data
+from repro.bench.runner import BENCH_DATASETS
+
+
+def test_fig17_beam_sorting(benchmark, show):
+    text, data = fig17_data()
+    show("fig17", text)
+    for name in BENCH_DATASETS:
+        g, b = data[name]["greedy"], data[name]["beam"]
+        assert b < g, f"{name}: beam extend did not reduce sorting share"
+        assert (g - b) / g > 0.10, f"{name}: sorting reduction too small"
+
+    benchmark(fig17_data, ("sift1m-mini",))

@@ -1,0 +1,23 @@
+"""Fig. 18 — host parallel processing and GDRCopy local state polling.
+
+Paper claims: (a) GDRCopy state mirrors beat naive PCIe polling (polls
+dominate the link otherwise); (b) extra host threads help most on the
+low-dimensional dataset (SIFT) where completions are frequent.
+"""
+
+from repro.bench.experiments import fig18_data
+
+
+def test_fig18_host_parallel(benchmark, show):
+    text, data = fig18_data()
+    show("fig18", text)
+    for name in ("sift1m-mini", "gist1m-mini"):
+        for ht in (1, 2, 4):
+            gdr = data[(name, "gdrcopy", ht)][1]
+            naive = data[(name, "naive", ht)][1]
+            assert gdr > naive, f"{name} ht={ht}: gdrcopy should beat naive polling"
+    # Host threads matter more for SIFT (low dim, fast completions).
+    sift_gain = data[("sift1m-mini", "gdrcopy", 4)][1] / data[("sift1m-mini", "gdrcopy", 1)][1]
+    assert sift_gain > 0.95, "host threads should not hurt SIFT throughput much"
+
+    benchmark(fig18_data, ("sift1m-mini",), (1,))

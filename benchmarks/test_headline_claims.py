@@ -1,0 +1,24 @@
+"""§VI-A headline — ALGAS vs CAGRA at batch 16.
+
+Paper: latency reduced by up to 21.9-35.4 %, throughput increased by up to
+27.8-55.2 % across the four datasets.  We assert the reproduction lands in
+a comparable band (substrate differences shift absolute percentages).
+"""
+
+from repro.bench.experiments import headline_data
+from repro.bench.runner import BENCH_DATASETS
+
+
+def test_headline_claims(benchmark, show):
+    text, data = headline_data()
+    show("headline", text)
+    for name in BENCH_DATASETS:
+        lat_red, qps_gain = data[name]
+        assert 10.0 < lat_red < 60.0, f"{name}: latency reduction {lat_red:.1f}% off-shape"
+        assert 5.0 < qps_gain < 90.0, f"{name}: throughput gain {qps_gain:.1f}% off-shape"
+    best_lat = max(v[0] for v in data.values())
+    best_qps = max(v[1] for v in data.values())
+    assert best_lat > 20.0, "peak latency reduction should exceed 20%"
+    assert best_qps > 20.0, "peak throughput gain should exceed 20%"
+
+    benchmark(headline_data, ("sift1m-mini",))

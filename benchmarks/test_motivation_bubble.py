@@ -1,0 +1,18 @@
+"""§III-A — query-bubble waste rate of static batching.
+
+Paper: relative to the average latency of active queries, the waste rate
+of batch synchronization ranges from 22.9 % to 33.7 %.
+"""
+
+from repro.bench.experiments import bubble_data
+from repro.bench.runner import BENCH_DATASETS
+
+
+def test_motivation_bubble(benchmark, show):
+    text, data = bubble_data()
+    show("bubble", text)
+    for name in BENCH_DATASETS:
+        waste = data[name]
+        assert 0.10 < waste < 0.60, f"{name}: waste rate {waste:.2f} out of band"
+
+    benchmark(bubble_data, ("sift1m-mini",))

@@ -1,0 +1,26 @@
+"""Table I — qualitative performance grid, quantified.
+
+Paper claims: CAGRA single-query has good latency but moderate throughput;
+CAGRA large-batch has good throughput but bad latency; ALGAS small-batch
+gets both; GANNS large-batch is moderate throughput / bad latency.
+"""
+
+from repro.bench.experiments import table1_data
+
+
+def test_table1_summary(benchmark, show):
+    text, data = table1_data("sift1m-mini")
+    show("table1", text)
+    cagra_single = data[("CAGRA", "single query")]
+    cagra_large = data[("CAGRA", "large batch")]
+    algas_small = data[("ALGAS", "small batch")]
+    ganns_large = data[("GANNS", "large batch")]
+    # Large batch: best throughput, worst latency among CAGRA rows.
+    assert cagra_large[1] > algas_small[1] > cagra_single[1]  # throughput order
+    assert cagra_large[0] > cagra_single[0]  # latency worsens with batch
+    # ALGAS small batch: latency at least as good as CAGRA single query.
+    assert algas_small[0] <= 1.2 * cagra_single[0]
+    # GANNS: bad latency.
+    assert ganns_large[0] > 2 * algas_small[0]
+
+    benchmark(table1_data, "sift1m-mini")

@@ -1,0 +1,74 @@
+"""Recall/latency trade-off: graph search vs IVF.
+
+Sweeps the recall knob of each method (candidate-list size for ALGAS,
+``nprobe`` for IVF) on one dataset and prints the operating curves — the
+recall-controlled comparison methodology of §VI.  (At the mini scale used
+here IVF is more competitive than at the paper's 1M scale, where probing
+enough lists for high recall means scanning far more vectors.)
+
+Run:  python examples/recall_latency_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ALGASSystem, IVFSystem, build_cagra, load_dataset, recall
+from repro.analysis.recall import OperatingPoint, point_at_recall
+from repro.analysis.report import format_table
+
+K = 10
+
+
+def main() -> None:
+    ds = load_dataset("sift1m-mini", n=6_000, n_queries=96, gt_k=64, seed=2)
+    graph = build_cagra(ds.base, graph_degree=16, metric=ds.metric)
+
+    rows = []
+    algas_points: list[OperatingPoint] = []
+    for l_total in (32, 64, 128, 256, 512):
+        system = ALGASSystem(
+            ds.base, graph, metric=ds.metric, k=K, l_total=l_total, batch_size=16
+        )
+        rep = system.serve(ds.queries)
+        rec = recall(rep.ids, ds.gt_at(K))
+        algas_points.append(
+            OperatingPoint(l_total, rec, rep.mean_latency_us, rep.throughput_qps)
+        )
+        rows.append(("ALGAS", f"L={l_total}", rec, rep.mean_latency_us,
+                     rep.throughput_qps))
+
+    nlist = max(16, int(4 * np.sqrt(ds.n)))
+    ivf_points: list[OperatingPoint] = []
+    for nprobe in (1, 2, 4, 8, 16, 32, 64):
+        system = IVFSystem(
+            ds.base, nlist=nlist, nprobe=nprobe, metric=ds.metric, k=K, batch_size=16
+        )
+        rep = system.serve(ds.queries)
+        rec = recall(rep.ids, ds.gt_at(K))
+        ivf_points.append(
+            OperatingPoint(nprobe, rec, rep.mean_latency_us, rep.throughput_qps)
+        )
+        rows.append(("IVF", f"nprobe={nprobe}", rec, rep.mean_latency_us,
+                     rep.throughput_qps))
+
+    print(
+        format_table(
+            ["method", "knob", "recall", "latency_us", "qps"],
+            [(m, kb, f"{r:.3f}", lat, qps) for m, kb, r, lat, qps in rows],
+            title=f"Recall/latency operating curves ({ds.name}, TopK={K}, batch=16)",
+        )
+    )
+
+    for target in (0.90, 0.99):
+        a = point_at_recall(algas_points, target)
+        i = point_at_recall(ivf_points, target)
+        print(
+            f"\n@recall>={target:.2f}:  ALGAS {a.mean_latency_us:.1f} us "
+            f"(L={a.knob}, r={a.recall:.3f})  vs  IVF {i.mean_latency_us:.1f} us "
+            f"(nprobe={i.knob}, r={i.recall:.3f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Regenerate every paper figure/table into a results directory.
+
+Runs all figure experiments at the current ``REPRO_BENCH_SCALE`` and writes
+one ``.txt`` (the paper-style rows) per figure plus a combined
+``ALL_FIGURES.txt`` — the text twin of the paper's evaluation section.
+
+Usage:
+    python scripts/reproduce_all.py [outdir]      # default: results/
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+FIGS = [
+    ("fig01", "figures", "fig01_data"),
+    ("fig02", "figures", "fig02_data"),
+    ("fig03", "figures", "fig03_data"),
+    ("fig07", "figures", "fig07_data"),
+    ("fig10_11", "experiments", "fig10_11_data"),
+    ("fig12", "experiments", "fig12_data"),
+    ("fig13", "experiments", "fig13_data"),
+    ("fig14_15", "experiments", "fig14_15_data"),
+    ("fig16", "experiments", "fig16_data"),
+    ("fig17", "experiments", "fig17_data"),
+    ("fig18", "experiments", "fig18_data"),
+    ("table1", "experiments", "table1_data"),
+    ("headline", "experiments", "headline_data"),
+    ("bubble", "experiments", "bubble_data"),
+    ("ablation_persistent_kernel", "experiments", "ablation_persistent_kernel"),
+    ("ablation_merge", "experiments", "ablation_merge"),
+    ("ablation_tuning", "experiments", "ablation_tuning"),
+    ("ablation_beam_params", "experiments", "ablation_beam_params"),
+]
+
+
+def main(argv: list[str]) -> int:
+    import importlib
+
+    outdir = Path(argv[1]) if len(argv) > 1 else Path("results")
+    outdir.mkdir(parents=True, exist_ok=True)
+    combined = []
+    t_all = time.time()
+    for name, module, fn_name in FIGS:
+        t0 = time.time()
+        mod = importlib.import_module(f"repro.bench.{module}")
+        text, _ = getattr(mod, fn_name)()
+        (outdir / f"{name}.txt").write_text(text + "\n")
+        combined.append(text)
+        print(f"[{name:28s}] {time.time() - t0:6.1f}s")
+    (outdir / "ALL_FIGURES.txt").write_text("\n\n".join(combined) + "\n")
+    print(f"\nwrote {len(FIGS)} figures to {outdir}/ in {time.time() - t_all:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,52 @@
+"""repro — reproduction of ALGAS (IPPS 2025).
+
+A low-latency GPU graph-ANNS serving system — dynamic batching on a
+persistent kernel, beam-extend search, GPU-CPU cooperative TopK merge, and
+adaptive GPU tuning — reproduced in Python on a discrete-event GPU
+simulator substrate.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import load_dataset, build_cagra, ALGASSystem
+    ds = load_dataset("sift1m-mini", n=8000)
+    graph = build_cagra(ds.base, graph_degree=32, metric=ds.metric)
+    system = ALGASSystem(ds.base, graph, metric=ds.metric, k=16, l_total=128)
+    report = system.serve(ds.queries)
+    print(report.mean_latency_us, report.throughput_qps)
+"""
+
+from .baselines import CAGRASystem, GANNSSystem, IVFSystem
+from .core import ALGASSystem, ServeReport, SystemReport, tune
+from .data import Dataset, load_dataset, recall
+from .gpusim import RTX_A6000, CostModel, CostParams, DeviceProperties
+from .graphs import GraphIndex, build_cagra, build_nsw, build_nsw_fast
+from .search import BeamConfig, IVFFlatIndex, intra_cta_search, multi_cta_search
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CAGRASystem",
+    "GANNSSystem",
+    "IVFSystem",
+    "ALGASSystem",
+    "ServeReport",
+    "SystemReport",
+    "tune",
+    "Dataset",
+    "load_dataset",
+    "recall",
+    "RTX_A6000",
+    "CostModel",
+    "CostParams",
+    "DeviceProperties",
+    "GraphIndex",
+    "build_cagra",
+    "build_nsw",
+    "build_nsw_fast",
+    "BeamConfig",
+    "IVFFlatIndex",
+    "intra_cta_search",
+    "multi_cta_search",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Analysis utilities: step/latency stats, recall curves, text reports."""
+
+from .export import records_to_csv, rows_to_csv, summary_to_json
+from .recall import OperatingPoint, point_at_recall, sweep_candidate_sizes
+from .report import banner, format_series, format_table
+from .timeline import ascii_timeline
+from .stats import (
+    StepStats,
+    batch_step_spread,
+    bubble_waste_rate,
+    latency_percentiles,
+    sort_time_fraction,
+    step_statistics,
+)
+
+__all__ = [
+    "ascii_timeline",
+    "records_to_csv",
+    "rows_to_csv",
+    "summary_to_json",
+    "OperatingPoint",
+    "point_at_recall",
+    "sweep_candidate_sizes",
+    "banner",
+    "format_series",
+    "format_table",
+    "StepStats",
+    "batch_step_spread",
+    "bubble_waste_rate",
+    "latency_percentiles",
+    "sort_time_fraction",
+    "step_statistics",
+]

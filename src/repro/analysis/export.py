@@ -1,0 +1,89 @@
+"""Result export: ServeReports and figure data to CSV/JSON.
+
+Downstream users plot reproduction results with external tools; these
+helpers serialize per-query records and metric summaries without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from pathlib import Path
+
+from ..core.serving import ServeReport
+
+__all__ = ["records_to_csv", "summary_to_json", "rows_to_csv"]
+
+_RECORD_FIELDS = (
+    "query_id",
+    "arrival_us",
+    "dispatch_us",
+    "gpu_start_us",
+    "gpu_end_us",
+    "detected_us",
+    "complete_us",
+    "service_latency_us",
+    "e2e_latency_us",
+    "bubble_us",
+)
+
+
+def records_to_csv(report: ServeReport, path: str | os.PathLike) -> int:
+    """Write per-query timelines to CSV; returns the row count."""
+    with open(Path(path), "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(_RECORD_FIELDS)
+        for r in report.records:
+            w.writerow(
+                [
+                    r.query_id,
+                    r.arrival_us,
+                    r.dispatch_us,
+                    r.gpu_start_us,
+                    r.gpu_end_us,
+                    r.detected_us,
+                    r.complete_us,
+                    r.service_latency_us,
+                    r.e2e_latency_us,
+                    r.bubble_us,
+                ]
+            )
+    return len(report.records)
+
+
+def summary_to_json(
+    report: ServeReport, path: str | os.PathLike, extra: dict | None = None
+) -> dict:
+    """Write the report's headline metrics (plus ``extra``) as JSON.
+
+    Returns the serialized dict.  PCIe statistics are included when the
+    report carries them.
+    """
+    payload = dict(report.summary())
+    if report.pcie is not None:
+        payload["pcie"] = {
+            "transactions": report.pcie.transactions,
+            "bytes_moved": report.pcie.bytes_moved,
+            "busy_us": report.pcie.busy_us,
+            "by_tag": dict(report.pcie.by_tag),
+        }
+    payload["host_busy_us"] = report.host_busy_us
+    if extra:
+        payload.update(extra)
+    with open(Path(path), "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+    return payload
+
+
+def rows_to_csv(
+    headers: list[str], rows: list, path: str | os.PathLike
+) -> int:
+    """Write generic figure rows (as produced by the bench functions)."""
+    with open(Path(path), "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(headers)
+        for row in rows:
+            w.writerow(list(row))
+    return len(rows)

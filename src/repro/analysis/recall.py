@@ -1,0 +1,60 @@
+"""Recall-vs-performance curves.
+
+The paper controls recall through the candidate-list size (graph methods)
+or ``nprobe`` (IVF) and reports latency/throughput at matched recall.  This
+module sweeps those knobs and interpolates operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..data.groundtruth import recall as recall_of
+
+__all__ = ["OperatingPoint", "sweep_candidate_sizes", "point_at_recall"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One point of a recall/latency/throughput curve."""
+
+    knob: int  # candidate-list size or nprobe
+    recall: float
+    mean_latency_us: float
+    throughput_qps: float
+
+
+def sweep_candidate_sizes(
+    make_report: Callable[[int], tuple[np.ndarray, float, float]],
+    knobs: Sequence[int],
+    gt: np.ndarray,
+) -> list[OperatingPoint]:
+    """Evaluate a system at several knob values.
+
+    ``make_report(knob)`` must return ``(ids, mean_latency_us, qps)`` for
+    the full query set; recall is computed here against ``gt``.
+    """
+    points = []
+    for knob in knobs:
+        ids, lat, qps = make_report(int(knob))
+        points.append(OperatingPoint(int(knob), recall_of(ids, gt), lat, qps))
+    return points
+
+
+def point_at_recall(
+    points: Sequence[OperatingPoint], target: float
+) -> OperatingPoint:
+    """Smallest-knob operating point reaching ``target`` recall.
+
+    Falls back to the highest-recall point if the target is unreachable
+    (callers should report the achieved recall alongside).
+    """
+    if not points:
+        raise ValueError("no operating points")
+    eligible = [p for p in points if p.recall >= target]
+    if eligible:
+        return min(eligible, key=lambda p: p.knob)
+    return max(points, key=lambda p: p.recall)

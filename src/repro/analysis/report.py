@@ -1,0 +1,56 @@
+"""Plain-text table/series rendering for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent and greppable
+(every figure bench emits a ``[figNN]``-prefixed block).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "banner"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    floatfmt: str = ".1f",
+) -> str:
+    """Render an aligned monospace table."""
+    srows = [
+        [
+            f"{c:{floatfmt}}" if isinstance(c, float) else str(c)
+            for c in row
+        ]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[object], floatfmt: str = ".1f"
+) -> str:
+    """Render one figure series as ``name: x=y`` pairs on a single line."""
+    pairs = []
+    for x, y in zip(xs, ys):
+        ys_ = f"{y:{floatfmt}}" if isinstance(y, float) else str(y)
+        pairs.append(f"{x}={ys_}")
+    return f"{name}: " + " ".join(pairs)
+
+
+def banner(tag: str, text: str) -> str:
+    """Prefix every line with a ``[tag]`` marker for grep-ability."""
+    return "\n".join(f"[{tag}] {line}" for line in text.splitlines())

@@ -1,0 +1,62 @@
+"""ASCII timeline (Gantt) rendering of serve runs.
+
+Visualizes per-query lifecycles in a terminal, the textual analogue of the
+paper's Fig. 4 (static vs dynamic batching timelines):
+
+    q  0 |..####-|
+    q  1 |..######----|
+                 ^ returned with the batch (bubble)
+
+Legend: ``.`` waiting for GPU start, ``#`` CTAs busy, ``-`` finished on
+GPU but not yet returned (the query bubble under static batching).
+"""
+
+from __future__ import annotations
+
+from ..core.serving import QueryRecord, ServeReport
+
+__all__ = ["ascii_timeline"]
+
+
+def ascii_timeline(
+    report: ServeReport,
+    width: int = 72,
+    max_queries: int = 32,
+    sort_by: str = "dispatch",
+) -> str:
+    """Render the first ``max_queries`` query lifecycles as ASCII rows.
+
+    ``sort_by``: "dispatch" (scheduling order) or "id".
+    """
+    records = list(report.records)[: max(0, max_queries) or None]
+    if not records:
+        return "(no queries)"
+    if sort_by == "dispatch":
+        records = sorted(records, key=lambda r: (r.dispatch_us, r.query_id))
+    elif sort_by == "id":
+        records = sorted(records, key=lambda r: r.query_id)
+    else:
+        raise ValueError("sort_by must be 'dispatch' or 'id'")
+    records = records[:max_queries]
+    t0 = min(r.dispatch_us for r in records)
+    t1 = max(r.complete_us for r in records)
+    span = max(t1 - t0, 1e-9)
+    scale = (width - 1) / span
+
+    def col(t: float) -> int:
+        return min(width - 1, max(0, int((t - t0) * scale)))
+
+    lines = [f"timeline: {t0:.1f} .. {t1:.1f} us ({span:.1f} us span)"]
+    for r in records:
+        row = [" "] * width
+        d, gs, ge, c = (col(r.dispatch_us), col(r.gpu_start_us),
+                        col(r.gpu_end_us), col(r.complete_us))
+        for x in range(d, gs):
+            row[x] = "."
+        for x in range(gs, max(ge, gs + 1)):
+            row[x] = "#"
+        for x in range(ge, c):
+            row[x] = "-"
+        lines.append(f"q{r.query_id:4d} |{''.join(row).rstrip()}|")
+    lines.append("legend: . queued->GPU   # GPU busy   - bubble (done, not returned)")
+    return "\n".join(lines)

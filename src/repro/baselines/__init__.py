@@ -1,0 +1,7 @@
+"""Comparator systems: CAGRA, GANNS, and IVF (FAISS-GPU style)."""
+
+from .cagra_system import CAGRASystem
+from .ganns_system import GANNSSystem
+from .ivf_system import IVFPQSystem, IVFSystem
+
+__all__ = ["CAGRASystem", "GANNSSystem", "IVFPQSystem", "IVFSystem"]

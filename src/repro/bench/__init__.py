@@ -1,0 +1,30 @@
+"""Benchmark harness: cached runners and per-figure experiment definitions."""
+
+from . import experiments, figures
+from .runner import (
+    BENCH_DATASETS,
+    SCALE,
+    BenchScale,
+    cached_search,
+    get_dataset,
+    get_graph,
+    make_system,
+    scheduled_report,
+    serve_ivf,
+    serve_system,
+)
+
+__all__ = [
+    "experiments",
+    "figures",
+    "BENCH_DATASETS",
+    "SCALE",
+    "BenchScale",
+    "cached_search",
+    "get_dataset",
+    "get_graph",
+    "make_system",
+    "scheduled_report",
+    "serve_ivf",
+    "serve_system",
+]

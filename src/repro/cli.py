@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``   list the registered corpora (paper Table III)
+``build``      build a graph index over a dataset and save it (.npz)
+``serve``      search + schedule a query set with a chosen system
+``tune``       run the §IV-C adaptive tuner for a configuration
+``figure``     regenerate one of the paper's figures/tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro", description="ALGAS reproduction command-line interface"
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list registered datasets (Table III)")
+
+    b = sub.add_parser("build", help="build a graph index and save it")
+    b.add_argument("--dataset", default="sift1m-mini")
+    b.add_argument("--n", type=int, default=None, help="base vectors (default: spec)")
+    b.add_argument("--graph", choices=("cagra", "nsw", "nsw-fast", "hnsw", "knn"),
+                   default="cagra")
+    b.add_argument("--degree", type=int, default=16)
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("-o", "--output", required=True, help="output .npz path")
+
+    s = sub.add_parser("serve", help="serve the query set with a system")
+    s.add_argument("--dataset", default="sift1m-mini")
+    s.add_argument("--n", type=int, default=6000)
+    s.add_argument("--queries", type=int, default=64)
+    s.add_argument("--graph", choices=("cagra", "nsw"), default="cagra")
+    s.add_argument("--degree", type=int, default=16)
+    s.add_argument("--system", choices=("algas", "cagra", "ganns", "ivf"),
+                   default="algas")
+    s.add_argument("--k", type=int, default=16)
+    s.add_argument("--l", dest="l_total", type=int, default=128)
+    s.add_argument("--batch", type=int, default=16)
+    s.add_argument("--nprobe", type=int, default=8, help="IVF only")
+    s.add_argument("--host-threads", default="auto")
+    s.add_argument("--state-mode", choices=("gdrcopy", "naive"), default="gdrcopy")
+    s.add_argument("--no-beam", action="store_true")
+    s.add_argument("--seed", type=int, default=0)
+
+    t = sub.add_parser("tune", help="adaptive GPU tuning (§IV-C)")
+    t.add_argument("--device", default="RTX A6000")
+    t.add_argument("--slots", type=int, default=16)
+    t.add_argument("--l", dest="l_total", type=int, default=128)
+    t.add_argument("--k", type=int, default=16)
+    t.add_argument("--degree", type=int, default=32)
+    t.add_argument("--dim", type=int, default=128)
+    t.add_argument("--beam-width", type=int, default=1)
+
+    f = sub.add_parser("figure", help="regenerate a paper figure/table")
+    f.add_argument("name", help="fig01|fig02|fig03|fig07|fig10|fig12|fig13|"
+                               "fig14|fig16|fig17|fig18|table1|headline|bubble")
+    return p
+
+
+def _cmd_datasets(_args) -> int:
+    from .analysis.report import format_table
+    from .data.datasets import DATASETS
+
+    rows = [
+        (s.name, s.paper_name, s.paper_vertices, s.dim, s.metric, s.default_n)
+        for s in DATASETS.values()
+    ]
+    print(
+        format_table(
+            ["name", "paper corpus", "paper vertices", "dim", "metric", "mini default n"],
+            rows,
+            title="Registered datasets (paper Table III stand-ins)",
+        )
+    )
+    return 0
+
+
+def _cmd_build(args) -> int:
+    from .data import load_dataset
+    from .graphs import build_cagra, build_hnsw, build_nsw, build_nsw_fast, exact_knn_graph
+
+    ds = load_dataset(args.dataset, n=args.n, seed=args.seed)
+    if args.graph == "cagra":
+        g = build_cagra(ds.base, graph_degree=args.degree, metric=ds.metric)
+    elif args.graph == "nsw":
+        g = build_nsw(ds.base, m=args.degree // 2, metric=ds.metric, seed=args.seed)
+    elif args.graph == "nsw-fast":
+        g = build_nsw_fast(ds.base, m=args.degree // 2, metric=ds.metric, seed=args.seed)
+    elif args.graph == "hnsw":
+        g = build_hnsw(ds.base, m=args.degree // 2, metric=ds.metric, seed=args.seed)
+    else:
+        g = exact_knn_graph(ds.base, args.degree, metric=ds.metric)
+    g.save(args.output)
+    print(f"saved {g} -> {args.output}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .baselines import CAGRASystem, GANNSSystem, IVFSystem
+    from .core import ALGASSystem
+    from .data import load_dataset, recall
+    from .graphs import build_cagra, build_nsw_fast
+
+    ds = load_dataset(args.dataset, n=args.n, n_queries=args.queries,
+                      gt_k=max(64, args.k), seed=args.seed)
+    if args.system == "ivf":
+        system = IVFSystem(
+            ds.base, nlist=max(16, int(4 * np.sqrt(ds.n))), nprobe=args.nprobe,
+            metric=ds.metric, k=args.k, batch_size=args.batch, seed=args.seed,
+        )
+    else:
+        if args.graph == "cagra":
+            g = build_cagra(ds.base, graph_degree=args.degree, metric=ds.metric)
+        else:
+            g = build_nsw_fast(ds.base, m=args.degree // 2, metric=ds.metric)
+        common = dict(metric=ds.metric, k=args.k, l_total=args.l_total,
+                      batch_size=args.batch, seed=args.seed)
+        if args.system == "algas":
+            ht = args.host_threads
+            system = ALGASSystem(
+                ds.base, g, host_threads=ht if ht == "auto" else int(ht),
+                state_mode=args.state_mode, beam=not args.no_beam, **common,
+            )
+        elif args.system == "cagra":
+            system = CAGRASystem(ds.base, g, **common)
+        else:
+            system = GANNSSystem(ds.base, g, **common)
+    rep = system.serve(ds.queries)
+    rec = recall(rep.ids, ds.gt_at(args.k))
+    s = rep.serve.summary()
+    print(f"system={args.system} dataset={args.dataset} n={ds.n} "
+          f"batch={args.batch} k={args.k}")
+    print(f"recall@{args.k} = {rec:.4f}")
+    print(f"mean latency  = {s['mean_latency_us']:.1f} us "
+          f"(p50 {s['p50_latency_us']:.1f}, p99 {s['p99_latency_us']:.1f})")
+    print(f"throughput    = {s['throughput_qps']:,.0f} qps")
+    print(f"gpu util      = {s['gpu_utilization']:.2f}  "
+          f"mean bubble = {s['mean_bubble_us']:.1f} us")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .core import tune
+    from .gpusim.device import DEVICE_PRESETS
+
+    if args.device not in DEVICE_PRESETS:
+        print(f"unknown device {args.device!r}; presets: {list(DEVICE_PRESETS)}",
+              file=sys.stderr)
+        return 2
+    t = tune(
+        DEVICE_PRESETS[args.device], n_slots=args.slots, l_total=args.l_total,
+        k=args.k, max_degree=args.degree, dim=args.dim, beam_width=args.beam_width,
+    )
+    print(f"device            = {args.device}")
+    print(f"feasible          = {t.feasible}")
+    print(f"N_parallel        = {t.n_parallel}")
+    print(f"threads/block     = {t.threads_per_block}")
+    print(f"blocks/SM         = {t.n_block_per_sm}")
+    print(f"shared mem/block  = {t.block_shared_mem_bytes} B")
+    print(f"reserved cache    = {t.reserved_cache_per_block} B")
+    print(f"per-CTA list      = {t.per_cta_cand_len}")
+    print(f"expand list       = {t.expand_list_len}")
+    return 0 if t.feasible else 1
+
+
+_FIGURES = {
+    "fig01": ("figures", "fig01_data"),
+    "fig02": ("figures", "fig02_data"),
+    "fig03": ("figures", "fig03_data"),
+    "fig07": ("figures", "fig07_data"),
+    "fig10": ("experiments", "fig10_11_data"),
+    "fig12": ("experiments", "fig12_data"),
+    "fig13": ("experiments", "fig13_data"),
+    "fig14": ("experiments", "fig14_15_data"),
+    "fig16": ("experiments", "fig16_data"),
+    "fig17": ("experiments", "fig17_data"),
+    "fig18": ("experiments", "fig18_data"),
+    "table1": ("experiments", "table1_data"),
+    "headline": ("experiments", "headline_data"),
+    "bubble": ("experiments", "bubble_data"),
+}
+
+
+def _cmd_figure(args) -> int:
+    if args.name not in _FIGURES:
+        print(f"unknown figure {args.name!r}; known: {sorted(_FIGURES)}",
+              file=sys.stderr)
+        return 2
+    module_name, fn_name = _FIGURES[args.name]
+    import importlib
+
+    mod = importlib.import_module(f"repro.bench.{module_name}")
+    text, _ = getattr(mod, fn_name)()
+    print(text)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "datasets": _cmd_datasets,
+        "build": _cmd_build,
+        "serve": _cmd_serve,
+        "tune": _cmd_tune,
+        "figure": _cmd_figure,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,137 @@
+"""Empirical auto-tuner: pick (L, N_parallel, beam) for a recall target.
+
+§IV-C's analytic tuner guarantees *feasibility* (everything resident); it
+does not know which feasible point is fastest for a given dataset and
+recall target.  This module closes the loop the way VDTuner [42] motivates:
+measure a small query sample under candidate configurations and keep the
+lowest-latency one that meets the target recall.
+
+The search is a two-stage grid: first find the smallest candidate-list
+size reaching the recall target at the analytic tuner's N_parallel, then
+locally refine N_parallel and the beam switch at that list size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.groundtruth import recall as recall_of
+from ..graphs.base import GraphIndex
+from .pipeline import ALGASSystem
+
+__all__ = ["Trial", "AutoTuneResult", "autotune_algas"]
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One measured configuration."""
+
+    l_total: int
+    n_parallel: int
+    beam: bool
+    recall: float
+    mean_latency_us: float
+    throughput_qps: float
+
+
+@dataclass
+class AutoTuneResult:
+    """Outcome of an auto-tuning run."""
+
+    best: Trial | None
+    target_recall: float
+    trials: list[Trial] = field(default_factory=list)
+
+    @property
+    def satisfied(self) -> bool:
+        return self.best is not None and self.best.recall >= self.target_recall
+
+
+def _measure(
+    base, graph, queries, gt_ids, metric, k, batch_size, device,
+    l_total, n_parallel, beam, seed,
+) -> Trial | None:
+    try:
+        system = ALGASSystem(
+            base, graph, device=device, metric=metric, k=k,
+            l_total=l_total, batch_size=batch_size, n_parallel=n_parallel,
+            beam=beam, seed=seed,
+        )
+    except ValueError:
+        return None  # infeasible residency
+    rep = system.serve(queries)
+    rec = recall_of(rep.ids, gt_ids[:, :k])
+    return Trial(l_total, system.n_parallel, beam, rec,
+                 rep.mean_latency_us, rep.throughput_qps)
+
+
+def autotune_algas(
+    base: np.ndarray,
+    graph: GraphIndex,
+    queries: np.ndarray,
+    gt_ids: np.ndarray,
+    target_recall: float = 0.95,
+    k: int = 16,
+    batch_size: int = 16,
+    metric: str = "l2",
+    device=None,
+    sample: int = 32,
+    l_grid: tuple[int, ...] = (32, 64, 128, 256, 512),
+    parallel_grid: tuple[int, ...] = (2, 4, 8),
+    seed: int = 0,
+) -> AutoTuneResult:
+    """Find the fastest ALGAS configuration meeting ``target_recall``.
+
+    ``gt_ids`` must be exact neighbour ids for ``queries`` with at least
+    ``k`` columns.  ``sample`` queries are measured per trial (tuning cost
+    is ~|l_grid| + |parallel_grid| + 1 serve runs over the sample).
+    """
+    from ..gpusim.device import RTX_A6000
+
+    device = device or RTX_A6000
+    if not 0 < target_recall <= 1:
+        raise ValueError("target_recall must be in (0, 1]")
+    if gt_ids.shape[1] < k:
+        raise ValueError("ground truth narrower than k")
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(len(queries), size=min(sample, len(queries)), replace=False)
+    q = queries[idx]
+    sub_gt = gt_ids[idx]
+
+    trials: list[Trial] = []
+
+    def measure(l_total: int, n_parallel: int | None, beam: bool) -> Trial | None:
+        t = _measure(base, graph, q, sub_gt, metric, k, batch_size, device,
+                     l_total, n_parallel, beam, seed)
+        if t is not None:
+            trials.append(t)
+        return t
+
+    # Stage 1: smallest L reaching the target (beam on, auto N_parallel).
+    stage1: Trial | None = None
+    for l_total in l_grid:
+        t = measure(l_total, None, True)
+        if t is not None and t.recall >= target_recall:
+            stage1 = t
+            break
+    if stage1 is None:
+        # target unreachable on this grid — return the best-recall trial
+        best = max(trials, key=lambda t: (t.recall, -t.mean_latency_us), default=None)
+        return AutoTuneResult(best=best, target_recall=target_recall, trials=trials)
+
+    # Stage 2: refine N_parallel and the beam switch at the chosen L.
+    candidates = [stage1]
+    for npar in parallel_grid:
+        if npar == stage1.n_parallel:
+            continue
+        t = measure(stage1.l_total, npar, True)
+        if t is not None and t.recall >= target_recall:
+            candidates.append(t)
+    t = measure(stage1.l_total, stage1.n_parallel, False)
+    if t is not None and t.recall >= target_recall:
+        candidates.append(t)
+
+    best = min(candidates, key=lambda t: t.mean_latency_us)
+    return AutoTuneResult(best=best, target_recall=target_recall, trials=trials)

@@ -1,0 +1,175 @@
+"""Multi-GPU scale-out: replication and sharding.
+
+The paper serves one GPU; production deployments scale out in two standard
+ways, both composable from the existing machinery because search (exact
+results) and scheduling (priced traces) are already separated:
+
+* **replication** — every GPU holds the full index; queries are
+  partitioned round-robin across replicas.  Throughput scales ~linearly,
+  per-query latency is unchanged.
+* **sharding** — each GPU holds a slice of the corpus with its own graph;
+  every query fans out to all shards and the host merges the per-shard
+  TopK (one more heap merge — the same §IV-B machinery).  Latency gains
+  come from smaller per-shard graphs; the fan-out costs merge work and
+  ties each query to the *slowest* shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.workload import QueryEvent, closed_loop
+from ..graphs.base import GraphIndex
+from ..search.topk import heap_merge
+from .pipeline import ALGASSystem, SystemReport
+from .serving import QueryRecord, ServeReport
+
+__all__ = ["ReplicatedServer", "ShardedServer"]
+
+
+def _merged_report(parts: list[ServeReport], n_cta_slots: int, meta: dict) -> ServeReport:
+    records = [r for p in parts for r in p.records]
+    makespan = max((p.makespan_us for p in parts), default=0.0)
+    return ServeReport(
+        records=records,
+        makespan_us=makespan,
+        gpu_cta_busy_us=sum(p.gpu_cta_busy_us for p in parts),
+        n_cta_slots=n_cta_slots,
+        pcie=None,  # per-GPU links; see meta["pcie"] for the list
+        host_busy_us=sum(p.host_busy_us for p in parts),
+        meta={**meta, "pcie": [p.pcie for p in parts]},
+    )
+
+
+class ReplicatedServer:
+    """R identical ALGAS replicas, queries dealt round-robin."""
+
+    def __init__(self, base: np.ndarray, graph: GraphIndex, n_gpus: int = 2, **algas_kwargs):
+        if n_gpus <= 0:
+            raise ValueError("n_gpus must be positive")
+        self.n_gpus = n_gpus
+        # One system: replicas hold identical indexes, so the search (and
+        # its traces) is the same on every replica.
+        self.system = ALGASSystem(base, graph, **algas_kwargs)
+
+    def serve(
+        self, queries: np.ndarray, events: list[QueryEvent] | None = None
+    ) -> SystemReport:
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        events = events or closed_loop(queries.shape[0])
+        ids, dists, traces = self.system.search_all(queries)
+        jobs = self.system.jobs_from_traces(
+            traces, sorted(events, key=lambda e: e.query_id)
+        )
+        groups = [jobs[g :: self.n_gpus] for g in range(self.n_gpus)]
+        parts = [
+            self.system.make_engine().serve(group) for group in groups if group
+        ]
+        serve = _merged_report(
+            parts,
+            n_cta_slots=self.n_gpus * self.system.batch_size * self.system.n_parallel,
+            meta={"mode": "replicated", "n_gpus": self.n_gpus},
+        )
+        return SystemReport(ids=ids, dists=dists, serve=serve, traces=traces)
+
+
+@dataclass
+class _Shard:
+    system: ALGASSystem
+    local_to_global: np.ndarray = field(repr=False, default=None)
+
+
+class ShardedServer:
+    """Corpus partitioned across R GPUs; queries fan out and merge."""
+
+    def __init__(
+        self,
+        base: np.ndarray,
+        graph_builder,
+        n_gpus: int = 2,
+        seed: int = 0,
+        **algas_kwargs,
+    ):
+        """``graph_builder(points) -> GraphIndex`` builds each shard's graph."""
+        if n_gpus <= 0:
+            raise ValueError("n_gpus must be positive")
+        base = np.asarray(base, dtype=np.float32)
+        if base.shape[0] < n_gpus * 2:
+            raise ValueError("too few points to shard")
+        self.n_gpus = n_gpus
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(base.shape[0])
+        self.shards: list[_Shard] = []
+        self.k = algas_kwargs.get("k", 16)
+        for g in range(n_gpus):
+            ids = np.sort(perm[g::n_gpus])
+            pts = base[ids]
+            graph = graph_builder(pts)
+            self.shards.append(
+                _Shard(ALGASSystem(pts, graph, **algas_kwargs), ids)
+            )
+
+    def serve(
+        self, queries: np.ndarray, events: list[QueryEvent] | None = None
+    ) -> SystemReport:
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        nq = queries.shape[0]
+        events = events or closed_loop(nq)
+        ordered = sorted(events, key=lambda e: e.query_id)
+
+        per_shard = []
+        parts = []
+        for shard in self.shards:
+            s_ids, s_dists, traces = shard.system.search_all(queries)
+            jobs = shard.system.jobs_from_traces(traces, ordered)
+            parts.append(shard.system.make_engine().serve(jobs))
+            per_shard.append((s_ids, s_dists, shard.local_to_global))
+
+        # Host-side cross-shard merge (global ids).
+        k = self.k
+        ids = np.full((nq, k), -1, dtype=np.int64)
+        dists = np.full((nq, k), np.inf, dtype=np.float32)
+        for qi in range(nq):
+            lists = []
+            for s_ids, s_dists, l2g in per_shard:
+                valid = s_ids[qi] >= 0
+                lists.append((l2g[s_ids[qi][valid]], s_dists[qi][valid]))
+            m_ids, m_d = heap_merge(lists, k)
+            ids[qi, : len(m_ids)] = m_ids
+            dists[qi, : len(m_ids)] = m_d
+
+        # A query completes when its *slowest shard* returns + merge cost.
+        cm = self.shards[0].system.cost_model
+        merge_us = cm.cpu_merge_us(self.n_gpus, k)
+        records = []
+        by_qid = [
+            {r.query_id: r for r in p.records} for p in parts
+        ]
+        for ev in ordered:
+            rs = [m[ev.query_id] for m in by_qid]
+            rec = QueryRecord(ev.query_id, ev.arrival_us)
+            rec.dispatch_us = min(r.dispatch_us for r in rs)
+            rec.gpu_start_us = min(r.gpu_start_us for r in rs)
+            rec.gpu_end_us = max(r.gpu_end_us for r in rs)
+            rec.detected_us = max(r.detected_us for r in rs)
+            rec.complete_us = max(r.complete_us for r in rs) + merge_us
+            records.append(rec)
+        makespan = max(r.complete_us for r in records) if records else 0.0
+        sys0 = self.shards[0].system
+        serve = ServeReport(
+            records=records,
+            makespan_us=makespan,
+            gpu_cta_busy_us=sum(p.gpu_cta_busy_us for p in parts),
+            n_cta_slots=self.n_gpus * sys0.batch_size * sys0.n_parallel,
+            pcie=None,
+            host_busy_us=sum(p.host_busy_us for p in parts) + nq * merge_us,
+            meta={"mode": "sharded", "n_gpus": self.n_gpus,
+                  "pcie": [p.pcie for p in parts]},
+        )
+        return SystemReport(ids=ids, dists=dists, serve=serve, traces=[])

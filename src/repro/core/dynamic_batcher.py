@@ -1,0 +1,267 @@
+"""Dynamic batching engine (§IV-A): persistent kernel + independent slots.
+
+Event-driven model of the ALGAS serving loop:
+
+* ``n_slots`` slots are pinned inside a persistent kernel, each with
+  ``n_parallel`` CTAs permanently resident (feasibility checked by
+  :mod:`repro.core.tuning` before construction).
+* Host threads own disjoint slot subsets ("parallel processing on host",
+  §V-B).  Each thread periodically wakes, polls its slots' states through a
+  :class:`~repro.core.state_sync.StateChannel`, retrieves results of
+  finished slots over PCIe (one sequential read per slot — the contiguous
+  CTA-result layout of §IV-B), merges them on the CPU, and refills free
+  slots with queued queries.
+* GPU side: a dispatched slot's CTAs start after a short device-side poll
+  delay and run for their priced durations; each CTA publishes FINISH via
+  the state channel.  No batch barrier anywhere — the query bubble is gone.
+
+The engine consumes priced :class:`~repro.core.serving.QueryJob`s, so one
+set of search traces can be replayed under dynamic and static disciplines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.costmodel import CostModel
+from ..gpusim.device import DeviceProperties
+from ..gpusim.engine import Simulator
+from ..gpusim.pcie import PCIeLink
+from .merge import HostMerger
+from .query_manager import ManagedQuery, QueryManager
+from .serving import QueryJob, QueryRecord, ServeReport
+from .slots import Slot, SlotState
+from .state_sync import StateChannel
+
+__all__ = ["DynamicBatchConfig", "DynamicBatchEngine"]
+
+
+@dataclass(frozen=True)
+class DynamicBatchConfig:
+    """Knobs of the dynamic batching engine."""
+
+    n_slots: int
+    n_parallel: int
+    k: int
+    host_threads: int = 1
+    #: host wake/poll period (µs); the host re-checks its slots this often
+    #: when idle (a spinning poll loop — §V-A argues polling over blocking).
+    host_poll_period_us: float = 0.5
+    #: device-side polling granularity of the persistent kernel (µs).
+    gpu_poll_us: float = 0.5
+    #: "naive" (polls cross PCIe) or "gdrcopy" (local mirrors), §V-A.
+    state_mode: str = "gdrcopy"
+    #: True → ALGAS CPU merge; False → GPU merge kernel ablation.
+    merge_on_cpu: bool = True
+    #: bytes per result entry (id + distance).
+    result_entry_bytes: int = 8
+    #: CPU time to enqueue an async transfer on a stream (§V-B: dispatches
+    #: are asynchronous; the host does not block on the copy itself).
+    host_submit_us: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.n_slots <= 0 or self.n_parallel <= 0 or self.k <= 0:
+            raise ValueError("n_slots, n_parallel, k must be positive")
+        if self.host_threads <= 0:
+            raise ValueError("host_threads must be positive")
+        if self.host_poll_period_us <= 0:
+            raise ValueError("host_poll_period_us must be positive")
+
+
+class DynamicBatchEngine:
+    """Serve priced jobs under dynamic batching; see module docstring."""
+
+    def __init__(
+        self,
+        device: DeviceProperties,
+        cost_model: CostModel,
+        config: DynamicBatchConfig,
+    ):
+        self.device = device
+        self.cm = cost_model
+        self.cfg = config
+
+    def serve(
+        self,
+        jobs: list[QueryJob],
+        managed: list[ManagedQuery] | None = None,
+    ) -> ServeReport:
+        """Serve ``jobs``; pass ``managed`` instead to attach priorities or
+        drop deadlines (the §V-B query-manager extensions)."""
+        cfg = self.cfg
+        if managed is not None:
+            jobs = [m.job for m in managed]
+        jobs = sorted(jobs, key=lambda j: (j.arrival_us, j.query_id))
+        if len({j.query_id for j in jobs}) != len(jobs):
+            raise ValueError("duplicate query ids in job list")
+        for j in jobs:
+            if j.n_ctas != cfg.n_parallel:
+                raise ValueError(
+                    f"job {j.query_id} has {j.n_ctas} CTA durations, "
+                    f"engine expects n_parallel={cfg.n_parallel}"
+                )
+        sim = Simulator()
+        link = PCIeLink(self.device)
+        chan = StateChannel(link, cfg.state_mode)
+        merger = HostMerger(self.cm)
+
+        slots = [Slot(slot_id=i, n_ctas=cfg.n_parallel) for i in range(cfg.n_slots)]
+        # Per-slot runtime info.
+        slot_job: list[QueryJob | None] = [None] * cfg.n_slots
+        slot_ready_at: list[float | None] = [None] * cfg.n_slots  # FINISH visible
+        records: dict[int, QueryRecord] = {
+            j.query_id: QueryRecord(j.query_id, j.arrival_us) for j in jobs
+        }
+        manager = QueryManager(managed if managed is not None else jobs)
+        outstanding = len(jobs)
+        drops_seen = 0
+        gpu_busy = 0.0
+        host_busy = 0.0
+
+        # Partition slots over host threads round-robin (§V-B).
+        owned: list[list[int]] = [[] for _ in range(cfg.host_threads)]
+        for s in range(cfg.n_slots):
+            owned[s % cfg.host_threads].append(s)
+
+        # ----------------------------------------------------------- GPU side
+        def start_slot(slot_id: int, job: QueryJob, state_published_us: float) -> None:
+            nonlocal gpu_busy
+            rec = records[job.query_id]
+            gpu_start = state_published_us + cfg.gpu_poll_us
+            rec.gpu_start_us = gpu_start
+            ends = [gpu_start + d for d in job.cta_durations_us]
+            gpu_busy += sum(job.cta_durations_us)
+            slot_end = max(ends)
+            rec.gpu_end_us = slot_end
+
+            def on_cta_end(sim_: Simulator, cta: int, is_last: bool) -> None:
+                slots[slot_id].advance_cta(cta)
+                # §IV-B Finish: "the CTA is responsible for pushing the query
+                # results to the designated location" — a posted write of its
+                # local TopK into the slot's contiguous host buffer, followed
+                # by the FINISH flag.  PCIe orders posted writes, so the flag
+                # is issued immediately after the push (no round-trip wait);
+                # the host merges from *local* memory once it sees the flag.
+                link.transfer(
+                    sim_.now,
+                    cfg.k * cfg.result_entry_bytes,
+                    tag="result-push",
+                    overhead_us=link.MMIO_OVERHEAD_US,
+                )
+                if not is_last:
+                    chan.publish(sim_.now)
+                    return
+                if cfg.merge_on_cpu:
+                    slot_ready_at[slot_id] = chan.publish(sim_.now)
+                else:
+                    # GPU-merge ablation: the persistent kernel must yield to
+                    # a merge kernel before results are ready (§IV-B); only
+                    # the merged TopK is then pushed to the host.
+                    merge_done = sim_.now + self.cm.gpu_merge_us(cfg.n_parallel, cfg.k)
+
+                    def publish_after_merge(sim2: Simulator) -> None:
+                        link.transfer(
+                            sim2.now,
+                            cfg.k * cfg.result_entry_bytes,
+                            tag="result-push",
+                            overhead_us=link.MMIO_OVERHEAD_US,
+                        )
+                        slot_ready_at[slot_id] = chan.publish(sim2.now)
+
+                    sim_.schedule(merge_done, publish_after_merge)
+
+            last_idx = max(range(len(ends)), key=lambda i: ends[i])
+            for i, e in enumerate(ends):
+                sim.schedule(
+                    e, (lambda s_, i=i: on_cta_end(s_, i, i == last_idx))
+                )
+
+        # ---------------------------------------------------------- host side
+        def thread_pass(tid: int):
+            def pass_fn(sim_: Simulator) -> None:
+                nonlocal outstanding, host_busy, drops_seen
+                t0 = sim_.now
+                active = [
+                    s for s in owned[tid] if slots[s].state is not SlotState.QUIT
+                ]
+                t = t0
+                # The host thread *spins*: it keeps re-scanning its slots as
+                # long as it finds work (§V-A: polling mode beats blocking).
+                # In naive state mode every scan crosses PCIe; with gdrcopy
+                # mirrors the scans are free.
+                progress = True
+                while progress:
+                    progress = False
+                    t = chan.poll(t, len(active), cfg.n_parallel)
+                    for s in active:
+                        ready = slot_ready_at[s]
+                        if ready is not None and ready <= t:
+                            progress = True
+                            job = slot_job[s]
+                            rec = records[job.query_id]
+                            rec.detected_us = t
+                            slots[s].collect()
+                            slot_ready_at[s] = None
+                            slot_job[s] = None
+                            # The CTAs already pushed their lists into the
+                            # slot's contiguous host buffer, so the host
+                            # merges from local memory (§IV-B step ❹).
+                            if cfg.merge_on_cpu:
+                                t += merger.merge_cost_only(cfg.n_parallel, cfg.k)
+                            else:
+                                t += self.cm.cpu_merge_us(1, cfg.k)  # filter only
+                            rec.complete_us = t
+                            outstanding -= 1
+                    for s in active:
+                        if slots[s].is_free and manager.peek_ready(t) is not None:
+                            progress = True
+                            job = manager.next_ready(t).job
+                            rec = records[job.query_id]
+                            rec.dispatch_us = t
+                            # Async dispatch (§V-B): the host only pays the
+                            # stream-submission cost; the copy and the WORK
+                            # flag are posted back-to-back (PCIe orders posted
+                            # writes, so the flag lands after the vector).
+                            t += cfg.host_submit_us
+                            link.transfer(t, job.dim * 4, tag="query")
+                            pub = chan.publish(t, n_words=cfg.n_parallel)
+                            slots[s].dispatch(job.query_id)
+                            slot_job[s] = job
+                            start_slot(s, job, pub)
+                host_busy += t - t0
+                # Deadline drops surfaced by the manager never complete.
+                if len(manager.dropped) > drops_seen:
+                    outstanding -= len(manager.dropped) - drops_seen
+                    drops_seen = len(manager.dropped)
+                if outstanding > 0:
+                    next_wake = max(t, t0 + cfg.host_poll_period_us)
+                    if not any(slot_job[s] for s in owned[tid]) and manager:
+                        # Idle thread: sleep until the next arrival it could serve.
+                        nxt = manager.next_arrival_us()
+                        if nxt is not None:
+                            next_wake = max(next_wake, nxt)
+                    sim_.schedule(next_wake, pass_fn)
+
+            return pass_fn
+
+        for tid in range(cfg.host_threads):
+            sim.schedule(0.0, thread_pass(tid))
+        sim.run()
+
+        dropped_ids = {m.job.query_id for m in manager.dropped}
+        recs = [records[j.query_id] for j in jobs if j.query_id not in dropped_ids]
+        makespan = max((r.complete_us for r in recs), default=0.0)
+        return ServeReport(
+            records=recs,
+            makespan_us=makespan,
+            gpu_cta_busy_us=gpu_busy,
+            n_cta_slots=cfg.n_slots * cfg.n_parallel,
+            pcie=link.stats,
+            host_busy_us=host_busy,
+            meta={
+                "mode": "dynamic",
+                "config": cfg,
+                "dropped": len(dropped_ids),
+                "dropped_ids": sorted(dropped_ids),
+            },
+        )

@@ -1,0 +1,77 @@
+"""Host-side processing helpers (§V-B).
+
+The host must send queries, poll states, retrieve results, and merge — all
+of which serialize on a host thread.  This module provides the slot
+partitioning used by the dynamic engine and a closed-form saturation
+estimate that predicts *when* extra host threads pay off (they do when the
+per-completion service time times the completion rate approaches 1 — the
+low-dimensional/SIFT regime of Fig. 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.costmodel import CostModel
+from ..gpusim.device import DeviceProperties
+
+__all__ = ["partition_slots", "HostLoadEstimate", "estimate_host_load"]
+
+
+def partition_slots(n_slots: int, n_threads: int) -> list[list[int]]:
+    """Round-robin assignment of slot ids to host threads."""
+    if n_slots <= 0 or n_threads <= 0:
+        raise ValueError("n_slots and n_threads must be positive")
+    owned: list[list[int]] = [[] for _ in range(n_threads)]
+    for s in range(n_slots):
+        owned[s % n_threads].append(s)
+    return owned
+
+
+@dataclass(frozen=True)
+class HostLoadEstimate:
+    """Closed-form host-thread utilization estimate."""
+
+    service_us_per_query: float  # retrieve + merge + dispatch per completion
+    completion_rate_per_us: float  # slot completions per microsecond
+    utilization_per_thread: float  # with the given thread count
+
+    @property
+    def saturated(self) -> bool:
+        """True when one thread cannot keep up (queueing delay explodes)."""
+        return self.utilization_per_thread >= 1.0
+
+    def threads_needed(self) -> int:
+        """Threads required to keep per-thread utilization below ~70 %."""
+        import math
+
+        total = self.service_us_per_query * self.completion_rate_per_us
+        return max(1, math.ceil(total / 0.7))
+
+
+def estimate_host_load(
+    device: DeviceProperties,
+    cost_model: CostModel,
+    n_slots: int,
+    n_parallel: int,
+    k: int,
+    dim: int,
+    mean_gpu_time_us: float,
+    n_threads: int = 1,
+) -> HostLoadEstimate:
+    """Estimate host-thread load for a serving configuration.
+
+    Per completion the host performs: a result read (``n_parallel·k``
+    entries over PCIe), a CPU merge, and a query dispatch (vector upload +
+    state publish).  Slots complete at rate ``n_slots / mean_gpu_time``.
+    """
+    if mean_gpu_time_us <= 0:
+        raise ValueError("mean_gpu_time_us must be positive")
+    link_bw = device.pcie_bw_gbps * 1e3  # bytes/us
+    result_us = 0.25 + n_parallel * k * 8 / link_bw
+    query_us = 0.25 + dim * 4 / link_bw
+    merge_us = cost_model.cpu_merge_us(n_parallel, k)
+    service = result_us + merge_us + query_us
+    rate = n_slots / mean_gpu_time_us
+    util = service * rate / n_threads
+    return HostLoadEstimate(service, rate, util)

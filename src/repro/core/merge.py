@@ -1,0 +1,52 @@
+"""Host-side TopK merge & filter (§IV-B step ❹).
+
+ALGAS's GPU–CPU cooperation: per-CTA TopK lists are laid out contiguously
+per slot, the host reads them with one sequential transfer, and merges them
+with a priority queue.  This module pairs the *algorithm*
+(:func:`repro.search.topk.heap_merge` — exact semantics, property-tested
+against the global TopK) with its *cost* on the simulated host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpusim.costmodel import CostModel
+from ..search.topk import heap_merge
+
+__all__ = ["HostMerger", "MergeOutcome"]
+
+
+@dataclass
+class MergeOutcome:
+    ids: np.ndarray
+    dists: np.ndarray
+    cpu_us: float
+
+
+class HostMerger:
+    """Merges per-CTA result lists on the host and prices the work."""
+
+    def __init__(self, cost_model: CostModel):
+        self._cm = cost_model
+        self.total_cpu_us = 0.0
+        self.merges = 0
+
+    def merge(
+        self, lists: list[tuple[np.ndarray, np.ndarray]], k: int
+    ) -> MergeOutcome:
+        """Merge ``lists`` (each ascending-sorted) into the global TopK."""
+        ids, dists = heap_merge(lists, k)
+        cpu = self._cm.cpu_merge_us(len(lists), k)
+        self.total_cpu_us += cpu
+        self.merges += 1
+        return MergeOutcome(ids=ids, dists=dists, cpu_us=cpu)
+
+    def merge_cost_only(self, n_lists: int, k: int) -> float:
+        """Price a merge without materializing results (timing-only runs)."""
+        cpu = self._cm.cpu_merge_us(n_lists, k)
+        self.total_cpu_us += cpu
+        self.merges += 1
+        return cpu

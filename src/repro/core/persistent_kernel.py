@@ -1,0 +1,87 @@
+"""Persistent kernel model (§IV-A).
+
+A persistent kernel launches once and keeps every slot's CTAs resident,
+polling slot states on the device instead of exiting between queries.  The
+alternative §IV-A discusses — a *partitioned* kernel that exits every few
+steps so the host can inspect slots — pays a relaunch plus shared-memory
+re-staging penalty per partition.  :meth:`PersistentKernel.partitioned_makespan`
+prices that alternative for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.device import DeviceProperties
+from ..gpusim.kernel import partitioned_launch_makespan
+from ..gpusim.occupancy import can_cohabit
+from .tuning import TuningResult
+
+__all__ = ["PersistentKernel"]
+
+
+@dataclass(frozen=True)
+class PersistentKernel:
+    """A validated persistent-kernel residency plan."""
+
+    device: DeviceProperties
+    tuning: TuningResult
+
+    def __post_init__(self) -> None:
+        if not self.tuning.feasible:
+            raise ValueError(
+                "tuning result is infeasible — persistent kernel would deadlock "
+                f"({self.tuning.total_blocks} blocks, "
+                f"{self.tuning.block_shared_mem_bytes} B/block)"
+            )
+        if not can_cohabit(
+            self.device,
+            self.tuning.total_blocks,
+            self.tuning.block_shared_mem_bytes,
+            self.tuning.reserved_cache_per_block,
+        ):
+            raise ValueError("tuning result violates device residency limits")
+
+    @property
+    def total_blocks(self) -> int:
+        return self.tuning.total_blocks
+
+    @property
+    def launch_overhead_us(self) -> float:
+        """One-time cost, amortized over the kernel's whole lifetime."""
+        return self.device.kernel_launch_us
+
+    def shared_mem_reload_us(self) -> float:
+        """Cost of re-staging a block's shared memory from global memory —
+        what every partition of a *partitioned* kernel pays again."""
+        bytes_ = self.tuning.block_shared_mem_bytes
+        return self.device.cycles_to_us(self.device.global_mem_latency_cycles) + (
+            bytes_ / (self.device.global_mem_bw_gbps * 1e3)
+        )
+
+    def partitioned_makespan(
+        self,
+        per_block_step_durations: list[list[float]],
+        steps_per_launch: int,
+    ) -> float:
+        """Makespan if the same work ran under a partitioned kernel."""
+        return partitioned_launch_makespan(
+            self.device,
+            per_block_step_durations,
+            self.tuning.block_shared_mem_bytes,
+            steps_per_launch,
+            reload_us=self.shared_mem_reload_us(),
+        )
+
+    def persistent_makespan(
+        self, per_block_step_durations: list[list[float]]
+    ) -> float:
+        """Makespan under the persistent kernel: blocks are all resident,
+        so each runs its steps back-to-back; one launch overall."""
+        if not per_block_step_durations:
+            return 0.0
+        if len(per_block_step_durations) > self.total_blocks:
+            raise ValueError("more blocks than resident contexts")
+        return self.launch_overhead_us + max(
+            sum(steps) for steps in per_block_step_durations
+        )

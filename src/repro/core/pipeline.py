@@ -1,0 +1,255 @@
+"""End-to-end serving systems: the ALGAS facade and its shared machinery.
+
+A system = graph + search algorithm + batching engine + device.  Serving a
+query set has two stages, deliberately separated (DESIGN.md §2):
+
+1. **Search** — run the real search kernels per query, producing exact
+   results (recall is measured on these) and per-CTA op traces.
+2. **Schedule** — price the traces with the cost model and replay them
+   through a batching engine, producing latency/throughput under the
+   system's discipline.
+
+:class:`BaseGraphSystem` implements both stages; concrete systems
+(:class:`ALGASSystem` here, the baselines in :mod:`repro.baselines`) pick
+the search variant and engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.workload import QueryEvent, closed_loop
+from ..gpusim.costmodel import CostModel, CostParams
+from ..gpusim.device import RTX_A6000, DeviceProperties
+from ..gpusim.occupancy import SearchMemoryLayout
+from ..gpusim.trace import QueryTrace
+from ..graphs.base import GraphIndex
+from ..graphs.utils import medoid
+from ..search.intra_cta import BeamConfig, intra_cta_search
+from ..search.multi_cta import make_entries, multi_cta_search
+from .dynamic_batcher import DynamicBatchConfig, DynamicBatchEngine
+from .serving import QueryJob, ServeReport
+from .static_batcher import StaticBatchConfig, StaticBatchEngine
+from .tuning import TuningResult, tune
+
+__all__ = ["SystemReport", "BaseGraphSystem", "ALGASSystem"]
+
+
+@dataclass
+class SystemReport:
+    """Everything a serve run produced."""
+
+    ids: np.ndarray  # (n_queries, k) result ids, -1 padded
+    dists: np.ndarray  # (n_queries, k) result distances
+    serve: ServeReport
+    traces: list[QueryTrace] = field(repr=False, default_factory=list)
+
+    @property
+    def mean_latency_us(self) -> float:
+        return self.serve.mean_latency_us()
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.serve.throughput_qps
+
+
+class BaseGraphSystem:
+    """Shared search→price→schedule machinery for graph ANNS systems."""
+
+    #: subclass tag used in reports
+    name = "base"
+
+    def __init__(
+        self,
+        base: np.ndarray,
+        graph: GraphIndex,
+        device: DeviceProperties = RTX_A6000,
+        metric: str = "l2",
+        k: int = 16,
+        l_total: int = 128,
+        batch_size: int = 16,
+        n_parallel: int | None = None,
+        max_parallel: int = 8,
+        beam: BeamConfig | None = None,
+        cost_params: CostParams | None = None,
+        entries_per_cta: int = 2,
+        seed: int = 0,
+    ):
+        if k <= 0 or l_total < k:
+            raise ValueError("need 0 < k <= l_total")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.base = np.asarray(base, dtype=np.float32)
+        self.graph = graph
+        self.device = device
+        self.metric = metric
+        self.k = k
+        self.l_total = l_total
+        self.batch_size = batch_size
+        self.beam = beam
+        self.entries_per_cta = entries_per_cta
+        self.seed = seed
+        self.cost_model = CostModel(device, cost_params)
+        self.tuning: TuningResult = tune(
+            device,
+            n_slots=batch_size,
+            l_total=l_total,
+            k=k,
+            max_degree=graph.max_degree,
+            dim=int(self.base.shape[1]),
+            beam_width=beam.beam_width if beam else 1,
+            max_parallel=n_parallel or max_parallel,
+        )
+        if n_parallel is not None and self.tuning.n_parallel < n_parallel:
+            raise ValueError(
+                f"requested n_parallel={n_parallel} is infeasible "
+                f"(tuner max for this config: {self.tuning.n_parallel})"
+            )
+        self._medoid = medoid(self.base, metric)
+
+    # ------------------------------------------------------------ searching
+    @property
+    def n_parallel(self) -> int:
+        return self.tuning.n_parallel
+
+    def search_one(self, query: np.ndarray, rng: np.random.Generator):
+        """Run the system's search for one query; returns a SearchResult."""
+        if self.n_parallel == 1:
+            entries = (
+                make_entries(self.base.shape[0], 1, self.entries_per_cta, rng)[0]
+                if self.entries_per_cta > 1
+                else np.array([self._medoid])
+            )
+            return intra_cta_search(
+                self.base, self.graph, query, self.k,
+                self.tuning.per_cta_cand_len, entries,
+                metric=self.metric, beam=self.beam,
+            )
+        return multi_cta_search(
+            self.base, self.graph, query, self.k, self.l_total, self.n_parallel,
+            metric=self.metric, beam=self.beam,
+            entries_per_cta=self.entries_per_cta, rng=rng,
+        )
+
+    def search_all(self, queries: np.ndarray):
+        """Search every query; returns padded ids/dists and traces."""
+        rng = np.random.default_rng(self.seed)
+        nq = queries.shape[0]
+        ids = np.full((nq, self.k), -1, dtype=np.int64)
+        dists = np.full((nq, self.k), np.inf, dtype=np.float32)
+        traces: list[QueryTrace] = []
+        for i in range(nq):
+            r = self.search_one(queries[i], rng)
+            m = min(self.k, len(r.ids))
+            ids[i, :m] = r.ids[:m]
+            dists[i, :m] = r.dists[:m]
+            tr = r.trace
+            if not isinstance(tr, QueryTrace):  # single-CTA returns CTATrace
+                tr = QueryTrace(ctas=[tr], dim=int(self.base.shape[1]), k=self.k)
+            traces.append(tr)
+        return ids, dists, traces
+
+    # -------------------------------------------------------------- pricing
+    def jobs_from_traces(
+        self, traces: list[QueryTrace], events: list[QueryEvent]
+    ) -> list[QueryJob]:
+        """Price traces into engine jobs, one per query event."""
+        if len(traces) != len(events):
+            raise ValueError("one trace per event required")
+        jobs = []
+        for ev, tr in zip(events, traces):
+            durs = tuple(self.cost_model.cta_duration_us(c) for c in tr.ctas)
+            jobs.append(
+                QueryJob(
+                    query_id=ev.query_id,
+                    arrival_us=ev.arrival_us,
+                    cta_durations_us=durs,
+                    dim=tr.dim,
+                    k=self.k,
+                )
+            )
+        return jobs
+
+    def mem_per_block(self) -> int:
+        return self.tuning.block_shared_mem_bytes
+
+    # ------------------------------------------------------------- serving
+    def make_engine(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def serve(
+        self,
+        queries: np.ndarray,
+        events: list[QueryEvent] | None = None,
+    ) -> SystemReport:
+        """Search + schedule a query set (closed loop by default)."""
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        events = events or closed_loop(queries.shape[0])
+        ids, dists, traces = self.search_all(queries)
+        ordered = sorted(events, key=lambda e: e.query_id)
+        jobs = self.jobs_from_traces(traces, ordered)
+        report = self.make_engine().serve(jobs)
+        return SystemReport(ids=ids, dists=dists, serve=report, traces=traces)
+
+
+class ALGASSystem(BaseGraphSystem):
+    """The full ALGAS stack: dynamic batching on a persistent kernel,
+    beam-extend search, CPU TopK merge, GDRCopy state mirrors."""
+
+    name = "algas"
+
+    def __init__(
+        self,
+        base: np.ndarray,
+        graph: GraphIndex,
+        device: DeviceProperties = RTX_A6000,
+        metric: str = "l2",
+        k: int = 16,
+        l_total: int = 128,
+        batch_size: int = 16,
+        n_parallel: int | None = None,
+        max_parallel: int = 8,
+        beam: BeamConfig | None | bool = True,
+        host_threads: int | str = "auto",
+        state_mode: str = "gdrcopy",
+        merge_on_cpu: bool = True,
+        cost_params: CostParams | None = None,
+        entries_per_cta: int = 2,
+        seed: int = 0,
+    ):
+        if beam is True:
+            # Default two-phase split per §IV-C: diffuse once the selected
+            # candidate sits past ~L/8 of the per-CTA list, floored at 8 so
+            # short lists never enter the diffusing phase mid-localization.
+            per_cta = max(k, -(-l_total // (n_parallel or max_parallel)))
+            beam = BeamConfig(offset_beam=max(8, per_cta // 8), beam_width=4)
+        elif beam is False:
+            beam = None
+        super().__init__(
+            base, graph, device, metric, k, l_total, batch_size,
+            n_parallel, max_parallel, beam, cost_params, entries_per_cta, seed,
+        )
+        if host_threads == "auto":
+            # §V-B: one host thread struggles above ~16-32 slots; scale the
+            # thread pool with the slot count.
+            host_threads = -(-batch_size // 16)
+        if not isinstance(host_threads, int) or host_threads <= 0:
+            raise ValueError("host_threads must be a positive int or 'auto'")
+        self.host_threads = host_threads
+        self.state_mode = state_mode
+        self.merge_on_cpu = merge_on_cpu
+
+    def make_engine(self) -> DynamicBatchEngine:
+        cfg = DynamicBatchConfig(
+            n_slots=self.batch_size,
+            n_parallel=self.n_parallel,
+            k=self.k,
+            host_threads=self.host_threads,
+            state_mode=self.state_mode,
+            merge_on_cpu=self.merge_on_cpu,
+        )
+        return DynamicBatchEngine(self.device, self.cost_model, cfg)

@@ -1,0 +1,129 @@
+"""Concurrent query manager (§V-B).
+
+"They employ a concurrent query manager module to handle query
+distribution."  The manager owns the admission queue shared by all host
+threads: queries become eligible at their arrival time and are handed to
+free slots in priority order (FIFO within a priority class).
+
+Host threads call in with their *own* local clocks (one thread's pass may
+run ahead of another's), so eligibility (arrival ≤ now) is enforced at
+*pop time* for the caller's clock — a query can never be dispatched before
+it arrived, no matter which thread admitted it to the ready pool.
+
+Extensions beyond the paper (exercised by the extension benchmarks):
+
+* **priorities** — latency-critical queries can overtake best-effort ones;
+* **deadlines** — queries whose deadline passed before dispatch are
+  dropped and reported, modelling admission control under overload.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from .serving import QueryJob
+
+__all__ = ["ManagedQuery", "QueryManager"]
+
+
+@dataclass(frozen=True)
+class ManagedQuery:
+    """A job plus its scheduling metadata."""
+
+    job: QueryJob
+    #: larger = more urgent; ties broken FIFO by arrival then id.
+    priority: int = 0
+    #: absolute drop deadline (µs); None = never dropped.
+    deadline_us: float | None = None
+
+
+class QueryManager:
+    """Priority admission queue with arrival gating and deadline drops."""
+
+    def __init__(self, queries: list[ManagedQuery] | list[QueryJob] | None = None):
+        self._arrivals: list[tuple[float, int, ManagedQuery]] = []
+        self._ready: list[tuple[int, float, int, ManagedQuery]] = []
+        self._seq = itertools.count()
+        self.dropped: list[ManagedQuery] = []
+        self.dispatched = 0
+        for q in queries or []:
+            self.submit(q)
+
+    def submit(self, q: ManagedQuery | QueryJob) -> None:
+        """Add a query to the admission queue."""
+        if isinstance(q, QueryJob):
+            q = ManagedQuery(q)
+        heapq.heappush(self._arrivals, (q.job.arrival_us, next(self._seq), q))
+
+    # ------------------------------------------------------------- internal
+    def _admit(self, now: float) -> None:
+        while self._arrivals and self._arrivals[0][0] <= now:
+            _, seq, q = heapq.heappop(self._arrivals)
+            heapq.heappush(self._ready, (-q.priority, q.job.arrival_us, seq, q))
+
+    def _drop_expired(self, now: float) -> None:
+        live = []
+        changed = False
+        for entry in self._ready:
+            q = entry[3]
+            if q.deadline_us is not None and q.deadline_us < now:
+                self.dropped.append(q)
+                changed = True
+            else:
+                live.append(entry)
+        if changed:
+            self._ready = live
+            heapq.heapify(self._ready)
+
+    def _best_eligible(self, now: float) -> int | None:
+        """Index (into the ready heap array) of the most urgent query whose
+        arrival is ≤ the *caller's* clock."""
+        best_i = None
+        best_key = None
+        for i, entry in enumerate(self._ready):
+            if entry[3].job.arrival_us > now:
+                continue  # admitted by a thread whose clock ran ahead
+            key = entry[:3]
+            if best_key is None or key < best_key:
+                best_i, best_key = i, key
+        return best_i
+
+    # -------------------------------------------------------------- queries
+    def next_ready(self, now: float) -> ManagedQuery | None:
+        """Pop the most urgent query eligible at ``now`` (None if none)."""
+        self._admit(now)
+        self._drop_expired(now)
+        i = self._best_eligible(now)
+        if i is None:
+            return None
+        q = self._ready[i][3]
+        self._ready[i] = self._ready[-1]
+        self._ready.pop()
+        heapq.heapify(self._ready)
+        self.dispatched += 1
+        return q
+
+    def peek_ready(self, now: float) -> ManagedQuery | None:
+        """The query ``next_ready`` would return, without removing it."""
+        self._admit(now)
+        self._drop_expired(now)
+        i = self._best_eligible(now)
+        return self._ready[i][3] if i is not None else None
+
+    def next_arrival_us(self) -> float | None:
+        """Earliest arrival of any query not yet dispatched or dropped."""
+        candidates = []
+        if self._arrivals:
+            candidates.append(self._arrivals[0][0])
+        candidates.extend(e[1] for e in self._ready)
+        return min(candidates) if candidates else None
+
+    @property
+    def pending(self) -> int:
+        """Queries not yet dispatched or dropped."""
+        return len(self._arrivals) + len(self._ready)
+
+    def __bool__(self) -> bool:
+        return self.pending > 0

@@ -1,0 +1,137 @@
+"""Shared serving vocabulary: jobs, per-query records, serve reports.
+
+Both batching engines consume :class:`QueryJob` lists (priced traces — the
+search itself has already run) and produce a :class:`ServeReport` with
+identical semantics, so every Fig. 10–15 comparison is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpusim.pcie import PCIeStats
+
+__all__ = ["QueryJob", "QueryRecord", "ServeReport"]
+
+
+@dataclass(frozen=True)
+class QueryJob:
+    """One query ready to be scheduled: arrival time + priced CTA work."""
+
+    query_id: int
+    arrival_us: float
+    #: GPU busy time of each CTA serving this query, microseconds.
+    cta_durations_us: tuple[float, ...]
+    dim: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if not self.cta_durations_us:
+            raise ValueError("a job needs at least one CTA duration")
+        if any(d < 0 for d in self.cta_durations_us):
+            raise ValueError("durations must be non-negative")
+
+    @property
+    def n_ctas(self) -> int:
+        return len(self.cta_durations_us)
+
+    @property
+    def gpu_time_us(self) -> float:
+        """Slot-occupancy time: CTAs run concurrently, so the max."""
+        return max(self.cta_durations_us)
+
+
+@dataclass
+class QueryRecord:
+    """Timeline of one served query (all times simulation microseconds)."""
+
+    query_id: int
+    arrival_us: float
+    dispatch_us: float = 0.0  # host handed the query to a slot / batch
+    gpu_start_us: float = 0.0
+    gpu_end_us: float = 0.0  # this query's own CTAs all finished
+    detected_us: float = 0.0  # host observed completion
+    complete_us: float = 0.0  # results merged & filtered, returned
+
+    @property
+    def service_latency_us(self) -> float:
+        """Dispatch → completion (the paper's per-query latency)."""
+        return self.complete_us - self.dispatch_us
+
+    @property
+    def e2e_latency_us(self) -> float:
+        """Arrival → completion (includes batch-accumulation/queue wait)."""
+        return self.complete_us - self.arrival_us
+
+    @property
+    def bubble_us(self) -> float:
+        """Time between this query's own GPU completion and its return —
+        in static batching, waiting for the batch's slowest query."""
+        return max(0.0, self.complete_us - self.gpu_end_us)
+
+
+@dataclass
+class ServeReport:
+    """Outcome of serving a job list under some batching discipline."""
+
+    records: list[QueryRecord]
+    makespan_us: float
+    gpu_cta_busy_us: float  # total CTA busy time
+    n_cta_slots: int  # concurrently reserved CTA contexts
+    pcie: PCIeStats | None = None
+    host_busy_us: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------- metrics
+    def _lat(self, kind: str) -> np.ndarray:
+        if kind == "service":
+            return np.array([r.service_latency_us for r in self.records])
+        if kind == "e2e":
+            return np.array([r.e2e_latency_us for r in self.records])
+        raise ValueError("kind must be 'service' or 'e2e'")
+
+    def mean_latency_us(self, kind: str = "service") -> float:
+        lat = self._lat(kind)
+        return float(lat.mean()) if lat.size else 0.0
+
+    def percentile_latency_us(self, q: float, kind: str = "service") -> float:
+        lat = self._lat(kind)
+        return float(np.percentile(lat, q)) if lat.size else 0.0
+
+    def sorted_latencies_us(self, kind: str = "service") -> np.ndarray:
+        """Ascending per-query latencies (the Fig. 13 curve)."""
+        return np.sort(self._lat(kind))
+
+    @property
+    def throughput_qps(self) -> float:
+        if self.makespan_us <= 0:
+            return 0.0
+        return len(self.records) / (self.makespan_us * 1e-6)
+
+    @property
+    def gpu_utilization(self) -> float:
+        """Busy fraction of the reserved CTA contexts over the makespan."""
+        denom = self.n_cta_slots * self.makespan_us
+        return self.gpu_cta_busy_us / denom if denom > 0 else 0.0
+
+    @property
+    def mean_bubble_us(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.bubble_us for r in self.records]))
+
+    def summary(self) -> dict:
+        """Flat dict of headline metrics (used by the bench reports)."""
+        return {
+            "n_queries": len(self.records),
+            "makespan_us": self.makespan_us,
+            "throughput_qps": self.throughput_qps,
+            "mean_latency_us": self.mean_latency_us(),
+            "p50_latency_us": self.percentile_latency_us(50),
+            "p99_latency_us": self.percentile_latency_us(99),
+            "mean_e2e_latency_us": self.mean_latency_us("e2e"),
+            "gpu_utilization": self.gpu_utilization,
+            "mean_bubble_us": self.mean_bubble_us,
+        }

@@ -1,0 +1,132 @@
+"""Slot state machine (§IV-A, Fig. 5).
+
+Dynamic batching replaces the batch with independent *slots*; each slot owns
+the full lifecycle of one in-flight query.  A slot aggregates the states of
+its ``N_parallel`` CTAs; the host and GPU communicate exclusively through
+these states (via :mod:`repro.core.state_sync`).
+
+States and legal transitions follow Fig. 5:
+
+``NONE → WORK``      host fills a query and flips the CTAs to Work
+``WORK → FINISH``    a CTA completes its share of the search
+``FINISH → DONE``    host observed *all* CTAs finished and fetched results
+``DONE → WORK``      host loads the next query (slot reuse)
+``DONE → QUIT``      slot retires (drain/shutdown)
+``NONE → QUIT``      unused slot retires immediately
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["SlotState", "StateTransitionError", "Slot"]
+
+
+class SlotState(Enum):
+    NONE = "none"
+    WORK = "work"
+    FINISH = "finish"
+    DONE = "done"
+    QUIT = "quit"
+
+
+_ALLOWED: dict[SlotState, frozenset[SlotState]] = {
+    SlotState.NONE: frozenset({SlotState.WORK, SlotState.QUIT}),
+    SlotState.WORK: frozenset({SlotState.FINISH}),
+    SlotState.FINISH: frozenset({SlotState.DONE}),
+    SlotState.DONE: frozenset({SlotState.WORK, SlotState.QUIT}),
+    SlotState.QUIT: frozenset(),
+}
+
+
+class StateTransitionError(RuntimeError):
+    """Raised on a transition Fig. 5 does not allow."""
+
+
+@dataclass
+class Slot:
+    """One query slot with per-CTA state words.
+
+    The paper gives *modification rights* to exactly one side at a time
+    (§V-A): the GPU owns a CTA's state only while that CTA is in WORK;
+    the host owns it otherwise.  ``advance_cta``/``host_set`` enforce this.
+    """
+
+    slot_id: int
+    n_ctas: int
+    cta_states: list[SlotState] = field(default_factory=list)
+    #: id of the query currently owned by the slot (None when empty)
+    query_id: int | None = None
+    queries_served: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_ctas <= 0:
+            raise ValueError("n_ctas must be positive")
+        if not self.cta_states:
+            self.cta_states = [SlotState.NONE] * self.n_ctas
+
+    # ----------------------------------------------------------- aggregate
+    @property
+    def state(self) -> SlotState:
+        """Aggregate slot state: the *least advanced* CTA state.
+
+        A slot is FINISH only when *all* its CTAs are FINISH (the host's
+        detection condition in step ❸ of §IV-B).
+        """
+        states = set(self.cta_states)
+        if len(states) == 1:
+            return next(iter(states))
+        order = [SlotState.WORK, SlotState.FINISH, SlotState.DONE]
+        for s in order:
+            if s in states:
+                return s
+        return SlotState.NONE
+
+    @property
+    def all_finished(self) -> bool:
+        return all(s is SlotState.FINISH for s in self.cta_states)
+
+    @property
+    def is_free(self) -> bool:
+        return all(s in (SlotState.NONE, SlotState.DONE) for s in self.cta_states)
+
+    # ---------------------------------------------------------- host side
+    def host_set(self, new: SlotState) -> None:
+        """Host-side transition applied to every CTA state."""
+        for i, cur in enumerate(self.cta_states):
+            if new not in _ALLOWED[cur]:
+                raise StateTransitionError(f"slot {self.slot_id} CTA {i}: {cur} → {new}")
+        self.cta_states = [new] * self.n_ctas
+
+    def dispatch(self, query_id: int) -> None:
+        """NONE/DONE → WORK with a query attached."""
+        self.host_set(SlotState.WORK)
+        self.query_id = query_id
+
+    def collect(self) -> int:
+        """FINISH → DONE; returns the completed query id."""
+        if not self.all_finished:
+            raise StateTransitionError(
+                f"slot {self.slot_id}: collect before all CTAs finished"
+            )
+        self.host_set(SlotState.DONE)
+        qid, self.query_id = self.query_id, None
+        self.queries_served += 1
+        return qid
+
+    def retire(self) -> None:
+        """DONE/NONE → QUIT."""
+        self.host_set(SlotState.QUIT)
+
+    # ----------------------------------------------------------- GPU side
+    def advance_cta(self, cta: int) -> None:
+        """GPU-side transition WORK → FINISH for one CTA."""
+        if not 0 <= cta < self.n_ctas:
+            raise IndexError("cta index out of range")
+        cur = self.cta_states[cta]
+        if cur is not SlotState.WORK:
+            raise StateTransitionError(
+                f"slot {self.slot_id} CTA {cta}: GPU may only advance WORK, saw {cur}"
+            )
+        self.cta_states[cta] = SlotState.FINISH

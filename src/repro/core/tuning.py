@@ -1,0 +1,134 @@
+"""Adaptive GPU parameter tuning (§IV-C).
+
+Given device properties (Table II), the slot count, and the search's
+shared-memory layout, choose the largest ``N_parallel`` (CTAs per query)
+such that every CTA of every slot is *simultaneously resident* — the hard
+requirement of a persistent kernel:
+
+    N_parallel · slot ≤ N_SM · N_max_block_per_SM                    (1)
+    N_block_per_SM = align(N_parallel · slot / N_SM)                 (2)
+    M_avail_per_block ≤ M_per_SM / N_block_per_SM − M_reserved       (3)
+
+Threads per block are pinned to the warp size (the paper does this "to
+facilitate management and shuffle operations").  ``M_reserved_per_block``
+scales with the dataset dimension: high-dimensional datasets reserve extra
+shared memory as a runtime cache (end of §IV-C).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..gpusim.device import DeviceProperties
+from ..gpusim.occupancy import ENTRY_BYTES, SearchMemoryLayout
+
+__all__ = ["TuningResult", "reserved_cache_bytes", "plan_layout", "tune"]
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Chosen persistent-kernel configuration."""
+
+    n_parallel: int  # CTAs per query (per slot)
+    n_slots: int
+    threads_per_block: int
+    n_block_per_sm: int
+    block_shared_mem_bytes: int  # M_avail actually charged per block
+    reserved_cache_per_block: int  # M_reserved_per_block
+    per_cta_cand_len: int
+    expand_list_len: int
+    feasible: bool
+
+    @property
+    def total_blocks(self) -> int:
+        return self.n_parallel * self.n_slots
+
+
+def reserved_cache_bytes(dim: int, quantum: int = 1024) -> int:
+    """Runtime-cache reservation, scaled with dimension.
+
+    One staged vector's worth of bytes rounded up to 1 KiB: 960-d float32
+    vectors reserve 4 KiB, 128-d vectors 1 KiB — mirroring the paper's
+    "size adjustable based on the data dimension".
+    """
+    if dim <= 0:
+        raise ValueError("dim must be positive")
+    return math.ceil(dim * 4 / quantum) * quantum
+
+
+def plan_layout(
+    l_total: int, n_parallel: int, k: int, max_degree: int, dim: int, beam_width: int = 1
+) -> SearchMemoryLayout:
+    """Shared-memory layout of one search CTA for a given split.
+
+    The candidate budget ``l_total`` is divided across the slot's CTAs
+    (each keeps at least ``k``); the expand list must hold the neighbours
+    of every candidate expanded in one maintenance cycle.
+    """
+    if l_total <= 0 or n_parallel <= 0 or k <= 0:
+        raise ValueError("l_total, n_parallel, k must be positive")
+    per_cta = max(k, math.ceil(l_total / n_parallel))
+    expand = max(1, max_degree) * max(1, beam_width)
+    return SearchMemoryLayout(cand_list_len=per_cta, expand_list_len=expand, dim=dim)
+
+
+def tune(
+    device: DeviceProperties,
+    n_slots: int,
+    l_total: int,
+    k: int,
+    max_degree: int,
+    dim: int,
+    beam_width: int = 1,
+    max_parallel: int = 32,
+) -> TuningResult:
+    """Pick the largest feasible ``N_parallel`` for the persistent kernel.
+
+    Iterates ``N_parallel`` downward from ``max_parallel``; for each value
+    checks residency (1) and the shared-memory constraint (3) with the
+    per-block footprint implied by :func:`plan_layout`.  Returns the first
+    feasible configuration; if even ``N_parallel = 1`` does not fit, the
+    result has ``feasible=False`` (callers must shrink ``l_total`` or the
+    slot count).
+    """
+    if n_slots <= 0:
+        raise ValueError("n_slots must be positive")
+    reserved = reserved_cache_bytes(dim)
+    for n_parallel in range(min(max_parallel, device.max_resident_blocks), 0, -1):
+        total_blocks = n_parallel * n_slots
+        if total_blocks > device.max_resident_blocks:  # condition (1)
+            continue
+        layout = plan_layout(l_total, n_parallel, k, max_degree, dim, beam_width)
+        footprint = layout.total_bytes() + device.reserved_shared_mem_per_block
+        if footprint > device.shared_mem_per_block_optin:
+            continue
+        n_block_per_sm = math.ceil(total_blocks / device.num_sms)  # (2), align up
+        if n_block_per_sm > device.max_blocks_per_sm:
+            continue
+        m_avail = device.shared_mem_per_sm / n_block_per_sm - reserved  # (3)
+        if footprint <= m_avail:
+            return TuningResult(
+                n_parallel=n_parallel,
+                n_slots=n_slots,
+                threads_per_block=device.warp_size,
+                n_block_per_sm=n_block_per_sm,
+                block_shared_mem_bytes=footprint,
+                reserved_cache_per_block=reserved,
+                per_cta_cand_len=layout.cand_list_len,
+                expand_list_len=layout.expand_list_len,
+                feasible=True,
+            )
+    # Infeasible even at N_parallel = 1: report the single-CTA layout.
+    layout = plan_layout(l_total, 1, k, max_degree, dim, beam_width)
+    return TuningResult(
+        n_parallel=1,
+        n_slots=n_slots,
+        threads_per_block=device.warp_size,
+        n_block_per_sm=math.ceil(n_slots / device.num_sms),
+        block_shared_mem_bytes=layout.total_bytes() + device.reserved_shared_mem_per_block,
+        reserved_cache_per_block=reserved,
+        per_cta_cand_len=layout.cand_list_len,
+        expand_list_len=layout.expand_list_len,
+        feasible=False,
+    )

@@ -1,0 +1,39 @@
+"""Vector data substrate: metrics, synthetic corpora, ground truth, IO."""
+
+from .datasets import (
+    DATASETS,
+    Dataset,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+    load_real_dataset,
+)
+from .groundtruth import exact_knn, recall, recall_per_query
+from .metrics import METRICS, distance_one, normalize, pairwise_distances, query_distances
+from .synthetic import gaussian_mixture, hypersphere_mixture, split_queries, uniform_cube
+from .workload import QueryEvent, closed_loop, poisson_arrivals, uniform_arrivals
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "load_real_dataset",
+    "exact_knn",
+    "recall",
+    "recall_per_query",
+    "METRICS",
+    "distance_one",
+    "normalize",
+    "pairwise_distances",
+    "query_distances",
+    "gaussian_mixture",
+    "hypersphere_mixture",
+    "split_queries",
+    "uniform_cube",
+    "QueryEvent",
+    "closed_loop",
+    "poisson_arrivals",
+    "uniform_arrivals",
+]

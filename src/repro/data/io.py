@@ -1,0 +1,110 @@
+"""Vector-file IO: texmex ``.fvecs``/``.ivecs``/``.bvecs`` and ``.npz``.
+
+SIFT1M/GIST1M ship in the texmex format (each vector is a little-endian
+``int32`` dimension header followed by the payload).  These loaders let the
+benchmarks run against the real corpora when the files are present; the
+synthetic registry is used otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "read_fvecs",
+    "read_ivecs",
+    "read_bvecs",
+    "write_fvecs",
+    "write_ivecs",
+    "save_dataset_npz",
+    "load_dataset_npz",
+]
+
+
+def _read_vecs(path: str | os.PathLike, dtype: np.dtype, item: int) -> np.ndarray:
+    raw = np.fromfile(path, dtype=np.uint8)
+    if raw.size == 0:
+        return np.empty((0, 0), dtype=dtype)
+    if raw.size < 4:
+        raise ValueError(f"{path}: truncated vecs file")
+    dim = int(np.frombuffer(raw[:4].tobytes(), dtype="<i4")[0])
+    if dim <= 0:
+        raise ValueError(f"{path}: invalid dimension header {dim}")
+    rec = 4 + dim * item
+    if raw.size % rec != 0:
+        raise ValueError(f"{path}: size {raw.size} not a multiple of record size {rec}")
+    n = raw.size // rec
+    mat = raw.reshape(n, rec)
+    dims = mat[:, :4].copy().view("<i4").ravel()
+    if not np.all(dims == dim):
+        raise ValueError(f"{path}: inconsistent per-record dimensions")
+    body = np.ascontiguousarray(mat[:, 4:])
+    return body.view(dtype).reshape(n, dim).copy()
+
+
+def read_fvecs(path: str | os.PathLike) -> np.ndarray:
+    """Load a ``.fvecs`` file as ``(n, dim) float32``."""
+    return _read_vecs(path, np.dtype("<f4"), 4)
+
+
+def read_ivecs(path: str | os.PathLike) -> np.ndarray:
+    """Load an ``.ivecs`` file (ground-truth ids) as ``(n, dim) int32``."""
+    return _read_vecs(path, np.dtype("<i4"), 4)
+
+
+def read_bvecs(path: str | os.PathLike) -> np.ndarray:
+    """Load a ``.bvecs`` file as ``(n, dim) uint8``."""
+    return _read_vecs(path, np.dtype("u1"), 1)
+
+
+def _write_vecs(path: str | os.PathLike, arr: np.ndarray, dtype: np.dtype) -> None:
+    arr = np.ascontiguousarray(arr, dtype=dtype)
+    if arr.ndim != 2:
+        raise ValueError("expected a 2-D array")
+    n, dim = arr.shape
+    header = np.full((n, 1), dim, dtype="<i4")
+    with open(path, "wb") as f:
+        out = np.empty((n, 4 + arr.itemsize * dim), dtype=np.uint8)
+        out[:, :4] = header.view(np.uint8).reshape(n, 4)
+        out[:, 4:] = arr.view(np.uint8).reshape(n, arr.itemsize * dim)
+        out.tofile(f)
+
+
+def write_fvecs(path: str | os.PathLike, arr: np.ndarray) -> None:
+    """Write ``(n, dim)`` float data in texmex ``.fvecs`` format."""
+    _write_vecs(path, arr, np.dtype("<f4"))
+
+
+def write_ivecs(path: str | os.PathLike, arr: np.ndarray) -> None:
+    """Write ``(n, dim)`` int data in texmex ``.ivecs`` format."""
+    _write_vecs(path, arr, np.dtype("<i4"))
+
+
+def save_dataset_npz(
+    path: str | os.PathLike,
+    base: np.ndarray,
+    queries: np.ndarray,
+    gt: np.ndarray | None = None,
+    metric: str = "l2",
+) -> None:
+    """Persist a (base, queries, ground-truth) triple as compressed npz."""
+    payload = {"base": base, "queries": queries, "metric": np.array(metric)}
+    if gt is not None:
+        payload["gt"] = gt
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_dataset_npz(path: str | os.PathLike):
+    """Load a dataset saved by :func:`save_dataset_npz`.
+
+    Returns ``(base, queries, gt_or_None, metric)``.
+    """
+    with np.load(Path(path), allow_pickle=False) as z:
+        base = z["base"]
+        queries = z["queries"]
+        gt = z["gt"] if "gt" in z.files else None
+        metric = str(z["metric"]) if "metric" in z.files else "l2"
+    return base, queries, gt, metric

@@ -1,0 +1,59 @@
+"""Query arrival workloads for the serving experiments.
+
+The latency/throughput experiments (Figs. 10–15) serve a stream of queries.
+Two standard regimes:
+
+* **closed loop** — the next batch is dispatched the instant the previous
+  one finishes (this is how the paper measures peak throughput);
+* **open loop** — queries arrive by a Poisson (or deterministic) process and
+  wait in a queue; end-to-end latency then includes *batch accumulation
+  time*, the cost the paper attributes to large batches in online serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QueryEvent", "closed_loop", "poisson_arrivals", "uniform_arrivals"]
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One query submission: which query vector, and when it arrives."""
+
+    query_id: int
+    arrival_us: float
+
+
+def closed_loop(n_queries: int) -> list[QueryEvent]:
+    """All queries available at t=0 (peak-throughput measurement)."""
+    if n_queries < 0:
+        raise ValueError("n_queries must be non-negative")
+    return [QueryEvent(i, 0.0) for i in range(n_queries)]
+
+
+def poisson_arrivals(
+    n_queries: int,
+    rate_qps: float,
+    seed: int | np.random.Generator | None = 0,
+) -> list[QueryEvent]:
+    """Poisson arrival process with mean rate ``rate_qps`` (queries/second).
+
+    Arrival timestamps are in microseconds, matching the simulator clock.
+    """
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be positive")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    gaps_us = rng.exponential(1e6 / rate_qps, size=n_queries)
+    times = np.cumsum(gaps_us)
+    return [QueryEvent(i, float(t)) for i, t in enumerate(times)]
+
+
+def uniform_arrivals(n_queries: int, rate_qps: float) -> list[QueryEvent]:
+    """Deterministic arrivals with fixed inter-arrival gap."""
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be positive")
+    gap = 1e6 / rate_qps
+    return [QueryEvent(i, i * gap) for i in range(n_queries)]

@@ -1,0 +1,129 @@
+"""Cost-model calibration against measured timings.
+
+Users with access to a real GPU can calibrate the simulator: run a few
+search configurations on hardware, record (trace, measured-microseconds)
+pairs, and fit the per-op cycle constants so the priced traces match.
+
+The model is linear in the five dominant cycle constants
+
+    t(trace) ≈ Σ_ops  count_op(trace) · cycles_op / clock
+
+so the fit is a non-negative least squares over the op-count matrix
+(solved with projected ``numpy.linalg.lstsq`` — clip + refit, adequate for
+this small well-conditioned system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .costmodel import CostModel, CostParams
+from .device import DeviceProperties
+from .trace import CTATrace
+
+__all__ = ["CalibrationResult", "op_count_features", "calibrate_cost_params"]
+
+#: order of the fitted CostParams fields
+_FIELDS = (
+    "fma_iter_cycles",
+    "shuffle_cycles",
+    "cmpex_cycles",
+    "scan_cycles",
+    "bitmap_cycles",
+)
+
+
+def op_count_features(trace: CTATrace, threads: int = 32) -> np.ndarray:
+    """Per-op *counts* (warp-wide groups) for one CTA trace.
+
+    Columns follow ``_FIELDS``; multiplying by the matching cycle constants
+    and the cycle time reproduces the deterministic part of
+    :meth:`CostModel.cta_cost` (memory terms are excluded — they are device
+    properties, not fitted constants).
+    """
+    import math
+
+    from .costmodel import bitonic_merge_stage_count, bitonic_stage_count
+
+    fma = shfl = cmpex = scan = bitmap = 0.0
+    for s in trace.steps:
+        if s.n_new_points:
+            fma += -(-s.n_new_points * s.dim // threads)
+            shfl += s.n_new_points * max(1, int(math.log2(threads)))
+        if s.did_sort:
+            expand_n = max(s.sort_size - s.cand_list_len, 0)
+            if expand_n > 1:
+                n = 1 << max(1, math.ceil(math.log2(expand_n)))
+                cmpex += bitonic_stage_count(expand_n) * -(-(n // 2) // threads)
+            if s.sort_size > 1:
+                n = 1 << max(1, math.ceil(math.log2(s.sort_size)))
+                cmpex += bitonic_merge_stage_count(s.sort_size) * -(-(n // 2) // threads)
+        scan += -(-max(s.cand_list_len, 1) // threads) * s.n_expanded
+        if s.n_visited_checks:
+            bitmap += -(-s.n_visited_checks // threads)
+    return np.array([fma, shfl, cmpex, scan, bitmap], dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Fitted constants plus fit quality."""
+
+    params: CostParams
+    residual_us_rms: float
+    r_squared: float
+
+
+def calibrate_cost_params(
+    device: DeviceProperties,
+    traces: list[CTATrace],
+    measured_us: list[float],
+    base_params: CostParams | None = None,
+    threads: int | None = None,
+) -> CalibrationResult:
+    """Fit per-op cycle constants to measured CTA timings.
+
+    ``measured_us[i]`` is the observed execution time of ``traces[i]`` on
+    real hardware.  Memory-latency/bandwidth terms (device properties) are
+    subtracted before fitting; fitted constants are clipped non-negative
+    with one refit pass over the surviving columns.
+    """
+    if len(traces) != len(measured_us):
+        raise ValueError("one measurement per trace required")
+    if len(traces) < len(_FIELDS):
+        raise ValueError(f"need at least {len(_FIELDS)} measurements")
+    base = base_params or CostParams()
+    thr = threads or device.warp_size
+    X = np.stack([op_count_features(t, thr) for t in traces])
+    # fixed (non-fitted) component: memory + per-step overheads
+    zeroed = replace(
+        base,
+        fma_iter_cycles=0.0, shuffle_cycles=0.0, cmpex_cycles=0.0,
+        scan_cycles=0.0, bitmap_cycles=0.0,
+    )
+    fixed_model = CostModel(device, zeroed, threads_per_cta=thr)
+    fixed = np.array([fixed_model.cta_duration_us(t) for t in traces])
+    y = np.asarray(measured_us, dtype=np.float64) - fixed
+    cycle_us = 1.0 / (device.clock_ghz * 1e3)
+    A = X * cycle_us
+
+    coef, *_ = np.linalg.lstsq(A, y, rcond=None)
+    if (coef < 0).any():  # clip-and-refit non-negativity pass
+        keep = coef > 0
+        coef = np.zeros_like(coef)
+        if keep.any():
+            sub, *_ = np.linalg.lstsq(A[:, keep], y, rcond=None)
+            coef[keep] = np.clip(sub, 0.0, None)
+    fitted = replace(base, **dict(zip(_FIELDS, coef.tolist())))
+
+    pred = A @ coef + fixed
+    resid = np.asarray(measured_us) - pred
+    ss_res = float((resid**2).sum())
+    ss_tot = float(((np.asarray(measured_us) - np.mean(measured_us)) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return CalibrationResult(
+        params=fitted,
+        residual_us_rms=float(np.sqrt((resid**2).mean())),
+        r_squared=r2,
+    )

@@ -1,0 +1,272 @@
+"""Analytic cost model: op traces → time.
+
+Prices a :class:`~repro.gpusim.trace.StepRecord` as the sum of five
+components (matching the kernel phases in §IV-B of the paper):
+
+``select``   scan the candidate list for the next unvisited candidate(s)
+``fetch``    read adjacency lists from global memory
+``filter``   probe/update the visited bitmap
+``distance`` per-dimension FMAs distributed over the CTA's threads plus a
+             warp-shuffle reduction per neighbour (Alg. 1 lines 10–13)
+``sort``     bitonic sort of the expand list + bitonic merge into the
+             candidate list (the maintenance the paper measures in Fig. 3)
+
+Latencies are expressed in SM cycles and converted to microseconds with the
+device clock.  The default constants are calibrated so that, at the paper's
+operating points, sorting accounts for roughly 20–34 % of search time on the
+low/medium-dimension datasets and proportionally less at 960 d — the ratios
+Fig. 3 reports.  Absolute times are not calibrated to the A6000 (out of
+scope per DESIGN.md); only the *composition* and *scaling* of the time are.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .device import DeviceProperties
+from .trace import CTATrace, QueryTrace, StepRecord
+
+__all__ = ["CostParams", "StepCost", "CTACost", "CostModel", "bitonic_stage_count"]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def bitonic_stage_count(n: int) -> int:
+    """Compare-exchange stages of a full bitonic sort of ``n`` elements.
+
+    ``n`` is rounded up to a power of two (GPU bitonic networks pad with
+    sentinels).  A full sort of ``2^k`` items has ``k(k+1)/2`` stages.
+    """
+    if n <= 1:
+        return 0
+    k = max(1, math.ceil(math.log2(n)))
+    return k * (k + 1) // 2
+
+
+def bitonic_merge_stage_count(n: int) -> int:
+    """Stages of a bitonic *merge* of two sorted runs totalling ``n`` items."""
+    if n <= 1:
+        return 0
+    return max(1, math.ceil(math.log2(n)))
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Per-operation cycle costs (tunable; defaults per module docstring)."""
+
+    #: cycles per warp-wide distance iteration (32 loads + FMAs, pipelined)
+    fma_iter_cycles: float = 8.0
+    #: cycles per warp-shuffle step of the per-neighbour reduction
+    shuffle_cycles: float = 2.0
+    #: cycles per warp-wide bitonic compare-exchange group (shared memory
+    #: load/store pair + compare + syncwarp)
+    cmpex_cycles: float = 16.0
+    #: cycles per warp-wide candidate-list scan iteration during selection
+    scan_cycles: float = 8.0
+    #: cycles per warp-wide visited-bitmap probe group (L2-cached global)
+    bitmap_cycles: float = 30.0
+    #: fixed per-step control overhead (loop, branches, syncs)
+    step_fixed_cycles: float = 50.0
+    #: CPU nanoseconds per heap operation in the host-side TopK merge
+    #: (cache-hot small heaps on a modern core)
+    cpu_heap_op_ns: float = 2.5
+    #: CPU nanoseconds per element for result filtering/copy on the host
+    cpu_filter_ns: float = 1.0
+    #: cycles per element-move group in the GPU divide-and-conquer merge
+    #: kernel (global-memory bound — this is why the paper offloads it)
+    gpu_merge_elem_cycles: float = 60.0
+
+
+@dataclass(frozen=True)
+class StepCost:
+    """Time breakdown of one step, microseconds."""
+
+    select_us: float
+    fetch_us: float
+    filter_us: float
+    distance_us: float
+    sort_us: float
+
+    @property
+    def total_us(self) -> float:
+        return self.select_us + self.fetch_us + self.filter_us + self.distance_us + self.sort_us
+
+
+@dataclass(frozen=True)
+class CTACost:
+    """Aggregate cost of a CTA trace, microseconds."""
+
+    select_us: float
+    fetch_us: float
+    filter_us: float
+    distance_us: float
+    sort_us: float
+    result_write_us: float
+    n_steps: int
+
+    @property
+    def compute_us(self) -> float:
+        """Everything except sorting (the paper's "calculation" bucket)."""
+        return (
+            self.select_us
+            + self.fetch_us
+            + self.filter_us
+            + self.distance_us
+            + self.result_write_us
+        )
+
+    @property
+    def total_us(self) -> float:
+        return self.compute_us + self.sort_us
+
+    @property
+    def sort_fraction(self) -> float:
+        """Share of time spent sorting (Fig. 3 / Fig. 17 quantity)."""
+        t = self.total_us
+        return self.sort_us / t if t > 0 else 0.0
+
+
+class CostModel:
+    """Prices traces on a given device with given per-op constants."""
+
+    def __init__(
+        self,
+        device: DeviceProperties,
+        params: CostParams | None = None,
+        threads_per_cta: int | None = None,
+    ):
+        self.device = device
+        self.params = params or CostParams()
+        # Paper §IV-C: threads per block are set to the warp size.
+        if threads_per_cta is not None and threads_per_cta <= 0:
+            raise ValueError("threads_per_cta must be positive")
+        self.threads = int(threads_per_cta if threads_per_cta else device.warp_size)
+        self._us = device.cycles_to_us
+
+    # ------------------------------------------------------------------ GPU
+    def step_cost(self, step: StepRecord) -> StepCost:
+        """Price a single search step."""
+        p, t = self.params, self.threads
+        select = self._us(
+            _ceil_div(max(step.cand_list_len, 1), t) * p.scan_cycles * step.n_expanded
+        )
+        # Adjacency fetch: one global-memory round trip per expanded
+        # candidate plus streaming the neighbour ids.
+        fetch_bytes = step.n_neighbors_fetched * 4
+        fetch = (
+            step.n_expanded * self._us(self.device.global_mem_latency_cycles)
+            + fetch_bytes / (self.device.global_mem_bw_gbps * 1e3)
+        )
+        filter_ = self._us(
+            _ceil_div(max(step.n_visited_checks, 1), t) * p.bitmap_cycles
+        ) if step.n_visited_checks else 0.0
+        distance = 0.0
+        if step.n_new_points:
+            iters = _ceil_div(step.n_new_points * step.dim, t)
+            reduce_steps = step.n_new_points * max(1, int(math.log2(t)))
+            vec_bytes = step.n_new_points * step.dim * 4
+            distance = self._us(
+                iters * p.fma_iter_cycles + reduce_steps * p.shuffle_cycles
+            ) + vec_bytes / (self.device.global_mem_bw_gbps * 1e3)
+        sort = self.sort_cost_us(step) if step.did_sort else 0.0
+        total_fixed = self._us(p.step_fixed_cycles)
+        return StepCost(select + total_fixed, fetch, filter_, distance, sort)
+
+    def sort_cost_us(self, step: StepRecord) -> float:
+        """Bitonic sort of the expand list + merge into the candidate list."""
+        p, t = self.params, self.threads
+        expand_n = max(step.sort_size - step.cand_list_len, 0)
+        cycles = 0.0
+        if expand_n > 1:
+            n = 1 << max(1, math.ceil(math.log2(expand_n)))
+            cycles += bitonic_stage_count(expand_n) * _ceil_div(n // 2, t) * p.cmpex_cycles
+        if step.sort_size > 1:
+            n = 1 << max(1, math.ceil(math.log2(step.sort_size)))
+            cycles += (
+                bitonic_merge_stage_count(step.sort_size)
+                * _ceil_div(n // 2, t)
+                * p.cmpex_cycles
+            )
+        return self._us(cycles)
+
+    def cta_cost(self, trace: CTATrace) -> CTACost:
+        """Aggregate cost of everything a CTA did for one query."""
+        sel = fet = fil = dis = srt = 0.0
+        for s in trace.steps:
+            c = self.step_cost(s)
+            sel += c.select_us
+            fet += c.fetch_us
+            fil += c.filter_us
+            dis += c.distance_us
+            srt += c.sort_us
+        write = 0.0
+        if trace.result_len:
+            write = self._us(self.device.global_mem_latency_cycles) + (
+                trace.result_len * 8 / (self.device.global_mem_bw_gbps * 1e3)
+            )
+        return CTACost(sel, fet, fil, dis, srt, write, trace.n_steps)
+
+    def cta_duration_us(self, trace: CTATrace) -> float:
+        """Wall-clock a CTA is busy serving its share of one query."""
+        return self.cta_cost(trace).total_us
+
+    def step_durations_us(self, trace: CTATrace) -> list[float]:
+        """Per-step durations (used by the partitioned-kernel ablation)."""
+        return [self.step_cost(s).total_us for s in trace.steps]
+
+    # ------------------------------------------------------------------ CPU
+    def cpu_merge_us(self, n_lists: int, k: int) -> float:
+        """Host-side priority-queue merge of ``n_lists`` sorted TopK lists.
+
+        This is step ④ of the paper's search process (Result Merge&Filter).
+        The k-way heap merge touches only the list heads plus the ``k``
+        emitted elements — O(T + k·log T) operations, *not* O(T·k) — which
+        is precisely why the CPU keeps up with the GPU (§IV-B).
+        """
+        if n_lists <= 1:
+            return self.params.cpu_filter_ns * k * 1e-3
+        ops = n_lists + k * (1 + math.log2(n_lists))
+        return (ops * self.params.cpu_heap_op_ns + k * self.params.cpu_filter_ns) * 1e-3
+
+    # ---------------------------------------------------------- GPU (merge)
+    def gpu_merge_us(self, n_lists: int, k: int) -> float:
+        """Cross-CTA divide-and-conquer merge *on the GPU* (ablation).
+
+        Models the baseline CAGRA behaviour the paper argues against: a
+        separate merge pass over global memory where, per round, half the
+        participating threads idle.  Includes the extra kernel launch that
+        interrupts a persistent kernel.
+        """
+        if n_lists <= 1:
+            return 0.0
+        p, t = self.params, self.threads
+        rounds = max(1, math.ceil(math.log2(n_lists)))
+        cycles = 0.0
+        active = n_lists
+        for _ in range(rounds):
+            pairs = _ceil_div(active, 2)
+            cycles += _ceil_div(pairs * k, t) * p.gpu_merge_elem_cycles
+            active = pairs
+        return self.device.kernel_launch_us + self._us(cycles)
+
+    # ------------------------------------------------------------- queries
+    def query_gpu_time_us(self, qt: QueryTrace) -> float:
+        """GPU time for one query = the slowest of its CTAs (they run
+        concurrently on distinct blocks)."""
+        return max((self.cta_duration_us(c) for c in qt.ctas), default=0.0)
+
+    def query_cost_summary(self, qt: QueryTrace) -> CTACost:
+        """Summed breakdown over all CTAs of a query (for Fig. 3/17)."""
+        costs = [self.cta_cost(c) for c in qt.ctas]
+        return CTACost(
+            sum(c.select_us for c in costs),
+            sum(c.fetch_us for c in costs),
+            sum(c.filter_us for c in costs),
+            sum(c.distance_us for c in costs),
+            sum(c.sort_us for c in costs),
+            sum(c.result_write_us for c in costs),
+            sum(c.n_steps for c in costs),
+        )

@@ -1,0 +1,92 @@
+"""Kernel-launch model: grids of priced blocks on the simulated device.
+
+Bridges the cost model (per-CTA durations) and the engine (wave scheduling):
+a :class:`KernelLaunch` prices a launch of many CTAs honouring launch
+overhead, residency limits from occupancy, and, for partitioned-kernel
+ablations, repeated relaunches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceProperties
+from .engine import BlockSchedule, list_schedule
+from .occupancy import max_resident_blocks
+
+__all__ = ["KernelLaunch", "launch_blocks", "partitioned_launch_makespan"]
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """A priced kernel launch."""
+
+    schedule: BlockSchedule
+    launch_overhead_us: float
+    n_concurrent: int
+
+    @property
+    def end_us(self) -> float:
+        return self.schedule.kernel_end_us
+
+    @property
+    def block_end_us(self) -> tuple[float, ...]:
+        return self.schedule.end_us
+
+
+def launch_blocks(
+    device: DeviceProperties,
+    durations_us: list[float],
+    mem_per_block: int,
+    t0: float = 0.0,
+    reserved_cache_per_block: int = 0,
+) -> KernelLaunch:
+    """Launch a grid of blocks with the given durations at ``t0``.
+
+    Residency (concurrent blocks) is bounded by both the per-SM block limit
+    and the shared-memory footprint; blocks beyond residency run in later
+    waves.  The launch overhead is paid once, up front.
+    """
+    n_concurrent = max_resident_blocks(device, mem_per_block, reserved_cache_per_block)
+    if n_concurrent == 0:
+        raise ValueError(
+            f"block footprint {mem_per_block}B exceeds device shared-memory limits"
+        )
+    start = t0 + device.kernel_launch_us
+    sched = list_schedule(durations_us, n_concurrent, t0=start)
+    return KernelLaunch(sched, device.kernel_launch_us, n_concurrent)
+
+
+def partitioned_launch_makespan(
+    device: DeviceProperties,
+    per_block_step_durations: list[list[float]],
+    mem_per_block: int,
+    steps_per_launch: int,
+    reload_us: float,
+    t0: float = 0.0,
+) -> float:
+    """Makespan of the *partitioned kernel* alternative to persistence.
+
+    §IV-A discusses (and rejects) splitting the kernel: run a fixed number
+    of steps, exit, let the host inspect slots, relaunch.  Each relaunch
+    pays the launch overhead plus re-staging shared memory (``reload_us``).
+    Used by the persistent-kernel ablation benchmark.
+    """
+    if steps_per_launch <= 0:
+        raise ValueError("steps_per_launch must be positive")
+    remaining = [list(steps) for steps in per_block_step_durations]
+    n_concurrent = max_resident_blocks(device, mem_per_block)
+    if n_concurrent == 0:
+        raise ValueError("block footprint exceeds device limits")
+    now = t0
+    while any(remaining):
+        chunk_durations = []
+        for steps in remaining:
+            take = steps[:steps_per_launch]
+            del steps[:steps_per_launch]
+            if take:
+                chunk_durations.append(reload_us + sum(take))
+        now += device.kernel_launch_us
+        sched = list_schedule(chunk_durations, n_concurrent, t0=now)
+        now = sched.kernel_end_us
+    return now - t0

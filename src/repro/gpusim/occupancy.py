@@ -1,0 +1,103 @@
+"""Shared-memory and block-occupancy accounting (§IV-C).
+
+The adaptive tuner must guarantee that every slot's CTAs are *simultaneously
+resident* — a persistent kernel deadlocks if any of its blocks cannot be
+scheduled.  Residency is limited by two resources, both modelled here:
+
+* blocks per SM (``N_max_block_per_SM`` from Table II), and
+* shared memory per SM: the candidate list, expand list, and staged query
+  vector all live in shared memory, plus a reserved runtime cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .device import DeviceProperties
+
+__all__ = [
+    "SearchMemoryLayout",
+    "block_shared_mem_bytes",
+    "max_resident_blocks",
+    "can_cohabit",
+]
+
+#: bytes per candidate/expand entry: (id: int32, distance: float32)
+ENTRY_BYTES = 8
+
+
+@dataclass(frozen=True)
+class SearchMemoryLayout:
+    """Shared-memory footprint of one search block.
+
+    Mirrors the structures §IV-B keeps in shared memory: the candidate list
+    (length L), the expand list, and the query vector staged for the
+    distance loop.  ``scratch_bytes`` covers the bitonic-sort ping-pong
+    buffer and control words.
+    """
+
+    cand_list_len: int
+    expand_list_len: int
+    dim: int
+    scratch_bytes: int = 256
+
+    def total_bytes(self) -> int:
+        if self.cand_list_len <= 0 or self.expand_list_len <= 0 or self.dim <= 0:
+            raise ValueError("layout sizes must be positive")
+        cand = self.cand_list_len * ENTRY_BYTES
+        # Bitonic networks pad to a power of two.
+        exp_pad = 1 << max(1, math.ceil(math.log2(self.expand_list_len)))
+        expand = exp_pad * ENTRY_BYTES
+        query = self.dim * 4
+        return cand + expand + query + self.scratch_bytes
+
+
+def block_shared_mem_bytes(
+    layout: SearchMemoryLayout, device: DeviceProperties
+) -> int:
+    """Total shared memory a search block charges against its SM.
+
+    Adds the device's per-block reserved shared memory (Table II row
+    "Reserved shared memory per block").
+    """
+    return layout.total_bytes() + device.reserved_shared_mem_per_block
+
+
+def max_resident_blocks(
+    device: DeviceProperties,
+    mem_per_block: int,
+    reserved_cache_per_block: int = 0,
+) -> int:
+    """Max simultaneously-resident blocks given a per-block footprint.
+
+    ``reserved_cache_per_block`` is the paper's ``M_reserved_per_block`` —
+    extra shared memory intentionally left free per block as a runtime
+    cache for high-dimensional datasets.
+    """
+    if mem_per_block <= 0:
+        raise ValueError("mem_per_block must be positive")
+    charge = mem_per_block + reserved_cache_per_block
+    if charge > device.shared_mem_per_block_optin:
+        return 0
+    by_mem = device.shared_mem_per_sm // charge
+    per_sm = min(device.max_blocks_per_sm, by_mem)
+    return per_sm * device.num_sms
+
+
+def can_cohabit(
+    device: DeviceProperties,
+    n_blocks: int,
+    mem_per_block: int,
+    reserved_cache_per_block: int = 0,
+) -> bool:
+    """True iff ``n_blocks`` persistent blocks can all be resident at once.
+
+    This is the feasibility condition §IV-C states as
+    ``N_parallel · slot ≤ N_SM · N_max_block_per_SM`` combined with the
+    shared-memory constraint
+    ``M_avail ≤ M_per_SM / N_block_per_SM − M_reserved``.
+    """
+    if n_blocks <= 0:
+        return True
+    return n_blocks <= max_resident_blocks(device, mem_per_block, reserved_cache_per_block)

@@ -1,0 +1,93 @@
+"""PCIe link model.
+
+The state-optimization experiment (§V-A, Fig. 9/18) is about *transaction
+counts*: naive host polling issues a small PCIe read per slot per poll,
+congesting the link that also carries query vectors and results.  We model
+the link as a serial FIFO resource: each transaction occupies the bus for
+``tx_overhead + bytes/bandwidth`` and completes ``wire latency`` later.
+Statistics (transaction count, bytes, busy time) feed the Fig. 18 analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .device import DeviceProperties
+
+__all__ = ["PCIeLink", "PCIeStats"]
+
+
+@dataclass
+class PCIeStats:
+    """Aggregate link statistics over a simulation."""
+
+    transactions: int = 0
+    bytes_moved: int = 0
+    busy_us: float = 0.0
+    #: transactions broken out by tag ("query", "result", "state", ...)
+    by_tag: dict = field(default_factory=dict)
+
+    def utilization(self, horizon_us: float) -> float:
+        """Fraction of the horizon the link was occupied."""
+        if horizon_us <= 0:
+            return 0.0
+        return min(1.0, self.busy_us / horizon_us)
+
+
+class PCIeLink:
+    """Serial FIFO PCIe link with per-transaction overhead.
+
+    ``transfer(now, nbytes)`` returns the transaction's *completion time*
+    and advances the internal busy horizon; callers use the returned time
+    to schedule downstream events.  Deterministic and allocation-free per
+    call, so millions of small state transactions stay cheap to simulate.
+    """
+
+    def __init__(
+        self,
+        device: DeviceProperties,
+        tx_overhead_us: float = 0.25,
+    ):
+        self.lat_us = device.pcie_lat_us
+        self.bw_bytes_per_us = device.pcie_bw_gbps * 1e3
+        self.tx_overhead_us = tx_overhead_us
+        self.busy_until = 0.0
+        self.stats = PCIeStats()
+
+    #: bus occupancy of a posted MMIO store (a single small TLP) — far
+    #: cheaper than a DMA transaction, which pays engine-setup overhead.
+    MMIO_OVERHEAD_US = 0.02
+
+    def occupancy_us(self, nbytes: int, overhead_us: float | None = None) -> float:
+        """Bus-occupancy time of a transaction of ``nbytes``."""
+        oh = self.tx_overhead_us if overhead_us is None else overhead_us
+        return oh + nbytes / self.bw_bytes_per_us
+
+    def transfer(
+        self,
+        now: float,
+        nbytes: int,
+        tag: str = "data",
+        overhead_us: float | None = None,
+    ) -> float:
+        """Issue a transaction at ``now``; return its completion time.
+
+        ``overhead_us`` overrides the per-transaction setup cost; state
+        words use :data:`MMIO_OVERHEAD_US` (posted stores), bulk copies the
+        default DMA overhead.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        start = max(now, self.busy_until)
+        occ = self.occupancy_us(nbytes, overhead_us)
+        self.busy_until = start + occ
+        self.stats.transactions += 1
+        self.stats.bytes_moved += nbytes
+        self.stats.busy_us += occ
+        self.stats.by_tag[tag] = self.stats.by_tag.get(tag, 0) + 1
+        return self.busy_until + self.lat_us
+
+    def reset(self) -> None:
+        """Clear the busy horizon and statistics."""
+        self.busy_until = 0.0
+        self.stats = PCIeStats()

@@ -1,0 +1,106 @@
+"""Operation traces emitted by the search kernels.
+
+The search algorithms in :mod:`repro.search` run *for real* on real vectors;
+while running they record, per greedy-search step, exactly which operations a
+CTA would issue (neighbour fetches, visited-bitmap probes, distance FMAs,
+bitonic compare-exchanges, …).  The cost model then prices a trace without
+re-running the search, which is what lets one set of traces be scheduled
+under several batching disciplines for an apples-to-apples comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StepRecord", "CTATrace", "QueryTrace"]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Op counts for one greedy-search step (Alg. 1 lines 7–19).
+
+    One *step* = select candidate(s) → fetch neighbours → filter via bitmap
+    → compute distances → (maybe) sort-and-merge the candidate list.
+    With beam extend a single step may expand several candidates and skip
+    the sort; ``did_sort`` is False for the skipped iterations.
+    """
+
+    #: offset of the selected candidate within the candidate list (the beam
+    #: phase trigger from §IV-C); for beam steps, offset of the first pick.
+    select_offset: int
+    #: how many candidates were expanded in this step (1 for pure greedy).
+    n_expanded: int
+    #: neighbour ids fetched from the adjacency lists (global memory reads).
+    n_neighbors_fetched: int
+    #: bitmap probes performed (== neighbours fetched).
+    n_visited_checks: int
+    #: neighbours that survived the filter → full distance computations.
+    n_new_points: int
+    #: vector dimensionality (per-distance FMA count is n_new · dim).
+    dim: int
+    #: elements participating in the bitonic sort+merge (0 if skipped).
+    sort_size: int
+    #: candidate-list length at this step (scanned during selection).
+    cand_list_len: int
+    #: whether the sort/merge maintenance ran this step.
+    did_sort: bool
+    #: best (smallest) distance in the candidate list after the step —
+    #: recorded for the Fig. 7 convergence analysis.
+    best_dist: float = float("nan")
+
+
+@dataclass
+class CTATrace:
+    """Everything one CTA did while serving (its share of) one query."""
+
+    steps: list[StepRecord] = field(default_factory=list)
+    #: number of result slots this CTA writes back (its local TopK length).
+    result_len: int = 0
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def n_sorts(self) -> int:
+        return sum(1 for s in self.steps if s.did_sort)
+
+    @property
+    def n_distances(self) -> int:
+        """Total full distance computations performed."""
+        return sum(s.n_new_points for s in self.steps)
+
+    @property
+    def n_expanded(self) -> int:
+        """Total candidates expanded (== sequential greedy iterations)."""
+        return sum(s.n_expanded for s in self.steps)
+
+
+@dataclass
+class QueryTrace:
+    """Traces of all CTAs cooperating on a single query.
+
+    ``ctas[i]`` is the trace of the i-th CTA.  For single-CTA search the
+    list has one element.  The merged result ids/distances live with the
+    caller (search functions return them separately).
+    """
+
+    ctas: list[CTATrace] = field(default_factory=list)
+    dim: int = 0
+    k: int = 0
+
+    @property
+    def n_ctas(self) -> int:
+        return len(self.ctas)
+
+    @property
+    def max_steps(self) -> int:
+        return max((c.n_steps for c in self.ctas), default=0)
+
+    @property
+    def total_distances(self) -> int:
+        return sum(c.n_distances for c in self.ctas)
+
+    @property
+    def total_sorts(self) -> int:
+        return sum(c.n_sorts for c in self.ctas)

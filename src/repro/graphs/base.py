@@ -1,0 +1,133 @@
+"""Graph index representation.
+
+All search kernels consume a :class:`GraphIndex`: a CSR adjacency structure
+over the base vectors.  CSR covers both graph families the paper evaluates —
+NSW (variable degree) and CAGRA (fixed out-degree, where CSR degenerates to
+a dense ``(n, d)`` matrix but keeps a single code path).
+
+Neighbour order is significant: CAGRA stores neighbours by increasing
+"detour rank", and the search kernels fetch the list in storage order.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GraphIndex"]
+
+
+@dataclass
+class GraphIndex:
+    """CSR adjacency over ``n`` base vectors.
+
+    Attributes
+    ----------
+    indptr:
+        ``(n+1,) int64`` — neighbour list boundaries.
+    indices:
+        ``(nnz,) int32`` — neighbour ids, grouped per vertex.
+    kind:
+        human-readable family tag (``"nsw"``, ``"cagra"``, ``"knn"``...).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    kind: str = "generic"
+
+    def __post_init__(self) -> None:
+        self.indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(self.indices, dtype=np.int32)
+        if self.indptr.ndim != 1 or self.indices.ndim != 1:
+            raise ValueError("indptr and indices must be 1-D")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("inconsistent CSR structure")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.n_vertices
+        ):
+            raise ValueError("neighbour id out of range")
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def n_vertices(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def n_edges(self) -> int:
+        return self.indices.size
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    @property
+    def max_degree(self) -> int:
+        d = self.degrees
+        return int(d.max()) if d.size else 0
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Zero-copy view of ``v``'s neighbour ids, in storage order."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    # --------------------------------------------------------- constructors
+    @classmethod
+    def from_neighbor_lists(cls, lists: list[np.ndarray], kind: str = "generic") -> "GraphIndex":
+        """Build from per-vertex neighbour id arrays."""
+        lengths = np.fromiter((len(x) for x in lists), dtype=np.int64, count=len(lists))
+        indptr = np.zeros(len(lists) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        if len(lists):
+            indices = np.concatenate([np.asarray(x, dtype=np.int32) for x in lists])
+        else:
+            indices = np.empty(0, dtype=np.int32)
+        return cls(indptr, indices, kind=kind)
+
+    @classmethod
+    def from_matrix(cls, nbrs: np.ndarray, kind: str = "generic") -> "GraphIndex":
+        """Build from a fixed-degree ``(n, d)`` neighbour matrix.
+
+        Entries equal to ``-1`` are treated as padding and dropped.
+        """
+        nbrs = np.asarray(nbrs)
+        if nbrs.ndim != 2:
+            raise ValueError("expected (n, d) neighbour matrix")
+        mask = nbrs >= 0
+        lengths = mask.sum(axis=1).astype(np.int64)
+        indptr = np.zeros(nbrs.shape[0] + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        indices = nbrs[mask].astype(np.int32)
+        return cls(indptr, indices, kind=kind)
+
+    def to_matrix(self, fill: int = -1) -> np.ndarray:
+        """Dense ``(n, max_degree)`` neighbour matrix, padded with ``fill``."""
+        n, d = self.n_vertices, self.max_degree
+        out = np.full((n, d), fill, dtype=np.int32)
+        for v in range(n):
+            nb = self.neighbors(v)
+            out[v, : nb.size] = nb
+        return out
+
+    # -------------------------------------------------------------- storage
+    def save(self, path: str | os.PathLike) -> None:
+        """Persist as compressed npz."""
+        np.savez_compressed(
+            path, indptr=self.indptr, indices=self.indices, kind=np.array(self.kind)
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "GraphIndex":
+        with np.load(path, allow_pickle=False) as z:
+            return cls(z["indptr"], z["indices"], kind=str(z["kind"]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphIndex(kind={self.kind!r}, n={self.n_vertices}, "
+            f"edges={self.n_edges}, max_deg={self.max_degree})"
+        )

@@ -1,0 +1,182 @@
+"""Streaming index updates: inserts and deletes over a graph index.
+
+Online serving systems (the paper's target deployment) rarely get a frozen
+corpus; this module adds the standard update story on top of any
+:class:`~repro.graphs.base.GraphIndex`:
+
+* **insert** — NSW-style: greedy-search the current graph for the new
+  point's neighbours, link bidirectionally, cap degrees (keep closest);
+* **delete** — tombstone the vertex, then *patch* its in-neighbours by
+  reconnecting them to the deleted vertex's out-neighbours (the FreshDiskANN
+  repair rule), so connectivity survives without a rebuild;
+* **search** — tombstoned vertices still route (their edges remain until
+  patched vertices drop them) but are filtered from results.
+
+The structure is adjacency-list based (amortized O(degree) updates);
+:meth:`DynamicGraph.freeze` exports a CSR snapshot for the GPU kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.metrics import query_distances
+from .base import GraphIndex
+from .utils import medoid
+
+__all__ = ["DynamicGraph"]
+
+
+class DynamicGraph:
+    """Mutable graph over a growable point set."""
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        graph: GraphIndex,
+        metric: str = "l2",
+        max_degree: int | None = None,
+        ef: int = 48,
+    ):
+        points = np.asarray(points, dtype=np.float32)
+        if points.shape[0] != graph.n_vertices:
+            raise ValueError("points and graph size mismatch")
+        self.metric = metric
+        self.max_degree = max_degree or max(graph.max_degree, 4)
+        self.ef = ef
+        self._points: list[np.ndarray] = [points[i] for i in range(points.shape[0])]
+        self._adj: list[list[int]] = [
+            [int(v) for v in graph.neighbors(u)] for u in range(graph.n_vertices)
+        ]
+        self._alive = [True] * graph.n_vertices
+        self._n_alive = graph.n_vertices
+        # Enter at the medoid: an arbitrary vertex may sit in a poorly
+        # reachable pocket of the graph.
+        self._entry = medoid(points, metric) if graph.n_vertices else None
+
+    # ------------------------------------------------------------- queries
+    @property
+    def n_total(self) -> int:
+        """All vertices ever inserted (including tombstones)."""
+        return len(self._adj)
+
+    @property
+    def n_alive(self) -> int:
+        return self._n_alive
+
+    def is_alive(self, v: int) -> bool:
+        return self._alive[v]
+
+    def points_matrix(self) -> np.ndarray:
+        return np.stack(self._points) if self._points else np.empty((0, 0), np.float32)
+
+    # -------------------------------------------------------------- search
+    def search(self, query: np.ndarray, k: int, l: int | None = None):
+        """Greedy search (Alg. 1 semantics); tombstones route but are
+        filtered from the returned TopK."""
+        if self._n_alive == 0:
+            return np.empty(0, np.int64), np.empty(0, np.float32)
+        l = l or max(self.ef, k)
+        query = np.asarray(query, dtype=np.float32)
+        entry = self._entry
+        if not self._alive[entry]:
+            entry = next(i for i, a in enumerate(self._alive) if a)
+        visited = {entry}
+        d0 = self._dist(query, [entry])[0]
+        cand: list[list] = [[float(d0), entry, False]]
+        while True:
+            sel = next((c for c in cand if not c[2]), None)
+            if sel is None:
+                break
+            sel[2] = True
+            fresh = [u for u in self._adj[sel[1]] if u not in visited]
+            if not fresh:
+                continue
+            visited.update(fresh)
+            nd = self._dist(query, fresh)
+            cand.extend([float(d), u, False] for d, u in zip(nd, fresh))
+            cand.sort(key=lambda c: (c[0], c[1]))
+            del cand[l:]
+        live = [(d, u) for d, u, _ in cand if self._alive[u]][:k]
+        return (
+            np.array([u for _, u in live], dtype=np.int64),
+            np.array([d for d, _ in live], dtype=np.float32),
+        )
+
+    # ------------------------------------------------------------- updates
+    def insert(self, point: np.ndarray) -> int:
+        """Insert a point; returns its new vertex id."""
+        point = np.asarray(point, dtype=np.float32)
+        vid = len(self._adj)
+        if self._n_alive == 0:
+            self._points.append(point)
+            self._adj.append([])
+            self._alive.append(True)
+            self._n_alive = 1
+            self._entry = vid
+            return vid
+        ids, _ = self.search(point, k=self.max_degree, l=self.ef)
+        self._points.append(point)
+        self._adj.append([int(u) for u in ids])
+        self._alive.append(True)
+        self._n_alive += 1
+        for u in ids:
+            self._adj[int(u)].append(vid)
+            if len(self._adj[int(u)]) > self.max_degree:
+                self._trim(int(u))
+        return vid
+
+    def delete(self, vid: int) -> None:
+        """Tombstone ``vid`` and patch its in-neighbours' edges."""
+        if not 0 <= vid < len(self._adj):
+            raise IndexError("vertex id out of range")
+        if not self._alive[vid]:
+            raise ValueError(f"vertex {vid} already deleted")
+        self._alive[vid] = False
+        self._n_alive -= 1
+        out = [u for u in self._adj[vid] if self._alive[u]]
+        # Patch: every in-neighbour replaces its edge to vid with edges
+        # toward vid's (alive) out-neighbours, then trims to the cap.
+        for u in range(len(self._adj)):
+            if vid in self._adj[u] and self._alive[u]:
+                self._adj[u] = [w for w in self._adj[u] if w != vid]
+                merged = list(dict.fromkeys(self._adj[u] + [w for w in out if w != u]))
+                self._adj[u] = merged
+                if len(self._adj[u]) > self.max_degree:
+                    self._trim(u)
+        self._adj[vid] = []
+        if self._entry == vid and self._n_alive:
+            self._entry = next(i for i, a in enumerate(self._alive) if a)
+
+    # -------------------------------------------------------------- export
+    def freeze(self) -> tuple[np.ndarray, GraphIndex, np.ndarray]:
+        """Compact snapshot: (points, csr_graph, original_ids).
+
+        Tombstones are dropped and ids remapped densely; ``original_ids``
+        maps compact ids back to the dynamic ids.
+        """
+        alive_ids = [i for i, a in enumerate(self._alive) if a]
+        remap = {old: new for new, old in enumerate(alive_ids)}
+        pts = np.stack([self._points[i] for i in alive_ids]) if alive_ids else (
+            np.empty((0, 0), np.float32)
+        )
+        lists = [
+            np.array(
+                [remap[u] for u in self._adj[i] if self._alive[u]], dtype=np.int32
+            )
+            for i in alive_ids
+        ]
+        return pts, GraphIndex.from_neighbor_lists(lists, kind="dynamic"), np.array(
+            alive_ids, dtype=np.int64
+        )
+
+    # ------------------------------------------------------------ internal
+    def _dist(self, query: np.ndarray, ids: list[int]) -> np.ndarray:
+        pts = np.stack([self._points[i] for i in ids])
+        return query_distances(query, pts, self.metric)
+
+    def _trim(self, u: int) -> None:
+        nbrs = self._adj[u]
+        d = self._dist(self._points[u], nbrs)
+        order = np.argsort(d, kind="stable")[: self.max_degree]
+        self._adj[u] = [nbrs[i] for i in order]

@@ -1,0 +1,105 @@
+"""Analytic GPU/CPU graph-construction time model.
+
+GANNS [23] and CAGRA [25] both argue that batched GPU construction is far
+faster than incremental CPU builds.  The paper uses pre-built graphs, but
+the substrate matters for a full system, so we model construction cost the
+same way the serving path is modelled: count the operations each build
+phase performs and price them on the device (GEMM-bound phases at a
+fraction of peak FLOPs, selection/update phases at memory speed).
+
+Builders modelled
+-----------------
+``nsw-batch``       doubling-batch NSW (our :func:`build_nsw_fast`, the
+                    GANNS-style GPU build): Σ_batches b·p·dim GEMM work +
+                    per-point top-m selection + reverse-edge updates.
+``cagra``           exact kNN (n²·dim GEMM) + detour pruning
+                    (n·k²·dim) + reverse-edge pass.
+``nsw-incremental`` CPU reference build: n insertions, each a greedy
+                    search of ~`ef` steps over small vectors, dominated by
+                    per-step overheads rather than FLOPs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..gpusim.device import DeviceProperties
+
+__all__ = ["BuildEstimate", "estimate_build_time"]
+
+
+@dataclass(frozen=True)
+class BuildEstimate:
+    """Predicted construction time, seconds, with per-phase breakdown."""
+
+    builder: str
+    total_s: float
+    phases: dict
+
+    def speedup_over(self, other: "BuildEstimate") -> float:
+        """How many times faster this build is than ``other``."""
+        if self.total_s <= 0:
+            return float("inf")
+        return other.total_s / self.total_s
+
+
+def _gpu_flops(device: DeviceProperties, cores_per_sm: int = 128,
+               gemm_efficiency: float = 0.55) -> float:
+    """Effective fp32 FLOP/s for large GEMMs on the modelled device."""
+    peak = device.num_sms * cores_per_sm * 2 * device.clock_ghz * 1e9
+    return peak * gemm_efficiency
+
+
+def estimate_build_time(
+    device: DeviceProperties,
+    n: int,
+    dim: int,
+    builder: str = "nsw-batch",
+    degree: int = 16,
+    ef_construction: int = 64,
+    first_batch: int = 256,
+    cpu_gflops: float = 50.0,
+    cpu_step_overhead_us: float = 1.5,
+) -> BuildEstimate:
+    """Estimate construction wall time for ``builder`` (see module docs)."""
+    if n <= 1 or dim <= 0 or degree <= 0:
+        raise ValueError("n, dim, degree must be positive (n > 1)")
+    gpu_fl = _gpu_flops(device)
+    mem_bw = device.global_mem_bw_gbps * 1e9  # bytes/s
+
+    if builder == "nsw-batch":
+        # Doubling batches: Σ b·p ≈ n²/4 pair distances (prefix GEMMs).
+        pairs = first_batch**2
+        p = first_batch
+        while p < n:
+            b = min(p, n - p)
+            pairs += b * p
+            p += b
+        gemm = 2.0 * pairs * dim / gpu_fl
+        # top-m selection per pair-panel row: one pass over the distances.
+        select = pairs * 4 / mem_bw
+        # reverse edges + degree trims: n·degree scattered updates.
+        update = n * degree * 16 / mem_bw
+        phases = {"distance_gemm_s": gemm, "topk_select_s": select,
+                  "edge_update_s": update}
+    elif builder == "cagra":
+        k_inter = 2 * degree
+        gemm = 2.0 * n * n * dim / gpu_fl  # exact kNN panel
+        select = n * n * 4 / mem_bw
+        prune = 2.0 * n * k_inter * k_inter * dim / gpu_fl  # detour Gram tensors
+        update = n * degree * 16 / mem_bw
+        phases = {"distance_gemm_s": gemm, "topk_select_s": select,
+                  "detour_prune_s": prune, "edge_update_s": update}
+    elif builder == "nsw-incremental":
+        # n insertions × ~ef greedy steps; each step touches `degree`
+        # neighbours of one vertex (tiny dot products, overhead-bound).
+        steps = n * ef_construction
+        flops = 2.0 * steps * degree * dim
+        compute = flops / (cpu_gflops * 1e9)
+        overhead = steps * cpu_step_overhead_us * 1e-6
+        phases = {"compute_s": compute, "per_step_overhead_s": overhead}
+    else:
+        raise ValueError(f"unknown builder {builder!r}")
+
+    return BuildEstimate(builder=builder, total_s=sum(phases.values()), phases=phases)

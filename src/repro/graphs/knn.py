@@ -1,0 +1,127 @@
+"""k-NN graph construction.
+
+The exact builder is the substrate for the CAGRA graph (CAGRA starts from a
+k-NN graph and optimizes it) and a strong ANN baseline graph in its own
+right.  ``nn_descent`` provides the approximate alternative used when the
+quadratic exact build is too expensive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.metrics import pairwise_distances
+from .base import GraphIndex
+
+__all__ = ["exact_knn_matrix", "exact_knn_graph", "nn_descent_matrix", "nn_descent_graph"]
+
+
+def exact_knn_matrix(
+    points: np.ndarray,
+    k: int,
+    metric: str = "l2",
+    block: int = 512,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact ``(n, k)`` neighbour matrix (self excluded), plus distances.
+
+    Blocked brute force: each block computes a ``(b, n)`` distance panel
+    (one GEMM via the L2 expansion) and reduces it with ``argpartition``
+    before the next panel is materialized, so memory stays ``O(b·n)``.
+    """
+    points = np.asarray(points, dtype=np.float32)
+    n = points.shape[0]
+    if not 0 < k < n:
+        raise ValueError(f"k must be in [1, {n - 1}], got {k}")
+    nbrs = np.empty((n, k), dtype=np.int32)
+    dists = np.empty((n, k), dtype=np.float32)
+    for lo in range(0, n, block):
+        hi = min(lo + block, n)
+        d = pairwise_distances(points[lo:hi], points, metric)
+        # exclude self-matches
+        d[np.arange(hi - lo), np.arange(lo, hi)] = np.inf
+        part = np.argpartition(d, k - 1, axis=1)[:, :k]
+        pd = np.take_along_axis(d, part, axis=1)
+        order = np.argsort(pd, axis=1, kind="stable")
+        nbrs[lo:hi] = np.take_along_axis(part, order, axis=1)
+        dists[lo:hi] = np.take_along_axis(pd, order, axis=1)
+    return nbrs, dists
+
+
+def exact_knn_graph(points: np.ndarray, k: int, metric: str = "l2", block: int = 512) -> GraphIndex:
+    """Exact k-NN graph as a :class:`GraphIndex`."""
+    nbrs, _ = exact_knn_matrix(points, k, metric, block)
+    return GraphIndex.from_matrix(nbrs, kind="knn")
+
+
+def nn_descent_matrix(
+    points: np.ndarray,
+    k: int,
+    metric: str = "l2",
+    n_iters: int = 8,
+    sample: int = 12,
+    seed: int = 0,
+    tol: float = 0.001,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Approximate k-NN via NN-descent (Dong et al.), vectorized.
+
+    Each iteration joins every point against a sample of its neighbours'
+    neighbours and keeps the k best.  Converges to >0.9 recall k-NN graphs
+    in a handful of iterations on clustered data; used when ``n`` makes the
+    exact quadratic build unattractive.
+    """
+    points = np.asarray(points, dtype=np.float32)
+    n = points.shape[0]
+    if not 0 < k < n:
+        raise ValueError(f"k must be in [1, {n - 1}], got {k}")
+    rng = np.random.default_rng(seed)
+    # Random initialization (ids distinct from self).
+    nbrs = rng.integers(0, n - 1, size=(n, k), dtype=np.int64)
+    nbrs += nbrs >= np.arange(n)[:, None]  # shift to skip self
+    dists = _rowwise_distances(points, nbrs, metric)
+    order = np.argsort(dists, axis=1, kind="stable")
+    nbrs = np.take_along_axis(nbrs, order, axis=1)
+    dists = np.take_along_axis(dists, order, axis=1)
+    for _ in range(n_iters):
+        s = min(sample, k)
+        picks = nbrs[:, rng.permutation(k)[:s]]  # (n, s) sampled neighbours
+        # neighbours-of-neighbours: gather each pick's own sampled list
+        cand = nbrs[picks.ravel()][:, :s].reshape(n, s * s)
+        cand = np.concatenate([cand, picks], axis=1)
+        new_d = _rowwise_distances(points, cand, metric)
+        new_d[cand == np.arange(n)[:, None]] = np.inf
+        merged_ids = np.concatenate([nbrs, cand], axis=1)
+        merged_d = np.concatenate([dists, new_d], axis=1)
+        # Deduplicate per row: keep best distance occurrence.
+        sort_idx = np.argsort(merged_d, axis=1, kind="stable")
+        merged_ids = np.take_along_axis(merged_ids, sort_idx, axis=1)
+        merged_d = np.take_along_axis(merged_d, sort_idx, axis=1)
+        updated = 0
+        for i in range(n):
+            row_ids, first = np.unique(merged_ids[i], return_index=True)
+            first.sort()
+            keep = first[:k]
+            new_row = merged_ids[i, keep]
+            if not np.array_equal(np.sort(new_row), np.sort(nbrs[i])):
+                updated += 1
+            nbrs[i, : keep.size] = new_row
+            dists[i, : keep.size] = merged_d[i, keep]
+        if updated / n < tol:
+            break
+    return nbrs.astype(np.int32), dists
+
+
+def nn_descent_graph(
+    points: np.ndarray, k: int, metric: str = "l2", **kw
+) -> GraphIndex:
+    """Approximate k-NN graph as a :class:`GraphIndex`."""
+    nbrs, _ = nn_descent_matrix(points, k, metric, **kw)
+    return GraphIndex.from_matrix(nbrs, kind="knn-approx")
+
+
+def _rowwise_distances(points: np.ndarray, ids: np.ndarray, metric: str) -> np.ndarray:
+    """Distances from point ``i`` to each of ``ids[i]`` (vectorized gather)."""
+    gathered = points[ids]  # (n, m, dim)
+    if metric == "l2":
+        diff = gathered - points[:, None, :]
+        return np.einsum("nmd,nmd->nm", diff, diff).astype(np.float32)
+    return (1.0 - np.einsum("nmd,nd->nm", gathered, points)).astype(np.float32)

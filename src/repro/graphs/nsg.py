@@ -1,0 +1,151 @@
+"""NSG construction (Fu et al., "Navigating Spreading-out Graph" [15]).
+
+NSG sparsifies a kNN graph with MRNG-style edge selection seeded from a
+*navigating node* (the medoid): for each vertex, candidates discovered by a
+search from the navigating node are filtered with the occlusion rule (keep
+an edge u→v only if no already-kept neighbour w of u is closer to v than u
+is), then a spanning tree from the navigating node repairs connectivity.
+
+The result is a sparse, low-out-degree graph that greedy search navigates
+from a single fixed entry — a third graph family (besides CAGRA and NSW)
+for the ALGAS serving layer, matching the paper's claim of supporting
+"general GPU graphs".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..data.metrics import query_distances
+from .base import GraphIndex
+from .knn import exact_knn_matrix
+from .utils import medoid
+
+__all__ = ["build_nsg"]
+
+
+def build_nsg(
+    points: np.ndarray,
+    out_degree: int = 16,
+    knn_k: int | None = None,
+    search_l: int = 48,
+    metric: str = "l2",
+    seed: int = 0,
+) -> GraphIndex:
+    """Build an NSG over ``points`` with out-degree at most ``out_degree``.
+
+    Parameters
+    ----------
+    knn_k:
+        size of the intermediate kNN candidate pool (default ``2·out_degree``).
+    search_l:
+        candidate-list length of the construction-time search from the
+        navigating node (larger = better edge candidates, slower build).
+    """
+    points = np.asarray(points, dtype=np.float32)
+    n = points.shape[0]
+    if out_degree <= 0:
+        raise ValueError("out_degree must be positive")
+    if n <= out_degree:
+        raise ValueError("need more points than out_degree")
+    knn_k = knn_k or 2 * out_degree
+    knn_ids, knn_d = exact_knn_matrix(points, min(knn_k, n - 1), metric)
+    nav = medoid(points, metric, seed=seed)
+
+    # Phase 1: per-vertex candidate pools = kNN ∪ search path from nav.
+    knn_lists = [knn_ids[v] for v in range(n)]
+    adj: list[np.ndarray] = [np.empty(0, np.int64)] * n
+    for v in range(n):
+        path = _search_path(points, knn_lists, points[v], nav, search_l, metric)
+        pool_ids = np.unique(np.concatenate([knn_ids[v].astype(np.int64), path]))
+        pool_ids = pool_ids[pool_ids != v]
+        pool_d = query_distances(points[v], points[pool_ids], metric)
+        order = np.argsort(pool_d, kind="stable")
+        adj[v] = _occlusion_select(
+            points, v, pool_ids[order], pool_d[order], out_degree, metric
+        )
+
+    # Phase 2: connectivity repair — BFS tree from the navigating node,
+    # attaching unreachable vertices to their nearest reachable neighbour.
+    reachable = _bfs_reachable(adj, nav, n)
+    unreached = np.flatnonzero(~reachable)
+    if unreached.size:
+        reach_ids = np.flatnonzero(reachable)
+        for v in unreached:
+            d = query_distances(points[v], points[reach_ids], metric)
+            anchor = int(reach_ids[int(d.argmin())])
+            if adj[anchor].size < out_degree:
+                adj[anchor] = np.append(adj[anchor], v)
+            else:
+                adj[anchor] = np.append(adj[anchor][:-1], v)
+            reachable[v] = True
+
+    lists = [a.astype(np.int32) for a in adj]
+    return GraphIndex.from_neighbor_lists(lists, kind="nsg")
+
+
+def _search_path(
+    points: np.ndarray,
+    knn_lists: list[np.ndarray],
+    query: np.ndarray,
+    entry: int,
+    l: int,
+    metric: str,
+) -> np.ndarray:
+    """Greedy search over the kNN graph; returns every expanded vertex."""
+    visited = {entry}
+    d0 = float(query_distances(query, points[entry][None, :], metric)[0])
+    cand: list[list] = [[d0, entry, False]]
+    expanded: list[int] = []
+    while True:
+        sel = next((c for c in cand if not c[2]), None)
+        if sel is None:
+            break
+        sel[2] = True
+        expanded.append(sel[1])
+        fresh = [int(u) for u in knn_lists[sel[1]] if int(u) not in visited]
+        if fresh:
+            visited.update(fresh)
+            nd = query_distances(query, points[fresh], metric)
+            cand.extend([float(d), u, False] for d, u in zip(nd, fresh))
+            cand.sort(key=lambda c: (c[0], c[1]))
+            del cand[l:]
+    return np.array(expanded, dtype=np.int64)
+
+
+def _occlusion_select(
+    points: np.ndarray,
+    v: int,
+    pool_ids: np.ndarray,
+    pool_d: np.ndarray,
+    out_degree: int,
+    metric: str,
+) -> np.ndarray:
+    """MRNG rule: keep u→c unless a kept neighbour is closer to c than u."""
+    kept: list[int] = []
+    for c, d_vc in zip(pool_ids.tolist(), pool_d.tolist()):
+        if len(kept) >= out_degree:
+            break
+        occluded = False
+        if kept:
+            d_kc = query_distances(points[c], points[np.array(kept)], metric)
+            occluded = bool((d_kc < d_vc).any())
+        if not occluded:
+            kept.append(int(c))
+    return np.array(kept, dtype=np.int64)
+
+
+def _bfs_reachable(adj: list[np.ndarray], start: int, n: int) -> np.ndarray:
+    seen = np.zeros(n, dtype=bool)
+    seen[start] = True
+    dq = deque([start])
+    while dq:
+        v = dq.popleft()
+        for u in adj[v]:
+            u = int(u)
+            if not seen[u]:
+                seen[u] = True
+                dq.append(u)
+    return seen

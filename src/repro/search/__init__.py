@@ -1,0 +1,41 @@
+"""Search kernels: greedy/beam-extend intra-CTA, multi-CTA, IVF baseline."""
+
+from .beam_extend import beam_extend_search, default_beam_config, greedy_extend_search
+from .bruteforce import FlatIndex
+from .candidates import CandidateList
+from .filtered import FilterStats, filtered_search
+from .greedy import ef_search, greedy_search
+from .intra_cta import BeamConfig, CTASearcher, SearchResult, intra_cta_search
+from .ivf import IVFFlatIndex, kmeans
+from .multi_cta import make_entries, multi_cta_search, per_cta_capacity
+from .quantization import IVFPQIndex, ProductQuantizer, ScalarQuantizer
+from .topk import heap_merge, merge_sorted_lists, select_topk
+from .visited import VisitedBitmap
+
+__all__ = [
+    "beam_extend_search",
+    "default_beam_config",
+    "greedy_extend_search",
+    "FlatIndex",
+    "CandidateList",
+    "FilterStats",
+    "filtered_search",
+    "ef_search",
+    "greedy_search",
+    "BeamConfig",
+    "CTASearcher",
+    "SearchResult",
+    "intra_cta_search",
+    "IVFFlatIndex",
+    "kmeans",
+    "make_entries",
+    "multi_cta_search",
+    "per_cta_capacity",
+    "IVFPQIndex",
+    "ProductQuantizer",
+    "ScalarQuantizer",
+    "heap_merge",
+    "merge_sorted_lists",
+    "select_topk",
+    "VisitedBitmap",
+]

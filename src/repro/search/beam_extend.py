@@ -1,0 +1,68 @@
+"""Beam-extend public entry points (ALGAS §IV-B).
+
+The mechanism lives in :class:`repro.search.intra_cta.CTASearcher`
+(parameterized by :class:`BeamConfig`); this module provides the
+paper-facing helpers, including the default phase-threshold heuristic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.base import GraphIndex
+from .intra_cta import BeamConfig, SearchResult, intra_cta_search
+from .multi_cta import multi_cta_search
+
+__all__ = ["default_beam_config", "beam_extend_search", "greedy_extend_search"]
+
+
+def default_beam_config(cand_capacity: int, beam_width: int = 4) -> BeamConfig:
+    """Paper-style default: diffusing phase begins once the selected
+    candidate sits past ~1/8 of the list (the head is then stable and the
+    search has localized the TopK region)."""
+    return BeamConfig(offset_beam=max(1, cand_capacity // 8), beam_width=beam_width)
+
+
+def beam_extend_search(
+    points: np.ndarray,
+    graph: GraphIndex,
+    query: np.ndarray,
+    k: int,
+    cand_capacity: int,
+    entries,
+    metric: str = "l2",
+    beam: BeamConfig | None = None,
+    n_ctas: int = 1,
+    rng: np.random.Generator | None = None,
+) -> SearchResult:
+    """Search with beam extend enabled (single- or multi-CTA)."""
+    beam = beam or default_beam_config(cand_capacity)
+    if n_ctas == 1:
+        return intra_cta_search(
+            points, graph, query, k, cand_capacity, entries, metric=metric, beam=beam
+        )
+    return multi_cta_search(
+        points, graph, query, k, cand_capacity, n_ctas, metric=metric, beam=beam, rng=rng
+    )
+
+
+def greedy_extend_search(
+    points: np.ndarray,
+    graph: GraphIndex,
+    query: np.ndarray,
+    k: int,
+    cand_capacity: int,
+    entries,
+    metric: str = "l2",
+    n_ctas: int = 1,
+    rng: np.random.Generator | None = None,
+) -> SearchResult:
+    """The "Greedy Extend" control of Fig. 16: identical search without
+    beam extend (one sort per expansion)."""
+    if n_ctas == 1:
+        return intra_cta_search(
+            points, graph, query, k, cand_capacity, entries, metric=metric, beam=None
+        )
+    return multi_cta_search(
+        points, graph, query, k, cand_capacity, n_ctas, metric=metric, beam=None, rng=rng
+    )

@@ -1,0 +1,95 @@
+"""Fixed-capacity sorted candidate list (the shared-memory structure).
+
+One per CTA: ids, distances, and per-entry *checked* flags, kept sorted by
+ascending distance.  ``merge`` models the bitonic sort+merge maintenance
+step (§IV-B step ④): new scored points are folded in and the list is
+truncated back to capacity ``L``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CandidateList"]
+
+
+class CandidateList:
+    """Sorted (id, dist, checked) triple list with capacity ``L``."""
+
+    __slots__ = ("capacity", "ids", "dists", "checked", "size")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.ids = np.empty(capacity, dtype=np.int64)
+        self.dists = np.empty(capacity, dtype=np.float32)
+        self.checked = np.zeros(capacity, dtype=bool)
+        self.size = 0
+
+    # ------------------------------------------------------------- queries
+    def first_unchecked(self) -> int:
+        """Offset of the closest unchecked candidate, or -1 if none.
+
+        The offset is the quantity §IV-C's ``offset_beam`` threshold is
+        compared against.
+        """
+        unchecked = np.flatnonzero(~self.checked[: self.size])
+        return int(unchecked[0]) if unchecked.size else -1
+
+    def unchecked_offsets(self, limit: int) -> np.ndarray:
+        """Offsets of up to ``limit`` closest unchecked candidates."""
+        if limit <= 0:
+            return np.empty(0, dtype=np.int64)
+        unchecked = np.flatnonzero(~self.checked[: self.size])
+        return unchecked[:limit].astype(np.int64)
+
+    @property
+    def is_exhausted(self) -> bool:
+        """True when every entry has been checked (search termination)."""
+        return self.first_unchecked() < 0
+
+    def topk(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """The ``k`` best (id, dist) pairs currently held."""
+        k = min(k, self.size)
+        return self.ids[:k].copy(), self.dists[:k].copy()
+
+    @property
+    def worst_dist(self) -> float:
+        return float(self.dists[self.size - 1]) if self.size else float("inf")
+
+    # ----------------------------------------------------------- mutations
+    def mark_checked(self, offsets: np.ndarray | int) -> None:
+        offsets = np.atleast_1d(np.asarray(offsets, dtype=np.int64))
+        if offsets.size and (offsets.min() < 0 or offsets.max() >= self.size):
+            raise IndexError("offset out of range")
+        self.checked[offsets] = True
+
+    def merge(self, new_ids: np.ndarray, new_dists: np.ndarray) -> int:
+        """Fold new scored points in, keep the best ``L``; returns the
+        number of elements that participated in the sort (cost-model input).
+
+        Callers guarantee id-uniqueness (the visited bitmap filters
+        duplicates), so no dedup pass is modelled or performed.
+        """
+        new_ids = np.asarray(new_ids, dtype=np.int64)
+        new_dists = np.asarray(new_dists, dtype=np.float32)
+        if new_ids.shape != new_dists.shape or new_ids.ndim != 1:
+            raise ValueError("new_ids/new_dists must be matching 1-D arrays")
+        if new_ids.size == 0:
+            return 0
+        total = self.size + new_ids.size
+        all_ids = np.concatenate([self.ids[: self.size], new_ids])
+        all_d = np.concatenate([self.dists[: self.size], new_dists])
+        all_c = np.concatenate([self.checked[: self.size], np.zeros(new_ids.size, bool)])
+        order = np.argsort(all_d, kind="stable")[: self.capacity]
+        self.size = order.size
+        self.ids[: self.size] = all_ids[order]
+        self.dists[: self.size] = all_d[order]
+        self.checked[: self.size] = all_c[order]
+        return int(total)
+
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Copies of (ids, dists, checked) for the live prefix."""
+        s = self.size
+        return self.ids[:s].copy(), self.dists[:s].copy(), self.checked[:s].copy()

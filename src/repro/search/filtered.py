@@ -1,0 +1,81 @@
+"""Predicate-filtered search.
+
+Vector databases attach metadata predicates to k-NN queries ("nearest
+products *in stock*").  The standard graph-search adaptation is
+*post-filter routing*: traverse the graph unrestricted (filtered-out
+vertices still route — otherwise selective filters disconnect the search)
+but only let admissible points enter the result set.
+
+``filtered_search`` wraps the intra-CTA kernel with an inflated candidate
+list (by the filter's selectivity) and filters the final TopK; it reports
+the effective selectivity so callers can tune the inflation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.base import GraphIndex
+from .intra_cta import BeamConfig, SearchResult, intra_cta_search
+
+__all__ = ["FilterStats", "filtered_search"]
+
+
+@dataclass(frozen=True)
+class FilterStats:
+    """Outcome metadata of a filtered search."""
+
+    selectivity: float  # fraction of the corpus admissible
+    candidates_seen: int  # list entries inspected for admission
+    admitted: int  # results returned
+
+
+def filtered_search(
+    points: np.ndarray,
+    graph: GraphIndex,
+    query: np.ndarray,
+    k: int,
+    allow_mask: np.ndarray,
+    cand_capacity: int = 64,
+    entries: np.ndarray | int = 0,
+    metric: str = "l2",
+    beam: BeamConfig | None = None,
+    inflation: float | None = None,
+) -> tuple[SearchResult, FilterStats]:
+    """k-NN restricted to ``allow_mask`` (bool per base vector).
+
+    ``inflation`` scales the candidate list to compensate for filtered-out
+    entries; defaults to ``1/selectivity`` clamped to [1, 16] (with very
+    selective filters brute force over the admissible set is cheaper —
+    callers can check ``selectivity`` and fall back).
+    """
+    allow_mask = np.asarray(allow_mask, dtype=bool)
+    if allow_mask.shape[0] != points.shape[0]:
+        raise ValueError("allow_mask must cover every base vector")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    selectivity = float(allow_mask.mean())
+    if selectivity == 0.0:
+        empty = SearchResult(np.empty(0, np.int64), np.empty(0, np.float32))
+        return empty, FilterStats(0.0, 0, 0)
+    if inflation is None:
+        inflation = min(16.0, max(1.0, 1.0 / selectivity))
+    capacity = int(np.ceil(cand_capacity * inflation))
+    r = intra_cta_search(
+        points, graph, query, capacity, capacity, entries,
+        metric=metric, beam=beam,
+    )
+    admissible = allow_mask[r.ids]
+    ids = r.ids[admissible][:k]
+    dists = r.dists[admissible][:k]
+    stats = FilterStats(
+        selectivity=selectivity,
+        candidates_seen=int(len(r.ids)),
+        admitted=int(len(ids)),
+    )
+    return (
+        SearchResult(ids=ids, dists=dists, trace=r.trace, extra={"filtered": True}),
+        stats,
+    )

@@ -1,0 +1,212 @@
+"""Intra-CTA greedy search kernel (trace-producing).
+
+This is the workhorse all systems share: one CTA walking the graph with a
+fixed-capacity candidate list in shared memory (Alg. 1), optionally running
+ALGAS's *beam extend* two-phase schedule (§IV-B).  It executes the search
+for real on the vectors — results and recall are exact — while recording a
+:class:`~repro.gpusim.trace.StepRecord` per maintenance cycle for the cost
+model.
+
+Beam extend: while the selected candidate's offset in the list is below
+``offset_beam`` the searcher is in the *localization* phase and behaves
+exactly like greedy search (one expansion, one sort per iteration).  Once
+the selection offset reaches ``offset_beam`` — i.e. the head of the list is
+already exhausted and the search is diffusing inside the target region —
+the searcher expands up to ``beam_width`` candidates per cycle and performs
+a *single* sort/merge for all of them, trading strict greediness for fewer
+bitonic sorts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.metrics import query_distances
+from ..gpusim.trace import CTATrace, StepRecord
+from ..graphs.base import GraphIndex
+from .candidates import CandidateList
+from .visited import VisitedBitmap
+
+__all__ = ["BeamConfig", "CTASearcher", "SearchResult", "intra_cta_search"]
+
+
+@dataclass(frozen=True)
+class BeamConfig:
+    """Beam-extend parameters (§IV-C "timing for activating beam search")."""
+
+    #: candidate-list offset at which the diffusing phase begins.
+    offset_beam: int = 8
+    #: candidates expanded per maintenance cycle in the diffusing phase.
+    beam_width: int = 4
+
+    def __post_init__(self) -> None:
+        if self.offset_beam < 0:
+            raise ValueError("offset_beam must be non-negative")
+        if self.beam_width < 1:
+            raise ValueError("beam_width must be at least 1")
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one query search."""
+
+    ids: np.ndarray
+    dists: np.ndarray
+    trace: object = None  # CTATrace or QueryTrace
+    extra: dict = field(default_factory=dict)
+
+
+class CTASearcher:
+    """Stateful stepping searcher — one instance models one CTA.
+
+    Exposes :meth:`step` so the multi-CTA driver can interleave CTAs
+    round-robin (they run concurrently on hardware and interact through the
+    shared visited bitmap).
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        graph: GraphIndex,
+        query: np.ndarray,
+        cand_capacity: int,
+        entries: np.ndarray,
+        visited: VisitedBitmap,
+        metric: str = "l2",
+        beam: BeamConfig | None = None,
+        record_trace: bool = True,
+    ):
+        if cand_capacity <= 0:
+            raise ValueError("cand_capacity must be positive")
+        self.points = points
+        self.graph = graph
+        self.query = np.asarray(query, dtype=np.float32)
+        self.metric = metric
+        self.beam = beam
+        self.visited = visited
+        self.cand = CandidateList(cand_capacity)
+        self.trace = CTATrace() if record_trace else None
+        self.finished = False
+        self.dim = int(points.shape[1])
+
+        entries = np.unique(np.asarray(entries, dtype=np.int64))
+        if entries.size == 0:
+            raise ValueError("need at least one entry point")
+        fresh = visited.test_and_set(entries)
+        seed_ids = entries[fresh]
+        if seed_ids.size:
+            seed_d = query_distances(self.query, points[seed_ids], metric)
+            sort_size = self.cand.merge(seed_ids, seed_d)
+        else:
+            sort_size = 0
+        if self.trace is not None:
+            self.trace.steps.append(
+                StepRecord(
+                    select_offset=0,
+                    n_expanded=0,
+                    n_neighbors_fetched=0,
+                    n_visited_checks=int(entries.size),
+                    n_new_points=int(seed_ids.size),
+                    dim=self.dim,
+                    sort_size=sort_size,
+                    cand_list_len=0,
+                    did_sort=sort_size > 1,
+                    best_dist=float(self.cand.dists[0]) if self.cand.size else float("nan"),
+                )
+            )
+        if self.cand.size == 0:
+            self.finished = True
+
+    def step(self) -> bool:
+        """One maintenance cycle; returns False once the search is done."""
+        if self.finished:
+            return False
+        off = self.cand.first_unchecked()
+        if off < 0:
+            self._finish()
+            return False
+        diffusing = self.beam is not None and off >= self.beam.offset_beam
+        width = self.beam.beam_width if diffusing else 1
+        offsets = self.cand.unchecked_offsets(width)
+        pick_ids = self.cand.ids[offsets].copy()
+        selected_dist = float(self.cand.dists[offsets[0]])
+        self.cand.mark_checked(offsets)
+
+        nbr_chunks = [self.graph.neighbors(int(p)) for p in pick_ids]
+        nbrs = (
+            np.concatenate(nbr_chunks).astype(np.int64)
+            if nbr_chunks
+            else np.empty(0, np.int64)
+        )
+        fresh = self.visited.test_and_set(nbrs)
+        new_ids = nbrs[fresh]
+        cand_len_before = self.cand.size
+        if new_ids.size:
+            new_d = query_distances(self.query, self.points[new_ids], self.metric)
+            sort_size = self.cand.merge(new_ids, new_d)
+            did_sort = True
+        else:
+            sort_size = 0
+            did_sort = False
+        if self.trace is not None:
+            self.trace.steps.append(
+                StepRecord(
+                    select_offset=int(off),
+                    n_expanded=int(offsets.size),
+                    n_neighbors_fetched=int(nbrs.size),
+                    n_visited_checks=int(nbrs.size),
+                    n_new_points=int(new_ids.size),
+                    dim=self.dim,
+                    sort_size=int(sort_size),
+                    cand_list_len=int(cand_len_before),
+                    did_sort=did_sort,
+                    best_dist=selected_dist,
+                )
+            )
+        return True
+
+    def run(self, max_steps: int | None = None) -> None:
+        """Drive this CTA to completion."""
+        budget = max_steps if max_steps is not None else 100 * self.cand.capacity
+        while self.step():
+            budget -= 1
+            if budget <= 0:
+                raise RuntimeError("search exceeded step budget — disconnected graph?")
+
+    def results(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        ids, dists = self.cand.topk(k)
+        if self.trace is not None:
+            self.trace.result_len = int(ids.size)
+        return ids, dists
+
+    def _finish(self) -> None:
+        self.finished = True
+
+
+def intra_cta_search(
+    points: np.ndarray,
+    graph: GraphIndex,
+    query: np.ndarray,
+    k: int,
+    cand_capacity: int,
+    entries: np.ndarray | int,
+    metric: str = "l2",
+    beam: BeamConfig | None = None,
+    record_trace: bool = True,
+) -> SearchResult:
+    """Single-CTA search of one query (greedy or beam-extend).
+
+    ``entries`` may be a single vertex id or an array of ids (multiple
+    random entries are how CAGRA-style searches seed the list).
+    """
+    entries = np.atleast_1d(np.asarray(entries, dtype=np.int64))
+    visited = VisitedBitmap(points.shape[0])
+    s = CTASearcher(
+        points, graph, query, cand_capacity, entries, visited,
+        metric=metric, beam=beam, record_trace=record_trace,
+    )
+    s.run()
+    ids, dists = s.results(k)
+    return SearchResult(ids=ids, dists=dists, trace=s.trace)

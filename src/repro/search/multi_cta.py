@@ -1,0 +1,111 @@
+"""Multi-CTA search: several CTAs cooperate on one query.
+
+§III-B / §IV-B: to use more threads than one CTA offers, a query is served
+by ``T`` CTAs, each running the intra-CTA algorithm on its own (smaller)
+candidate list from its own random entry points, sharing only the visited
+bitmap.  On completion each CTA holds a local TopK; the union's global TopK
+is the answer.  The *merge* of those lists is the operation ALGAS moves to
+the CPU (:func:`repro.search.topk.heap_merge` executed host-side), while
+baseline CAGRA merges on the GPU — both paths produce identical ids, only
+their cost differs (see :meth:`repro.gpusim.CostModel.gpu_merge_us`).
+
+CTAs are interleaved round-robin step-by-step to model their concurrent
+execution: the visited bitmap mediates work partitioning exactly as the
+atomic bitmap does on hardware.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..gpusim.trace import QueryTrace
+from ..graphs.base import GraphIndex
+from .intra_cta import BeamConfig, CTASearcher, SearchResult
+from .topk import heap_merge
+from .visited import VisitedBitmap
+
+__all__ = ["multi_cta_search", "per_cta_capacity", "make_entries"]
+
+
+def per_cta_capacity(l_total: int, n_ctas: int, k: int) -> int:
+    """Split a total candidate budget across CTAs (each ≥ the TopK)."""
+    if l_total <= 0 or n_ctas <= 0 or k <= 0:
+        raise ValueError("l_total, n_ctas, k must be positive")
+    return max(k, math.ceil(l_total / n_ctas))
+
+
+def make_entries(
+    n_points: int,
+    n_ctas: int,
+    entries_per_cta: int,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """Distinct random entry points for each CTA (CAGRA-style seeding)."""
+    total = min(n_ctas * entries_per_cta, n_points)
+    flat = rng.choice(n_points, size=total, replace=False)
+    return [
+        flat[i * entries_per_cta : (i + 1) * entries_per_cta]
+        for i in range(n_ctas)
+    ]
+
+
+def multi_cta_search(
+    points: np.ndarray,
+    graph: GraphIndex,
+    query: np.ndarray,
+    k: int,
+    l_total: int,
+    n_ctas: int,
+    metric: str = "l2",
+    beam: BeamConfig | None = None,
+    entries: list[np.ndarray] | None = None,
+    entries_per_cta: int = 2,
+    rng: np.random.Generator | None = None,
+    record_trace: bool = True,
+) -> SearchResult:
+    """Search one query with ``n_ctas`` cooperating CTAs.
+
+    Returns the merged TopK plus a :class:`QueryTrace` holding one
+    :class:`CTATrace` per CTA.  The merged result equals the global TopK of
+    the per-CTA lists (property-tested), so swapping the merge location
+    (CPU vs GPU) cannot change recall — only latency.
+    """
+    if n_ctas <= 0:
+        raise ValueError("n_ctas must be positive")
+    rng = rng or np.random.default_rng(0)
+    l_cta = per_cta_capacity(l_total, n_ctas, k)
+    if entries is None:
+        entries = make_entries(points.shape[0], n_ctas, entries_per_cta, rng)
+    if len(entries) != n_ctas:
+        raise ValueError("need one entry array per CTA")
+
+    visited = VisitedBitmap(points.shape[0])
+    searchers = [
+        CTASearcher(
+            points, graph, query, l_cta, entries[i], visited,
+            metric=metric, beam=beam, record_trace=record_trace,
+        )
+        for i in range(n_ctas)
+    ]
+    # Round-robin stepping models concurrent CTAs contending on the bitmap.
+    active = True
+    guard = 200 * l_cta * n_ctas + 1000
+    while active:
+        active = False
+        for s in searchers:
+            if s.step():
+                active = True
+        guard -= 1
+        if guard <= 0:
+            raise RuntimeError("multi-CTA search exceeded step budget")
+
+    lists = [s.results(k) for s in searchers]
+    ids, dists = heap_merge(lists, k)
+    trace = None
+    if record_trace:
+        trace = QueryTrace(
+            ctas=[s.trace for s in searchers], dim=int(points.shape[1]), k=k
+        )
+    return SearchResult(ids=ids, dists=dists, trace=trace, extra={"per_cta": lists})

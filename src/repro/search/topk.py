@@ -1,0 +1,78 @@
+"""TopK selection and multi-list merge helpers.
+
+``merge_sorted_lists`` is the reference semantics for both merge paths the
+paper contrasts: the baseline GPU divide-and-conquer merge kernel and
+ALGAS's CPU-side priority-queue merge (:mod:`repro.core.merge`).  Both must
+produce the global TopK of the union.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["select_topk", "merge_sorted_lists", "heap_merge"]
+
+
+def select_topk(
+    ids: np.ndarray, dists: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Global TopK of an unsorted (ids, dists) pool, ties broken by id.
+
+    Duplicate ids are collapsed (keeping the best distance) — defensive,
+    although the visited bitmap normally guarantees uniqueness.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    dists = np.asarray(dists, dtype=np.float32)
+    if ids.shape != dists.shape:
+        raise ValueError("ids and dists must have the same shape")
+    if ids.size == 0:
+        return np.empty(0, np.int64), np.empty(0, np.float32)
+    order = np.lexsort((ids, dists))
+    ids, dists = ids[order], dists[order]
+    _, first = np.unique(ids, return_index=True)
+    first.sort()
+    ids, dists = ids[first], dists[first]
+    order = np.lexsort((ids, dists))[:k]
+    return ids[order], dists[order]
+
+
+def merge_sorted_lists(
+    lists: list[tuple[np.ndarray, np.ndarray]], k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge several ascending-sorted (ids, dists) lists into the TopK."""
+    if not lists:
+        return np.empty(0, np.int64), np.empty(0, np.float32)
+    all_ids = np.concatenate([np.asarray(i, dtype=np.int64) for i, _ in lists])
+    all_d = np.concatenate([np.asarray(d, dtype=np.float32) for _, d in lists])
+    return select_topk(all_ids, all_d, k)
+
+
+def heap_merge(
+    lists: list[tuple[np.ndarray, np.ndarray]], k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Priority-queue k-way merge — the host-side algorithm of §IV-B ④.
+
+    Walks each sorted list with a cursor and a min-heap, stopping after
+    ``k`` unique emissions; this touches O(k + T) elements instead of
+    sorting everything, which is why the CPU can keep up with the GPU.
+    """
+    heap: list[tuple[float, int, int, int]] = []
+    for li, (ids, dists) in enumerate(lists):
+        if len(ids):
+            heap.append((float(dists[0]), int(ids[0]), li, 0))
+    heapq.heapify(heap)
+    out_ids: list[int] = []
+    out_d: list[float] = []
+    seen: set[int] = set()
+    while heap and len(out_ids) < k:
+        d, vid, li, pos = heapq.heappop(heap)
+        if vid not in seen:
+            seen.add(vid)
+            out_ids.append(vid)
+            out_d.append(d)
+        ids, dists = lists[li]
+        if pos + 1 < len(ids):
+            heapq.heappush(heap, (float(dists[pos + 1]), int(ids[pos + 1]), li, pos + 1))
+    return np.array(out_ids, dtype=np.int64), np.array(out_d, dtype=np.float32)

@@ -1,0 +1,80 @@
+"""Visited table (bitmap) shared by the CTAs serving one query.
+
+§IV-B: "Each CTA initializes a part of the visited table, implemented as a
+bitmap. … The CTAs share a visited table."  The bitmap's *test-and-set*
+semantics are what prevent two CTAs from scoring the same point twice; they
+also make the multi-CTA TopK merge dedup-free (a point enters exactly one
+CTA's candidate list).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["VisitedBitmap"]
+
+
+class VisitedBitmap:
+    """Bitmap over vertex ids with vectorized test-and-set.
+
+    Backed by a packed ``uint64`` word array like the GPU implementation
+    (global-memory bitmap probed per neighbour batch); probe statistics are
+    tracked for the cost model.
+    """
+
+    __slots__ = ("n", "_words", "probes", "sets")
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        self._words = np.zeros((n + 63) // 64, dtype=np.uint64)
+        self.probes = 0
+        self.sets = 0
+
+    def test(self, ids: np.ndarray) -> np.ndarray:
+        """Return a bool mask: True where already visited."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.n):
+            raise IndexError("vertex id out of range")
+        self.probes += int(ids.size)
+        w = self._words[ids >> 6]
+        bit = np.uint64(1) << (ids.astype(np.uint64) & np.uint64(63))
+        return (w & bit) != 0
+
+    def test_and_set(self, ids: np.ndarray) -> np.ndarray:
+        """Mark ``ids`` visited; return mask of ids that were *fresh*.
+
+        Duplicate ids within one call are resolved first-come-first-served,
+        matching the atomicOr the kernels would issue.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return np.zeros(0, dtype=bool)
+        already = self.test(ids)
+        fresh = ~already
+        # Intra-call duplicates: only the first occurrence stays fresh.
+        if fresh.any():
+            f_ids = ids[fresh]
+            _, first_pos = np.unique(f_ids, return_index=True)
+            uniq_mask = np.zeros(f_ids.size, dtype=bool)
+            uniq_mask[first_pos] = True
+            fresh_idx = np.flatnonzero(fresh)
+            fresh[fresh_idx[~uniq_mask]] = False
+            set_ids = ids[fresh]
+            np.bitwise_or.at(
+                self._words,
+                set_ids >> 6,
+                np.uint64(1) << (set_ids.astype(np.uint64) & np.uint64(63)),
+            )
+            self.sets += int(set_ids.size)
+        return fresh
+
+    def count(self) -> int:
+        """Number of visited vertices."""
+        return int(np.unpackbits(self._words.view(np.uint8)).sum())
+
+    def reset(self) -> None:
+        self._words[:] = 0
+        self.probes = 0
+        self.sets = 0

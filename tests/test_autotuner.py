@@ -1,0 +1,39 @@
+"""Unit tests for the empirical auto-tuner."""
+
+import pytest
+
+from repro.core.autotuner import autotune_algas
+
+
+def test_meets_reachable_target(ds, graph):
+    res = autotune_algas(
+        ds.base, graph, ds.queries, ds.gt, target_recall=0.85,
+        k=10, batch_size=8, metric=ds.metric, sample=24,
+        l_grid=(32, 64, 128), parallel_grid=(2, 4), seed=1,
+    )
+    assert res.satisfied
+    assert res.best.recall >= 0.85
+    assert res.best.l_total in (32, 64, 128)
+    assert len(res.trials) >= 2
+    # best is the fastest trial among those meeting the target
+    ok = [t for t in res.trials if t.recall >= 0.85]
+    assert res.best.mean_latency_us == min(t.mean_latency_us for t in ok)
+
+
+def test_unreachable_target_returns_best_effort(ds, graph):
+    res = autotune_algas(
+        ds.base, graph, ds.queries, ds.gt, target_recall=1.0,
+        k=10, batch_size=8, metric=ds.metric, sample=16,
+        l_grid=(16,), parallel_grid=(2,), seed=1,
+    )
+    # Either a lucky perfect sample or an unsatisfied best-effort result.
+    assert res.best is not None
+    if not res.satisfied:
+        assert res.best.recall == max(t.recall for t in res.trials)
+
+
+def test_validates(ds, graph):
+    with pytest.raises(ValueError):
+        autotune_algas(ds.base, graph, ds.queries, ds.gt, target_recall=0.0)
+    with pytest.raises(ValueError):
+        autotune_algas(ds.base, graph, ds.queries, ds.gt[:, :4], k=10)

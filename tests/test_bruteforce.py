@@ -1,0 +1,37 @@
+"""Unit tests for the Flat (exhaustive) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data.groundtruth import exact_knn
+from repro.search.bruteforce import FlatIndex
+
+
+def test_exact_results(ds):
+    idx = FlatIndex(ds.base, metric=ds.metric)
+    gt, gtd = exact_knn(ds.queries[:8], ds.base, 10, metric=ds.metric)
+    for i in range(8):
+        r = idx.search(ds.queries[i], 10)
+        assert np.array_equal(np.sort(r.ids), np.sort(gt[i]))
+        assert np.allclose(np.sort(r.dists), np.sort(gtd[i]), atol=1e-4)
+
+
+def test_trace_scales_with_n(ds):
+    idx = FlatIndex(ds.base, metric=ds.metric)
+    r = idx.search(ds.queries[0], 5)
+    assert r.trace.steps[0].n_new_points == ds.n
+    from repro.gpusim import CostModel, RTX_A6000
+
+    cm = CostModel(RTX_A6000)
+    small = FlatIndex(ds.base[:200], metric=ds.metric).search(ds.queries[0], 5)
+    assert cm.cta_duration_us(r.trace) > 5 * cm.cta_duration_us(small.trace)
+
+
+def test_validation(ds):
+    idx = FlatIndex(ds.base)
+    with pytest.raises(ValueError):
+        idx.search(ds.queries[0], 0)
+    with pytest.raises(ValueError):
+        idx.search(ds.queries[0], ds.n + 1)
+    with pytest.raises(ValueError):
+        FlatIndex(np.empty((0, 3), np.float32))

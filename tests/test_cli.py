@@ -1,0 +1,64 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    for name in ("sift1m-mini", "gist1m-mini", "glove200-mini", "nytimes-mini"):
+        assert name in out
+    assert "SIFT1M" in out and "cosine" in out
+
+
+def test_tune_command(capsys):
+    rc = main(["tune", "--slots", "16", "--dim", "128"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "N_parallel" in out and "feasible          = True" in out
+
+
+def test_tune_unknown_device():
+    assert main(["tune", "--device", "H100"]) == 2
+
+
+def test_build_and_serve(tmp_path, capsys):
+    gpath = tmp_path / "g.npz"
+    rc = main([
+        "build", "--dataset", "sift1m-mini", "--n", "1500",
+        "--graph", "cagra", "--degree", "8", "-o", str(gpath),
+    ])
+    assert rc == 0 and gpath.exists()
+    from repro.graphs import GraphIndex
+
+    g = GraphIndex.load(gpath)
+    assert g.n_vertices == 1500 and g.max_degree == 8
+
+    rc = main([
+        "serve", "--dataset", "sift1m-mini", "--n", "1500", "--queries", "16",
+        "--degree", "8", "--k", "8", "--l", "32", "--batch", "4",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "recall@8" in out and "throughput" in out
+
+
+def test_serve_ivf(capsys):
+    rc = main([
+        "serve", "--system", "ivf", "--dataset", "sift1m-mini", "--n", "1500",
+        "--queries", "16", "--k", "8", "--nprobe", "4", "--batch", "4",
+    ])
+    assert rc == 0
+    assert "recall@8" in capsys.readouterr().out
+
+
+def test_figure_unknown():
+    assert main(["figure", "fig99"]) == 2
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

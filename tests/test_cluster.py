@@ -1,0 +1,60 @@
+"""Unit tests for multi-GPU scale-out (replication / sharding)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import ReplicatedServer, ShardedServer
+from repro.data.groundtruth import recall
+from repro.graphs import build_cagra
+
+
+def test_replication_scales_throughput(ds, graph):
+    kw = dict(metric=ds.metric, k=10, l_total=64, batch_size=8, max_parallel=4)
+    one = ReplicatedServer(ds.base, graph, n_gpus=1, **kw)
+    four = ReplicatedServer(ds.base, graph, n_gpus=4, **kw)
+    r1 = one.serve(ds.queries)
+    r4 = four.serve(ds.queries)
+    # identical results (same index everywhere)
+    assert np.array_equal(r1.ids, r4.ids)
+    assert r4.throughput_qps > 2.5 * r1.throughput_qps
+    assert r4.serve.meta["n_gpus"] == 4
+
+
+def test_replication_latency_unchanged(ds, graph):
+    kw = dict(metric=ds.metric, k=10, l_total=64, batch_size=8, max_parallel=4)
+    one = ReplicatedServer(ds.base, graph, n_gpus=1, **kw).serve(ds.queries)
+    two = ReplicatedServer(ds.base, graph, n_gpus=2, **kw).serve(ds.queries)
+    assert two.mean_latency_us < 1.2 * one.mean_latency_us
+
+
+def test_sharding_recall_and_merge(ds):
+    builder = lambda pts: build_cagra(pts, graph_degree=12, metric=ds.metric)
+    server = ShardedServer(
+        ds.base, builder, n_gpus=2, metric=ds.metric, k=10, l_total=64,
+        batch_size=8, max_parallel=4,
+    )
+    rep = server.serve(ds.queries)
+    assert recall(rep.ids, ds.gt_at(10)) > 0.8
+    # global ids, no duplicates per row
+    for row in rep.ids:
+        live = row[row >= 0]
+        assert len(set(live.tolist())) == len(live)
+        assert (live < ds.n).all()
+
+
+def test_sharded_completion_gated_by_slowest(ds):
+    builder = lambda pts: build_cagra(pts, graph_degree=12, metric=ds.metric)
+    server = ShardedServer(
+        ds.base, builder, n_gpus=2, metric=ds.metric, k=10, l_total=64,
+        batch_size=8, max_parallel=4,
+    )
+    rep = server.serve(ds.queries[:8])
+    for r in rep.serve.records:
+        assert r.complete_us > r.gpu_end_us  # merge cost added after slowest
+
+
+def test_validation(ds, graph):
+    with pytest.raises(ValueError):
+        ReplicatedServer(ds.base, graph, n_gpus=0)
+    with pytest.raises(ValueError):
+        ShardedServer(ds.base[:3], lambda p: None, n_gpus=2)

@@ -1,0 +1,38 @@
+"""Unit tests for the device model (paper Table II)."""
+
+import pytest
+
+from repro.gpusim.device import DEVICE_PRESETS, RTX_A6000, DeviceProperties
+
+KIB = 1024
+
+
+def test_table2_values():
+    d = RTX_A6000
+    assert d.shared_mem_per_block == 48 * KIB
+    assert d.shared_mem_per_sm == 100 * KIB
+    assert d.reserved_shared_mem_per_block == 1 * KIB
+    assert d.shared_mem_per_block_optin == 99 * KIB
+    assert d.num_sms == 84
+    assert d.max_blocks_per_sm == 16
+    assert d.max_threads_per_block == 1024
+    assert d.warp_size == 32
+
+
+def test_max_resident_blocks():
+    assert RTX_A6000.max_resident_blocks == 84 * 16
+
+
+def test_cycles_to_us():
+    d = RTX_A6000
+    assert d.cycles_to_us(d.clock_ghz * 1e3) == pytest.approx(1.0)
+
+
+def test_presets_registered():
+    assert "RTX A6000" in DEVICE_PRESETS
+    assert all(isinstance(v, DeviceProperties) for v in DEVICE_PRESETS.values())
+
+
+def test_with_overrides_immutable():
+    d2 = RTX_A6000.with_overrides(num_sms=10)
+    assert d2.num_sms == 10 and RTX_A6000.num_sms == 84

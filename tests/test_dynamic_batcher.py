@@ -1,0 +1,148 @@
+"""Unit tests for the dynamic batching engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic_batcher import DynamicBatchConfig, DynamicBatchEngine
+from repro.core.serving import QueryJob
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import RTX_A6000
+
+
+def mkengine(**kw):
+    cfg = dict(n_slots=4, n_parallel=2, k=8)
+    cfg.update(kw)
+    return DynamicBatchEngine(RTX_A6000, CostModel(RTX_A6000), DynamicBatchConfig(**cfg))
+
+
+def mkjobs(n, dur=20.0, n_parallel=2, arrival=0.0, spread=0.0):
+    return [
+        QueryJob(i, arrival + i * spread, tuple([dur] * n_parallel), 128, 8)
+        for i in range(n)
+    ]
+
+
+def test_all_queries_complete():
+    rep = mkengine().serve(mkjobs(12))
+    assert len(rep.records) == 12
+    for r in rep.records:
+        assert r.complete_us > r.gpu_end_us > r.gpu_start_us >= r.dispatch_us >= 0
+
+
+def test_no_batch_barrier():
+    """A slot with a short query returns before a long query elsewhere."""
+    eng = mkengine(n_slots=2)
+    jobs = [
+        QueryJob(0, 0.0, (5.0, 5.0), 128, 8),
+        QueryJob(1, 0.0, (500.0, 500.0), 128, 8),
+    ]
+    rep = eng.serve(jobs)
+    r0 = next(r for r in rep.records if r.query_id == 0)
+    r1 = next(r for r in rep.records if r.query_id == 1)
+    assert r0.complete_us < 0.2 * r1.complete_us
+
+
+def test_slot_reuse_pipeline():
+    """More jobs than slots: slots refill without waiting for others."""
+    eng = mkengine(n_slots=2)
+    rep = eng.serve(mkjobs(8))
+    # 8 jobs on 2 slots, ~20us each -> makespan ~ 4*20 + overheads, far less
+    # than a serial 8*20 + 8*overheads execution.
+    assert rep.makespan_us < 8 * 25.0
+    assert rep.gpu_utilization > 0.4
+
+
+def test_respects_arrivals():
+    eng = mkengine(n_slots=4)
+    jobs = mkjobs(4, arrival=1000.0)
+    rep = eng.serve(jobs)
+    for r in rep.records:
+        assert r.dispatch_us >= 1000.0
+
+
+def test_latency_components_ordered():
+    rep = mkengine().serve(mkjobs(6))
+    for r in rep.records:
+        assert r.detected_us >= r.gpu_end_us
+        assert r.complete_us >= r.detected_us
+
+
+def test_gpu_merge_mode_slower():
+    jobs = mkjobs(16)
+    cpu = mkengine(merge_on_cpu=True).serve(jobs)
+    gpu = mkengine(merge_on_cpu=False).serve(jobs)
+    assert cpu.mean_latency_us() < gpu.mean_latency_us()
+
+
+def test_naive_state_mode_pcie_traffic():
+    jobs = mkjobs(16)
+    gdr = mkengine(state_mode="gdrcopy").serve(jobs)
+    naive = mkengine(state_mode="naive").serve(jobs)
+    assert naive.pcie.by_tag.get("state-poll", 0) > 0
+    assert gdr.pcie.by_tag.get("state-poll", 0) == 0
+    assert naive.mean_latency_us() >= gdr.mean_latency_us()
+
+
+def test_multi_thread_partition():
+    jobs = mkjobs(24)
+    one = mkengine(host_threads=1).serve(jobs)
+    four = mkengine(host_threads=4).serve(jobs)
+    assert len(four.records) == 24
+    # same work completes under both configurations
+    assert four.makespan_us <= one.makespan_us * 1.5
+
+
+def test_wrong_cta_count_rejected():
+    eng = mkengine(n_parallel=4)
+    with pytest.raises(ValueError):
+        eng.serve(mkjobs(2, n_parallel=2))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DynamicBatchConfig(n_slots=0, n_parallel=1, k=1)
+    with pytest.raises(ValueError):
+        DynamicBatchConfig(n_slots=1, n_parallel=1, k=1, host_threads=0)
+    with pytest.raises(ValueError):
+        DynamicBatchConfig(n_slots=1, n_parallel=1, k=1, host_poll_period_us=0)
+
+
+def test_gpu_busy_accounting():
+    jobs = mkjobs(5, dur=10.0)
+    rep = mkengine().serve(jobs)
+    assert rep.gpu_cta_busy_us == pytest.approx(5 * 2 * 10.0)
+
+
+def test_empty_jobs():
+    rep = mkengine().serve([])
+    assert rep.records == [] and rep.makespan_us == 0.0
+
+
+def test_priority_queries_served_first():
+    from repro.core.query_manager import ManagedQuery
+
+    eng = mkengine(n_slots=1)
+    managed = [
+        ManagedQuery(QueryJob(0, 0.0, (30.0, 30.0), 128, 8), priority=0),
+        ManagedQuery(QueryJob(1, 0.0, (30.0, 30.0), 128, 8), priority=0),
+        ManagedQuery(QueryJob(2, 0.0, (30.0, 30.0), 128, 8), priority=9),
+    ]
+    rep = eng.serve([], managed=managed)
+    order = sorted(rep.records, key=lambda r: r.dispatch_us)
+    assert order[0].query_id == 2  # urgent query jumps the queue
+
+
+def test_deadline_dropped_queries_excluded():
+    from repro.core.query_manager import ManagedQuery
+
+    eng = mkengine(n_slots=1)
+    managed = [
+        ManagedQuery(QueryJob(0, 0.0, (200.0, 200.0), 128, 8)),
+        # arrives immediately but expires long before the slot frees up
+        ManagedQuery(QueryJob(1, 0.0, (200.0, 200.0), 128, 8), deadline_us=50.0),
+        ManagedQuery(QueryJob(2, 0.0, (200.0, 200.0), 128, 8)),
+    ]
+    rep = eng.serve([], managed=managed)
+    served = {r.query_id for r in rep.records}
+    assert served == {0, 2}
+    assert rep.meta["dropped"] == 1 and rep.meta["dropped_ids"] == [1]

@@ -1,0 +1,102 @@
+"""Unit tests for streaming index updates."""
+
+import numpy as np
+import pytest
+
+from repro.data.groundtruth import exact_knn, recall
+from repro.data.synthetic import latent_mixture
+from repro.graphs import DynamicGraph, build_cagra
+
+
+@pytest.fixture()
+def dyn():
+    pts = latent_mixture(500, 16, intrinsic_dim=8, seed=21)
+    g = build_cagra(pts, graph_degree=10)
+    return DynamicGraph(pts, g, max_degree=12, ef=48), pts
+
+
+def test_search_matches_static(dyn):
+    d, pts = dyn
+    gt, _ = exact_knn(pts[:10], pts, 5)
+    found = np.stack([d.search(q, 5)[0] for q in pts[:10]])
+    assert recall(found, gt) > 0.85
+
+
+def test_insert_becomes_findable(dyn):
+    d, pts = dyn
+    rng = np.random.default_rng(0)
+    new_pt = pts[7] + rng.normal(0, 1e-4, pts.shape[1]).astype(np.float32)
+    vid = d.insert(new_pt)
+    assert vid == 500 and d.n_alive == 501
+    ids, dist = d.search(new_pt, 3)
+    assert vid in ids  # the fresh point is its own nearest neighbour
+
+
+def test_delete_removed_from_results(dyn):
+    d, pts = dyn
+    target = int(d.search(pts[3], 1)[0][0])
+    d.delete(target)
+    assert d.n_alive == 499
+    ids, _ = d.search(pts[3], 10)
+    assert target not in ids
+
+
+def test_delete_preserves_recall(dyn):
+    """After deleting 10% of points, recall against the reduced ground
+    truth stays healthy (the patch rule keeps the graph navigable)."""
+    d, pts = dyn
+    rng = np.random.default_rng(1)
+    victims = rng.choice(500, size=50, replace=False)
+    for v in victims:
+        d.delete(int(v))
+    alive = np.setdiff1d(np.arange(500), victims)
+    gt, _ = exact_knn(pts[:10], pts[alive], 5)
+    found = []
+    for q in pts[:10]:
+        ids, _ = d.search(q, 5)
+        # map dynamic ids into the reduced id space
+        remap = {int(a): i for i, a in enumerate(alive)}
+        found.append([remap.get(int(i), -1) for i in ids])
+    assert recall(np.array(found), gt) > 0.75
+
+
+def test_insert_after_delete_reuses_structure(dyn):
+    d, pts = dyn
+    d.delete(0)
+    vid = d.insert(pts[0])
+    ids, _ = d.search(pts[0], 1)
+    assert ids[0] == vid
+
+
+def test_freeze_compacts(dyn):
+    d, pts = dyn
+    d.delete(5)
+    d.insert(pts[5])
+    fpts, g, orig = d.freeze()
+    assert fpts.shape[0] == 500 == g.n_vertices
+    assert 5 not in orig
+    assert orig[-1] == 500  # the inserted point kept the next dynamic id
+    # exported graph only references live compact ids
+    assert g.indices.max() < 500
+
+
+def test_delete_everything_then_insert():
+    pts = latent_mixture(20, 8, intrinsic_dim=4, seed=2)
+    g = build_cagra(pts, graph_degree=4)
+    d = DynamicGraph(pts, g, max_degree=6)
+    for v in range(20):
+        d.delete(v)
+    assert d.n_alive == 0
+    ids, _ = d.search(pts[0], 3)
+    assert ids.size == 0
+    vid = d.insert(pts[0])
+    assert d.search(pts[0], 1)[0][0] == vid
+
+
+def test_validation(dyn):
+    d, _ = dyn
+    with pytest.raises(IndexError):
+        d.delete(10_000)
+    d.delete(7)
+    with pytest.raises(ValueError):
+        d.delete(7)

@@ -1,0 +1,52 @@
+"""Unit tests for result export."""
+
+import csv
+import json
+
+from repro.analysis.export import records_to_csv, rows_to_csv, summary_to_json
+from repro.core.serving import QueryRecord, ServeReport
+from repro.gpusim.pcie import PCIeStats
+
+
+def mkreport():
+    recs = []
+    for i in range(3):
+        r = QueryRecord(i, 0.0)
+        r.dispatch_us, r.gpu_start_us = 1.0, 2.0
+        r.gpu_end_us, r.detected_us, r.complete_us = 10.0, 11.0, 12.0 + i
+        recs.append(r)
+    stats = PCIeStats(transactions=5, bytes_moved=100, busy_us=2.0,
+                      by_tag={"query": 5})
+    return ServeReport(records=recs, makespan_us=15.0, gpu_cta_busy_us=24.0,
+                       n_cta_slots=2, pcie=stats, host_busy_us=3.0)
+
+
+def test_records_csv_roundtrip(tmp_path):
+    rep = mkreport()
+    p = tmp_path / "records.csv"
+    assert records_to_csv(rep, p) == 3
+    with open(p) as f:
+        rows = list(csv.DictReader(f))
+    assert len(rows) == 3
+    assert float(rows[0]["service_latency_us"]) == 11.0
+    assert float(rows[2]["complete_us"]) == 14.0
+
+
+def test_summary_json(tmp_path):
+    rep = mkreport()
+    p = tmp_path / "summary.json"
+    payload = summary_to_json(rep, p, extra={"dataset": "sift1m-mini"})
+    with open(p) as f:
+        loaded = json.load(f)
+    assert loaded == payload
+    assert loaded["n_queries"] == 3
+    assert loaded["pcie"]["transactions"] == 5
+    assert loaded["dataset"] == "sift1m-mini"
+
+
+def test_rows_csv(tmp_path):
+    p = tmp_path / "rows.csv"
+    n = rows_to_csv(["a", "b"], [(1, 2), (3, 4)], p)
+    assert n == 2
+    with open(p) as f:
+        assert f.readline().strip() == "a,b"

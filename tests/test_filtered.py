@@ -1,0 +1,72 @@
+"""Unit tests for predicate-filtered search."""
+
+import numpy as np
+import pytest
+
+from repro.data.groundtruth import exact_knn, recall
+from repro.search.filtered import filtered_search
+
+
+def test_results_respect_filter(ds, graph, entry):
+    rng = np.random.default_rng(0)
+    mask = rng.random(ds.n) < 0.5
+    r, stats = filtered_search(
+        ds.base, graph, ds.queries[0], 10, mask, cand_capacity=64,
+        entries=entry, metric=ds.metric,
+    )
+    assert mask[r.ids].all()
+    assert 0.4 < stats.selectivity < 0.6
+    assert stats.admitted == len(r.ids) <= 10
+
+
+def test_filtered_recall_against_filtered_gt(ds, graph, entry):
+    rng = np.random.default_rng(1)
+    mask = rng.random(ds.n) < 0.5
+    allowed = np.flatnonzero(mask)
+    k = 5
+    gt, _ = exact_knn(ds.queries[:16], ds.base[allowed], k, metric=ds.metric)
+    gt_global = allowed[gt]  # map to global ids
+    found = []
+    for q in ds.queries[:16]:
+        r, _ = filtered_search(ds.base, graph, q, k, mask, cand_capacity=64,
+                               entries=entry, metric=ds.metric)
+        found.append(np.pad(r.ids, (0, k - len(r.ids)), constant_values=-1))
+    assert recall(np.stack(found), gt_global) > 0.7
+
+
+def test_everything_allowed_matches_unfiltered(ds, graph, entry):
+    from repro.search import intra_cta_search
+
+    mask = np.ones(ds.n, dtype=bool)
+    r, stats = filtered_search(ds.base, graph, ds.queries[2], 10, mask,
+                               cand_capacity=64, entries=entry, metric=ds.metric)
+    plain = intra_cta_search(ds.base, graph, ds.queries[2], 10, 64, entry,
+                             metric=ds.metric)
+    assert stats.selectivity == 1.0
+    assert np.array_equal(np.sort(r.ids), np.sort(plain.ids))
+
+
+def test_empty_filter(ds, graph, entry):
+    mask = np.zeros(ds.n, dtype=bool)
+    r, stats = filtered_search(ds.base, graph, ds.queries[0], 5, mask,
+                               entries=entry, metric=ds.metric)
+    assert r.ids.size == 0 and stats.selectivity == 0.0
+
+
+def test_selective_filter_inflates_list(ds, graph, entry):
+    mask = np.zeros(ds.n, dtype=bool)
+    mask[:ds.n // 20] = True  # 5% selectivity
+    r, stats = filtered_search(ds.base, graph, ds.queries[0], 5, mask,
+                               cand_capacity=32, entries=entry, metric=ds.metric)
+    # inflation clamps at 16x: the searcher saw far more than 32 candidates
+    assert stats.candidates_seen > 100
+    assert mask[r.ids].all()
+
+
+def test_validation(ds, graph, entry):
+    with pytest.raises(ValueError):
+        filtered_search(ds.base, graph, ds.queries[0], 5,
+                        np.ones(3, bool), entries=entry)
+    with pytest.raises(ValueError):
+        filtered_search(ds.base, graph, ds.queries[0], 0,
+                        np.ones(ds.n, bool), entries=entry)

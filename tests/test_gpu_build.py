@@ -1,0 +1,48 @@
+"""Unit tests for the construction-time model."""
+
+import pytest
+
+from repro.graphs.gpu_build import estimate_build_time
+from repro.gpusim.device import A100_SXM, RTX_A6000
+
+
+def test_gpu_batched_beats_cpu_incremental():
+    """The GANNS claim: batched GPU construction is much faster."""
+    gpu = estimate_build_time(RTX_A6000, n=1_000_000, dim=128, builder="nsw-batch")
+    cpu = estimate_build_time(RTX_A6000, n=1_000_000, dim=128,
+                              builder="nsw-incremental")
+    assert gpu.speedup_over(cpu) > 5.0
+    assert gpu.total_s > 0
+
+
+def test_scaling_with_n():
+    small = estimate_build_time(RTX_A6000, n=10_000, dim=128, builder="cagra")
+    big = estimate_build_time(RTX_A6000, n=100_000, dim=128, builder="cagra")
+    # kNN phase is quadratic in n
+    assert big.total_s > 50 * small.total_s
+
+
+def test_scaling_with_dim():
+    lo = estimate_build_time(RTX_A6000, n=50_000, dim=128, builder="nsw-batch")
+    hi = estimate_build_time(RTX_A6000, n=50_000, dim=960, builder="nsw-batch")
+    assert hi.total_s > 3 * lo.total_s
+
+
+def test_faster_device_builds_faster():
+    a6000 = estimate_build_time(RTX_A6000, n=500_000, dim=128, builder="cagra")
+    a100 = estimate_build_time(A100_SXM, n=500_000, dim=128, builder="cagra")
+    assert a100.total_s < a6000.total_s
+
+
+def test_phase_breakdown_sums():
+    est = estimate_build_time(RTX_A6000, n=10_000, dim=128, builder="cagra")
+    assert est.total_s == pytest.approx(sum(est.phases.values()))
+    assert set(est.phases) == {"distance_gemm_s", "topk_select_s",
+                               "detour_prune_s", "edge_update_s"}
+
+
+def test_validates():
+    with pytest.raises(ValueError):
+        estimate_build_time(RTX_A6000, n=1, dim=128)
+    with pytest.raises(ValueError):
+        estimate_build_time(RTX_A6000, n=100, dim=128, builder="faiss")

@@ -1,0 +1,61 @@
+"""Unit tests for the CSR GraphIndex."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.base import GraphIndex
+
+
+def small_graph():
+    lists = [np.array([1, 2]), np.array([0]), np.array([0, 1])]
+    return GraphIndex.from_neighbor_lists(lists, kind="test")
+
+
+def test_from_neighbor_lists_roundtrip():
+    g = small_graph()
+    assert g.n_vertices == 3 and g.n_edges == 5
+    assert list(g.neighbors(0)) == [1, 2]
+    assert list(g.neighbors(1)) == [0]
+    assert g.degree(2) == 2
+    assert g.max_degree == 2
+    assert np.array_equal(g.degrees, [2, 1, 2])
+
+
+def test_from_matrix_with_padding():
+    m = np.array([[1, 2, -1], [0, -1, -1], [0, 1, -1]], dtype=np.int32)
+    g = GraphIndex.from_matrix(m)
+    assert g.n_edges == 5
+    assert list(g.neighbors(0)) == [1, 2]
+
+
+def test_to_matrix_roundtrip():
+    g = small_graph()
+    m = g.to_matrix()
+    g2 = GraphIndex.from_matrix(m)
+    for v in range(3):
+        assert np.array_equal(g.neighbors(v), g2.neighbors(v))
+
+
+def test_save_load(tmp_path):
+    g = small_graph()
+    p = tmp_path / "g.npz"
+    g.save(p)
+    g2 = GraphIndex.load(p)
+    assert g2.kind == "test"
+    assert np.array_equal(g.indices, g2.indices)
+    assert np.array_equal(g.indptr, g2.indptr)
+
+
+def test_validation_rejects_bad_csr():
+    with pytest.raises(ValueError):
+        GraphIndex(np.array([0, 2]), np.array([0], dtype=np.int32))
+    with pytest.raises(ValueError):
+        GraphIndex(np.array([0, 1]), np.array([5], dtype=np.int32))  # id out of range
+    with pytest.raises(ValueError):
+        GraphIndex(np.array([2, 1, 3]), np.arange(3, dtype=np.int32))  # non-monotonic... first must be 0
+
+
+def test_neighbors_is_view():
+    g = small_graph()
+    nb = g.neighbors(0)
+    assert nb.base is g.indices

@@ -1,0 +1,49 @@
+"""Unit tests for graph diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.base import GraphIndex
+from repro.graphs.utils import graph_stats, medoid, reachable_fraction
+
+
+def ring(n):
+    return GraphIndex.from_neighbor_lists(
+        [np.array([(i + 1) % n]) for i in range(n)]
+    )
+
+
+def test_graph_stats_ring():
+    st = graph_stats(ring(10))
+    assert st.n_vertices == 10 and st.n_edges == 10
+    assert st.min_degree == st.max_degree == 1
+    assert st.n_weak_components == 1
+    assert st.n_strong_components == 1
+    assert st.is_weakly_connected
+
+
+def test_graph_stats_disconnected():
+    g = GraphIndex.from_neighbor_lists([np.array([1]), np.array([0]), np.array([], dtype=np.int32)])
+    st = graph_stats(g)
+    assert st.n_weak_components == 2
+
+
+def test_reachable_fraction():
+    # chain 0->1->2, plus isolated 3
+    g = GraphIndex.from_neighbor_lists(
+        [np.array([1]), np.array([2]), np.array([], np.int32), np.array([], np.int32)]
+    )
+    assert reachable_fraction(g, 0) == 0.75
+    assert reachable_fraction(g, 3) == 0.25
+    with pytest.raises(ValueError):
+        reachable_fraction(g, 9)
+
+
+def test_medoid_is_central():
+    rng = np.random.default_rng(0)
+    pts = np.vstack(
+        [rng.normal(0, 0.1, (50, 4)), rng.normal(5, 0.1, (5, 4))]
+    ).astype(np.float32)
+    m = medoid(pts, sample=55, seed=0)
+    # medoid should come from the big central cluster
+    assert m < 50

@@ -1,0 +1,45 @@
+"""Unit tests for host-side processing helpers (§V-B)."""
+
+import pytest
+
+from repro.core.host import estimate_host_load, partition_slots
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import RTX_A6000
+
+
+def test_partition_round_robin():
+    owned = partition_slots(10, 3)
+    assert owned == [[0, 3, 6, 9], [1, 4, 7], [2, 5, 8]]
+    assert partition_slots(2, 4)[:2] == [[0], [1]]
+
+
+def test_partition_validates():
+    with pytest.raises(ValueError):
+        partition_slots(0, 2)
+    with pytest.raises(ValueError):
+        partition_slots(4, 0)
+
+
+def test_host_load_saturation_regimes():
+    cm = CostModel(RTX_A6000)
+    # low-dim fast completions: high load
+    fast = estimate_host_load(RTX_A6000, cm, n_slots=32, n_parallel=8, k=16,
+                              dim=128, mean_gpu_time_us=10.0)
+    # high-dim slow completions: light load
+    slow = estimate_host_load(RTX_A6000, cm, n_slots=32, n_parallel=8, k=16,
+                              dim=960, mean_gpu_time_us=200.0)
+    assert fast.utilization_per_thread > slow.utilization_per_thread
+    assert fast.threads_needed() >= slow.threads_needed()
+
+
+def test_threads_reduce_utilization():
+    cm = CostModel(RTX_A6000)
+    one = estimate_host_load(RTX_A6000, cm, 32, 8, 16, 128, 10.0, n_threads=1)
+    four = estimate_host_load(RTX_A6000, cm, 32, 8, 16, 128, 10.0, n_threads=4)
+    assert four.utilization_per_thread == pytest.approx(one.utilization_per_thread / 4)
+
+
+def test_validates_gpu_time():
+    cm = CostModel(RTX_A6000)
+    with pytest.raises(ValueError):
+        estimate_host_load(RTX_A6000, cm, 1, 1, 1, 1, 0.0)

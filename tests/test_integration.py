@@ -1,0 +1,130 @@
+"""Integration tests: end-to-end invariants across modules.
+
+These assert the controlled-comparison properties the reproduction relies
+on: identical traces under both engines, dynamic <= static latency, cost
+accounting identities, and recall parity between the merge paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic_batcher import DynamicBatchConfig, DynamicBatchEngine
+from repro.core.pipeline import ALGASSystem
+from repro.core.static_batcher import StaticBatchConfig, StaticBatchEngine
+from repro.data.groundtruth import recall
+from repro.data.workload import closed_loop, poisson_arrivals
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import RTX_A6000
+
+
+@pytest.fixture(scope="module")
+def stack(ds_i, graph_i):
+    system = ALGASSystem(
+        ds_i.base, graph_i, metric=ds_i.metric, k=10, l_total=64,
+        batch_size=8, max_parallel=4, seed=3,
+    )
+    ids, dists, traces = system.search_all(ds_i.queries)
+    jobs = system.jobs_from_traces(traces, closed_loop(len(traces)))
+    return system, ids, traces, jobs
+
+
+@pytest.fixture(scope="module")
+def ds_i():
+    from repro.data import load_dataset
+
+    return load_dataset("sift1m-mini", n=2000, n_queries=48, gt_k=64, seed=11)
+
+
+@pytest.fixture(scope="module")
+def graph_i(ds_i):
+    from repro.graphs import build_cagra
+
+    return build_cagra(ds_i.base, graph_degree=12, metric=ds_i.metric)
+
+
+def test_dynamic_beats_static_on_same_traces(stack):
+    system, _, _, jobs = stack
+    dyn = system.make_engine().serve(jobs)
+    static = StaticBatchEngine(
+        system.device,
+        system.cost_model,
+        StaticBatchConfig(
+            batch_size=system.batch_size, n_parallel=system.n_parallel,
+            k=system.k, merge_on_gpu=True, mem_per_block=system.mem_per_block(),
+        ),
+    ).serve(jobs)
+    assert dyn.mean_latency_us() < static.mean_latency_us()
+    assert dyn.throughput_qps > static.throughput_qps
+    assert dyn.mean_bubble_us < static.mean_bubble_us
+
+
+def test_cost_accounting_identity(stack):
+    """Sum of priced step costs equals the CTA duration the engines use."""
+    system, _, traces, jobs = stack
+    cm = system.cost_model
+    for tr, job in zip(traces, jobs):
+        for cta, dur in zip(tr.ctas, job.cta_durations_us):
+            parts = sum(cm.step_durations_us(cta))
+            total = cm.cta_duration_us(cta)
+            write = cm.cta_cost(cta).result_write_us
+            assert total == pytest.approx(parts + write, rel=1e-9)
+
+
+def test_engine_gpu_busy_matches_job_durations(stack):
+    system, _, _, jobs = stack
+    rep = system.make_engine().serve(jobs)
+    expect = sum(sum(j.cta_durations_us) for j in jobs)
+    assert rep.gpu_cta_busy_us == pytest.approx(expect)
+
+
+def test_merge_location_does_not_change_results(ds_i, graph_i):
+    a = ALGASSystem(ds_i.base, graph_i, metric=ds_i.metric, k=10, l_total=64,
+                    batch_size=8, max_parallel=4, merge_on_cpu=True, seed=5)
+    b = ALGASSystem(ds_i.base, graph_i, metric=ds_i.metric, k=10, l_total=64,
+                    batch_size=8, max_parallel=4, merge_on_cpu=False, seed=5)
+    ra = a.serve(ds_i.queries[:16])
+    rb = b.serve(ds_i.queries[:16])
+    assert np.array_equal(ra.ids, rb.ids)  # merge location is timing-only
+
+
+def test_open_loop_latency_includes_queueing(stack, ds_i):
+    system, _, traces, _ = stack
+    # Offered load far above capacity: e2e latency must blow up vs service.
+    events = poisson_arrivals(len(traces), rate_qps=50_000_000, seed=0)
+    jobs = system.jobs_from_traces(traces, sorted(events, key=lambda e: e.query_id))
+    rep = system.make_engine().serve(jobs)
+    assert rep.mean_latency_us("e2e") >= rep.mean_latency_us("service")
+
+
+def test_recall_consistency_across_systems(ds_i, graph_i):
+    """All graph systems search the same graph: recall should be in family."""
+    from repro.baselines import CAGRASystem
+
+    a = ALGASSystem(ds_i.base, graph_i, metric=ds_i.metric, k=10, l_total=64,
+                    batch_size=8, max_parallel=4)
+    c = CAGRASystem(ds_i.base, graph_i, metric=ds_i.metric, k=10, l_total=64,
+                    batch_size=8, max_parallel=4)
+    ra = recall(a.serve(ds_i.queries).ids, ds_i.gt_at(10))
+    rc = recall(c.serve(ds_i.queries).ids, ds_i.gt_at(10))
+    assert abs(ra - rc) < 0.1
+    assert ra > 0.8
+
+
+def test_dynamic_engine_determinism(stack):
+    system, _, _, jobs = stack
+    a = system.make_engine().serve(jobs)
+    b = system.make_engine().serve(jobs)
+    assert a.makespan_us == b.makespan_us
+    la = [r.complete_us for r in a.records]
+    lb = [r.complete_us for r in b.records]
+    assert la == lb
+
+
+def test_cosine_dataset_end_to_end(cos_ds):
+    from repro.graphs import build_cagra
+
+    g = build_cagra(cos_ds.base, graph_degree=12, metric=cos_ds.metric)
+    sys_ = ALGASSystem(cos_ds.base, g, metric=cos_ds.metric, k=10, l_total=64,
+                       batch_size=8, max_parallel=4)
+    rep = sys_.serve(cos_ds.queries)
+    assert recall(rep.ids, cos_ds.gt_at(10)) > 0.75

@@ -1,0 +1,72 @@
+"""Unit tests for texmex/npz IO round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import (
+    load_dataset_npz,
+    read_fvecs,
+    read_ivecs,
+    save_dataset_npz,
+    write_fvecs,
+    write_ivecs,
+)
+
+
+def test_fvecs_roundtrip(tmp_path):
+    rng = np.random.default_rng(0)
+    arr = rng.normal(size=(13, 7)).astype(np.float32)
+    p = tmp_path / "x.fvecs"
+    write_fvecs(p, arr)
+    back = read_fvecs(p)
+    assert np.array_equal(arr, back)
+
+
+def test_ivecs_roundtrip(tmp_path):
+    arr = np.arange(24, dtype=np.int32).reshape(4, 6)
+    p = tmp_path / "x.ivecs"
+    write_ivecs(p, arr)
+    assert np.array_equal(read_ivecs(p), arr)
+
+
+def test_read_corrupt_raises(tmp_path):
+    p = tmp_path / "bad.fvecs"
+    p.write_bytes(b"\x02\x00\x00\x00" + b"\x00" * 5)  # wrong record size
+    with pytest.raises(ValueError):
+        read_fvecs(p)
+
+
+def test_read_inconsistent_dims_raises(tmp_path):
+    import struct
+
+    p = tmp_path / "bad2.fvecs"
+    rec1 = struct.pack("<i", 2) + struct.pack("<2f", 1.0, 2.0)
+    rec2 = struct.pack("<i", 1) + struct.pack("<2f", 1.0, 2.0)[:4]
+    p.write_bytes(rec1 + rec2)
+    with pytest.raises(ValueError):
+        read_fvecs(p)
+
+
+def test_empty_file(tmp_path):
+    p = tmp_path / "empty.fvecs"
+    p.write_bytes(b"")
+    assert read_fvecs(p).size == 0
+
+
+def test_npz_roundtrip(tmp_path):
+    rng = np.random.default_rng(1)
+    base = rng.normal(size=(10, 4)).astype(np.float32)
+    q = rng.normal(size=(3, 4)).astype(np.float32)
+    gt = np.arange(6).reshape(3, 2)
+    p = tmp_path / "ds.npz"
+    save_dataset_npz(p, base, q, gt, metric="cosine")
+    b2, q2, gt2, metric = load_dataset_npz(p)
+    assert np.array_equal(base, b2) and np.array_equal(q, q2)
+    assert np.array_equal(gt, gt2) and metric == "cosine"
+
+
+def test_npz_without_gt(tmp_path):
+    p = tmp_path / "ds2.npz"
+    save_dataset_npz(p, np.ones((2, 2), np.float32), np.ones((1, 2), np.float32))
+    _, _, gt, metric = load_dataset_npz(p)
+    assert gt is None and metric == "l2"

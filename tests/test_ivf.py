@@ -1,0 +1,85 @@
+"""Unit tests for the IVF-Flat baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data.groundtruth import exact_knn, recall
+from repro.search.ivf import IVFFlatIndex, kmeans
+
+
+def test_kmeans_assignment_consistency():
+    rng = np.random.default_rng(0)
+    pts = np.vstack(
+        [rng.normal(c, 0.05, (40, 4)) for c in (0.0, 5.0, 10.0)]
+    ).astype(np.float32)
+    cents, assign = kmeans(pts, 3, seed=0)
+    assert cents.shape == (3, 4)
+    # points in the same generated blob share a cluster
+    assert len(set(assign[:40].tolist())) == 1
+    assert len(set(assign[40:80].tolist())) == 1
+
+
+def test_kmeans_deterministic():
+    rng = np.random.default_rng(1)
+    pts = rng.normal(size=(100, 6)).astype(np.float32)
+    a, _ = kmeans(pts, 8, seed=2)
+    b, _ = kmeans(pts, 8, seed=2)
+    assert np.array_equal(a, b)
+
+
+def test_kmeans_validates():
+    pts = np.ones((5, 2), dtype=np.float32)
+    with pytest.raises(ValueError):
+        kmeans(pts, 0)
+    with pytest.raises(ValueError):
+        kmeans(pts, 6)
+
+
+def test_ivf_lists_partition(ds):
+    idx = IVFFlatIndex(ds.base, nlist=16, metric=ds.metric, seed=0)
+    all_ids = np.concatenate([idx.list_ids(c) for c in range(16)])
+    assert sorted(all_ids.tolist()) == list(range(ds.n))
+    assert idx.list_sizes.sum() == ds.n
+
+
+def test_ivf_full_probe_is_exact(ds):
+    idx = IVFFlatIndex(ds.base, nlist=8, metric=ds.metric, seed=0)
+    gt, _ = exact_knn(ds.queries[:8], ds.base, 5, metric=ds.metric)
+    found = np.stack(
+        [idx.search(q, 5, nprobe=8).ids for q in ds.queries[:8]]
+    )
+    assert recall(found, gt) == 1.0
+
+
+def test_ivf_recall_grows_with_nprobe(ds):
+    idx = IVFFlatIndex(ds.base, nlist=32, metric=ds.metric, seed=0)
+    k = 10
+    recs = []
+    for nprobe in (1, 4, 16):
+        rows = []
+        for q in ds.queries[:16]:
+            ids = idx.search(q, k, nprobe=nprobe).ids
+            rows.append(np.pad(ids, (0, k - len(ids)), constant_values=-1))
+        recs.append(recall(np.stack(rows), ds.gt_at(k)[:16]))
+    assert recs[0] <= recs[1] <= recs[2]
+    assert recs[2] > 0.9
+
+
+def test_ivf_trace_op_counts(ds):
+    idx = IVFFlatIndex(ds.base, nlist=16, metric=ds.metric, seed=0)
+    r = idx.search(ds.queries[0], 5, nprobe=4)
+    t = r.trace
+    assert t.n_steps == 2
+    scanned = t.steps[1].n_new_points
+    expect = sum(len(idx.list_ids(int(c))) for c in np.argsort(
+        np.linalg.norm(idx.centroids - ds.queries[0], axis=1))[:4])
+    assert scanned == expect
+    assert t.steps[0].n_new_points == 16
+
+
+def test_ivf_validates(ds):
+    idx = IVFFlatIndex(ds.base, nlist=8, metric=ds.metric, seed=0)
+    with pytest.raises(ValueError):
+        idx.search(ds.queries[0], 5, nprobe=0)
+    with pytest.raises(ValueError):
+        idx.search(ds.queries[0], 0, nprobe=2)

@@ -1,0 +1,47 @@
+"""Unit tests for kernel-launch and partitioned-launch models."""
+
+import pytest
+
+from repro.gpusim.device import RTX_A6000
+from repro.gpusim.kernel import launch_blocks, partitioned_launch_makespan
+
+
+def test_launch_pays_overhead_once():
+    k = launch_blocks(RTX_A6000, [10.0, 12.0], mem_per_block=4096)
+    assert k.schedule.start_us[0] == RTX_A6000.kernel_launch_us
+    assert k.end_us == RTX_A6000.kernel_launch_us + 12.0
+
+
+def test_launch_waves_when_oversubscribed():
+    # Huge blocks: 2 resident per SM -> 168 concurrent.
+    n_conc = 2 * RTX_A6000.num_sms
+    durations = [1.0] * (n_conc + 1)
+    k = launch_blocks(RTX_A6000, durations, mem_per_block=50 * 1024)
+    assert k.n_concurrent == n_conc
+    assert k.end_us == pytest.approx(RTX_A6000.kernel_launch_us + 2.0)
+
+
+def test_launch_infeasible_block():
+    with pytest.raises(ValueError):
+        launch_blocks(RTX_A6000, [1.0], mem_per_block=1024 * 1024)
+
+
+def test_partitioned_more_expensive_than_one_shot():
+    steps = [[1.0] * 10 for _ in range(4)]
+    fine = partitioned_launch_makespan(RTX_A6000, steps, 4096, steps_per_launch=1, reload_us=0.5)
+    coarse = partitioned_launch_makespan(RTX_A6000, steps, 4096, steps_per_launch=10, reload_us=0.5)
+    assert fine > coarse
+    # coarse = launch + reload + 10 steps
+    assert coarse == pytest.approx(RTX_A6000.kernel_launch_us + 0.5 + 10.0)
+
+
+def test_partitioned_handles_uneven_blocks():
+    steps = [[1.0] * 3, [1.0] * 7]
+    m = partitioned_launch_makespan(RTX_A6000, steps, 4096, steps_per_launch=3, reload_us=0.0)
+    # 3 launches (ceil(7/3)); each launch costs overhead + longest chunk
+    assert m == pytest.approx(3 * RTX_A6000.kernel_launch_us + 3 + 3 + 1)
+
+
+def test_partitioned_validates():
+    with pytest.raises(ValueError):
+        partitioned_launch_makespan(RTX_A6000, [[1.0]], 4096, steps_per_launch=0, reload_us=0.1)

@@ -1,0 +1,63 @@
+"""Unit tests for global-memory planning / UM oversubscription."""
+
+import pytest
+
+from repro.gpusim.device import RTX_A6000
+from repro.gpusim.memory import GIB, footprint_bytes, plan_memory
+
+
+def test_footprint_components():
+    f = footprint_bytes(n_vectors=1000, dim=128, n_edges=32_000)
+    assert f == 1000 * 128 * 4 + 32_000 * 4 + 1001 * 8
+    f2 = footprint_bytes(1000, 128, 32_000, n_slots=16, n_parallel=8, k=16)
+    assert f2 == f + 16 * 125 + 16 * 8 * 16 * 8
+
+
+def test_footprint_validates():
+    with pytest.raises(ValueError):
+        footprint_bytes(0, 128, 0)
+
+
+def test_fits_at_small_scale():
+    plan = plan_memory(RTX_A6000, 1_000_000, 128, 32_000_000, n_slots=16,
+                       n_parallel=8, k=16)
+    assert plan.fits
+    assert plan.effective_bw_gbps == RTX_A6000.global_mem_bw_gbps
+    assert plan.oversubscription < 1.0
+
+
+def test_oversubscription_derates_bandwidth():
+    # 2x oversubscribed: half the accesses fault over PCIe.
+    plan = plan_memory(
+        RTX_A6000, 100_000, 128, 0, capacity_bytes=100_000 * 128 * 2
+    )
+    assert not plan.fits
+    assert 0.4 < plan.spill_fraction < 0.6
+    assert plan.effective_bw_gbps < 0.1 * RTX_A6000.global_mem_bw_gbps
+    assert plan.oversubscription > 1.9
+
+
+def test_mild_spill_still_costly():
+    total = footprint_bytes(100_000, 128, 0)
+    plan = plan_memory(RTX_A6000, 100_000, 128, 0, capacity_bytes=int(total / 1.1))
+    assert 0.05 < plan.spill_fraction < 0.15
+    # ~10% spill loses the majority of bandwidth (the UM cliff)
+    assert plan.effective_bw_gbps < 0.5 * RTX_A6000.global_mem_bw_gbps
+
+
+def test_validates_capacity():
+    with pytest.raises(ValueError):
+        plan_memory(RTX_A6000, 10, 4, 0, capacity_bytes=0)
+
+
+def test_derated_device_integration():
+    plan = plan_memory(RTX_A6000, 100_000, 128, 0, capacity_bytes=100_000 * 128 * 2)
+    dev = RTX_A6000.with_overrides(global_mem_bw_gbps=plan.effective_bw_gbps)
+    from repro.gpusim.costmodel import CostModel
+    from repro.gpusim.trace import StepRecord
+
+    step = StepRecord(0, 1, 16, 16, 8, 128, 72, 64, True)
+    slow = CostModel(dev).step_cost(step)
+    fast = CostModel(RTX_A6000).step_cost(step)
+    assert slow.distance_us > fast.distance_us
+    assert slow.fetch_us > fast.fetch_us

@@ -1,0 +1,29 @@
+"""Unit tests for the host-side merger."""
+
+import numpy as np
+
+from repro.core.merge import HostMerger
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import RTX_A6000
+
+
+def test_merge_outcome_correct():
+    m = HostMerger(CostModel(RTX_A6000))
+    lists = [
+        (np.array([1, 3]), np.array([0.1, 0.3], dtype=np.float32)),
+        (np.array([2, 4]), np.array([0.2, 0.4], dtype=np.float32)),
+    ]
+    out = m.merge(lists, 3)
+    assert out.ids.tolist() == [1, 2, 3]
+    assert out.cpu_us > 0
+    assert m.merges == 1
+    assert m.total_cpu_us == out.cpu_us
+
+
+def test_cost_only_accumulates():
+    m = HostMerger(CostModel(RTX_A6000))
+    a = m.merge_cost_only(8, 16)
+    b = m.merge_cost_only(8, 16)
+    assert a == b > 0
+    assert m.merges == 2
+    assert m.total_cpu_us == a + b

@@ -1,0 +1,69 @@
+"""Unit tests for occupancy / shared-memory accounting."""
+
+import pytest
+
+from repro.gpusim.device import RTX_A6000
+from repro.gpusim.occupancy import (
+    ENTRY_BYTES,
+    SearchMemoryLayout,
+    block_shared_mem_bytes,
+    can_cohabit,
+    max_resident_blocks,
+)
+
+
+def test_layout_bytes():
+    lay = SearchMemoryLayout(cand_list_len=64, expand_list_len=32, dim=128)
+    total = lay.total_bytes()
+    assert total == 64 * ENTRY_BYTES + 32 * ENTRY_BYTES + 128 * 4 + 256
+
+
+def test_layout_pads_expand_to_pow2():
+    a = SearchMemoryLayout(10, 17, 8).total_bytes()
+    b = SearchMemoryLayout(10, 32, 8).total_bytes()
+    assert a == b  # 17 padded to 32
+
+
+def test_layout_validates():
+    with pytest.raises(ValueError):
+        SearchMemoryLayout(0, 4, 8).total_bytes()
+
+
+def test_block_charge_adds_reserved():
+    lay = SearchMemoryLayout(16, 16, 16)
+    assert (
+        block_shared_mem_bytes(lay, RTX_A6000)
+        == lay.total_bytes() + RTX_A6000.reserved_shared_mem_per_block
+    )
+
+
+def test_max_resident_blocks_limited_by_mem():
+    # 50 KiB blocks: only 2 fit in 100 KiB per SM.
+    n = max_resident_blocks(RTX_A6000, 50 * 1024)
+    assert n == 2 * RTX_A6000.num_sms
+
+
+def test_max_resident_blocks_limited_by_block_cap():
+    n = max_resident_blocks(RTX_A6000, 64)  # tiny blocks
+    assert n == RTX_A6000.max_resident_blocks
+
+
+def test_block_too_large_for_optin():
+    assert max_resident_blocks(RTX_A6000, 100 * 1024) == 0
+
+
+def test_reserved_cache_reduces_residency():
+    a = max_resident_blocks(RTX_A6000, 20 * 1024)
+    b = max_resident_blocks(RTX_A6000, 20 * 1024, reserved_cache_per_block=16 * 1024)
+    assert b < a
+
+
+def test_can_cohabit():
+    assert can_cohabit(RTX_A6000, 84, 1024)
+    assert not can_cohabit(RTX_A6000, 10**6, 1024)
+    assert can_cohabit(RTX_A6000, 0, 1024)
+
+
+def test_invalid_mem():
+    with pytest.raises(ValueError):
+        max_resident_blocks(RTX_A6000, 0)

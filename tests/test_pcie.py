@@ -1,0 +1,66 @@
+"""Unit tests for the PCIe link model."""
+
+import pytest
+
+from repro.gpusim.device import RTX_A6000
+from repro.gpusim.pcie import PCIeLink
+
+
+def test_transfer_completion_includes_latency():
+    link = PCIeLink(RTX_A6000)
+    t = link.transfer(0.0, 0)
+    assert t == pytest.approx(link.tx_overhead_us + link.lat_us)
+
+
+def test_fifo_serialization():
+    link = PCIeLink(RTX_A6000)
+    t1 = link.transfer(0.0, 1000)
+    t2 = link.transfer(0.0, 1000)
+    assert t2 > t1
+    occ = link.occupancy_us(1000)
+    assert t2 == pytest.approx(2 * occ + link.lat_us)
+
+
+def test_idle_gap_no_queueing():
+    link = PCIeLink(RTX_A6000)
+    link.transfer(0.0, 100)
+    t = link.transfer(100.0, 100)
+    assert t == pytest.approx(100.0 + link.occupancy_us(100) + link.lat_us)
+
+
+def test_bandwidth_term():
+    link = PCIeLink(RTX_A6000)
+    big = link.occupancy_us(10**6)
+    small = link.occupancy_us(10)
+    assert big > small
+    assert big - small == pytest.approx((10**6 - 10) / (RTX_A6000.pcie_bw_gbps * 1e3))
+
+
+def test_mmio_override_cheaper():
+    link = PCIeLink(RTX_A6000)
+    assert link.occupancy_us(4, overhead_us=link.MMIO_OVERHEAD_US) < link.occupancy_us(4)
+
+
+def test_stats_accumulate():
+    link = PCIeLink(RTX_A6000)
+    link.transfer(0.0, 10, tag="query")
+    link.transfer(0.0, 20, tag="query")
+    link.transfer(0.0, 30, tag="result")
+    s = link.stats
+    assert s.transactions == 3
+    assert s.bytes_moved == 60
+    assert s.by_tag == {"query": 2, "result": 1}
+    assert 0 < s.utilization(1000.0) <= 1.0
+
+
+def test_reset():
+    link = PCIeLink(RTX_A6000)
+    link.transfer(0.0, 10)
+    link.reset()
+    assert link.stats.transactions == 0 and link.busy_until == 0.0
+
+
+def test_negative_bytes_raise():
+    link = PCIeLink(RTX_A6000)
+    with pytest.raises(ValueError):
+        link.transfer(0.0, -1)

@@ -1,0 +1,49 @@
+"""Unit tests for the persistent-kernel model."""
+
+import pytest
+
+from repro.core.persistent_kernel import PersistentKernel
+from repro.core.tuning import tune
+from repro.gpusim.device import RTX_A6000
+
+
+@pytest.fixture(scope="module")
+def pk():
+    t = tune(RTX_A6000, n_slots=16, l_total=128, k=16, max_degree=32, dim=128)
+    return PersistentKernel(RTX_A6000, t)
+
+
+def test_validates_feasibility():
+    from dataclasses import replace
+
+    t = tune(RTX_A6000, n_slots=16, l_total=128, k=16, max_degree=32, dim=128)
+    bad = replace(t, feasible=False)
+    with pytest.raises(ValueError):
+        PersistentKernel(RTX_A6000, bad)
+
+
+def test_persistent_makespan(pk):
+    blocks = [[1.0, 2.0], [4.0]]
+    m = pk.persistent_makespan(blocks)
+    assert m == pytest.approx(RTX_A6000.kernel_launch_us + 4.0)
+    assert pk.persistent_makespan([]) == 0.0
+
+
+def test_persistent_rejects_oversubscription(pk):
+    too_many = [[1.0]] * (pk.total_blocks + 1)
+    with pytest.raises(ValueError):
+        pk.persistent_makespan(too_many)
+
+
+def test_partitioned_slower_and_converges(pk):
+    blocks = [[0.5] * 20 for _ in range(8)]
+    persistent = pk.persistent_makespan(blocks)
+    fine = pk.partitioned_makespan(blocks, steps_per_launch=1)
+    coarse = pk.partitioned_makespan(blocks, steps_per_launch=20)
+    assert fine > coarse > 0
+    assert fine > 2 * persistent
+    assert coarse < 1.5 * persistent
+
+
+def test_shared_mem_reload_positive(pk):
+    assert pk.shared_mem_reload_us() > 0

@@ -1,0 +1,88 @@
+"""Unit tests for the system facade (ALGASSystem and shared machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ALGASSystem
+from repro.data.groundtruth import recall
+
+
+@pytest.fixture(scope="module")
+def system(ds_mod, graph_mod):
+    return ALGASSystem(
+        ds_mod.base, graph_mod, metric=ds_mod.metric, k=10, l_total=64,
+        batch_size=8, max_parallel=4, seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def ds_mod():
+    from repro.data import load_dataset
+
+    return load_dataset("sift1m-mini", n=2000, n_queries=48, gt_k=64, seed=11)
+
+
+@pytest.fixture(scope="module")
+def graph_mod(ds_mod):
+    from repro.graphs import build_cagra
+
+    return build_cagra(ds_mod.base, graph_degree=12, metric=ds_mod.metric)
+
+
+def test_tuning_applied(system):
+    assert system.n_parallel == 4
+    assert system.tuning.feasible
+    assert system.tuning.per_cta_cand_len == 16
+
+
+def test_serve_end_to_end(system, ds_mod):
+    rep = system.serve(ds_mod.queries)
+    assert rep.ids.shape == (48, 10)
+    assert recall(rep.ids, ds_mod.gt_at(10)) > 0.8
+    assert rep.mean_latency_us > 0
+    assert rep.throughput_qps > 0
+    assert len(rep.serve.records) == 48
+
+
+def test_search_all_padding(system, ds_mod):
+    ids, dists, traces = system.search_all(ds_mod.queries[:4])
+    assert ids.shape == (4, 10)
+    assert len(traces) == 4
+    assert all(t.n_ctas == system.n_parallel for t in traces)
+
+
+def test_jobs_from_traces(system, ds_mod):
+    from repro.data.workload import closed_loop
+
+    _, _, traces = system.search_all(ds_mod.queries[:3])
+    jobs = system.jobs_from_traces(traces, closed_loop(3))
+    assert len(jobs) == 3
+    assert all(j.n_ctas == system.n_parallel for j in jobs)
+    assert all(d > 0 for j in jobs for d in j.cta_durations_us)
+    with pytest.raises(ValueError):
+        system.jobs_from_traces(traces, closed_loop(2))
+
+
+def test_infeasible_n_parallel_rejected(ds_mod, graph_mod):
+    with pytest.raises(ValueError):
+        ALGASSystem(
+            ds_mod.base, graph_mod, metric=ds_mod.metric, k=10, l_total=64,
+            batch_size=2000, n_parallel=8,  # 16000 blocks > 1344
+        )
+
+
+def test_beam_flag_variants(ds_mod, graph_mod):
+    on = ALGASSystem(ds_mod.base, graph_mod, metric=ds_mod.metric, beam=True,
+                     k=10, l_total=64, batch_size=4, max_parallel=2)
+    off = ALGASSystem(ds_mod.base, graph_mod, metric=ds_mod.metric, beam=False,
+                      k=10, l_total=64, batch_size=4, max_parallel=2)
+    assert on.beam is not None and off.beam is None
+
+
+def test_param_validation(ds_mod, graph_mod):
+    with pytest.raises(ValueError):
+        ALGASSystem(ds_mod.base, graph_mod, k=0, l_total=64)
+    with pytest.raises(ValueError):
+        ALGASSystem(ds_mod.base, graph_mod, k=10, l_total=5)
+    with pytest.raises(ValueError):
+        ALGASSystem(ds_mod.base, graph_mod, k=10, l_total=64, batch_size=0)

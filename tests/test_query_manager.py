@@ -1,0 +1,67 @@
+"""Unit tests for the concurrent query manager (§V-B + extensions)."""
+
+import pytest
+
+from repro.core.query_manager import ManagedQuery, QueryManager
+from repro.core.serving import QueryJob
+
+
+def job(qid, arrival=0.0):
+    return QueryJob(qid, arrival, (10.0,), 128, 8)
+
+
+def test_fifo_order():
+    m = QueryManager([job(0, 0.0), job(1, 1.0), job(2, 2.0)])
+    assert m.next_ready(10.0).job.query_id == 0
+    assert m.next_ready(10.0).job.query_id == 1
+    assert m.next_ready(10.0).job.query_id == 2
+    assert m.next_ready(10.0) is None
+    assert m.dispatched == 3
+
+
+def test_arrival_gating():
+    m = QueryManager([job(0, 5.0)])
+    assert m.next_ready(4.9) is None
+    assert m.next_arrival_us() == 5.0
+    assert m.next_ready(5.0).job.query_id == 0
+    assert m.next_arrival_us() is None
+
+
+def test_priority_overtakes_fifo():
+    m = QueryManager()
+    m.submit(ManagedQuery(job(0, 0.0), priority=0))
+    m.submit(ManagedQuery(job(1, 1.0), priority=5))
+    assert m.next_ready(2.0).job.query_id == 1  # urgent first
+    assert m.next_ready(2.0).job.query_id == 0
+
+
+def test_priority_ties_are_fifo():
+    m = QueryManager()
+    m.submit(ManagedQuery(job(0, 0.0), priority=1))
+    m.submit(ManagedQuery(job(1, 0.5), priority=1))
+    assert m.next_ready(1.0).job.query_id == 0
+
+
+def test_deadline_drops():
+    m = QueryManager()
+    m.submit(ManagedQuery(job(0, 0.0), deadline_us=3.0))
+    m.submit(ManagedQuery(job(1, 0.0)))
+    got = m.next_ready(5.0)
+    assert got.job.query_id == 1
+    assert len(m.dropped) == 1
+    assert m.dropped[0].job.query_id == 0
+    assert m.pending == 0
+
+
+def test_peek_does_not_consume():
+    m = QueryManager([job(0)])
+    assert m.peek_ready(0.0).job.query_id == 0
+    assert m.peek_ready(0.0).job.query_id == 0
+    assert m.pending == 1
+
+
+def test_bool_and_pending():
+    m = QueryManager()
+    assert not m
+    m.submit(job(0, 100.0))
+    assert m and m.pending == 1

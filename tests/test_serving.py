@@ -1,0 +1,57 @@
+"""Unit tests for serving vocabulary (jobs, records, reports)."""
+
+import numpy as np
+import pytest
+
+from repro.core.serving import QueryJob, QueryRecord, ServeReport
+
+
+def test_query_job_validation():
+    with pytest.raises(ValueError):
+        QueryJob(0, 0.0, (), 128, 10)
+    with pytest.raises(ValueError):
+        QueryJob(0, 0.0, (-1.0,), 128, 10)
+    j = QueryJob(0, 0.0, (3.0, 5.0), 128, 10)
+    assert j.n_ctas == 2 and j.gpu_time_us == 5.0
+
+
+def test_record_latencies():
+    r = QueryRecord(0, arrival_us=10.0)
+    r.dispatch_us = 12.0
+    r.gpu_end_us = 30.0
+    r.complete_us = 40.0
+    assert r.service_latency_us == 28.0
+    assert r.e2e_latency_us == 30.0
+    assert r.bubble_us == 10.0
+
+
+def test_report_metrics():
+    recs = []
+    for i, lat in enumerate((10.0, 20.0, 30.0)):
+        r = QueryRecord(i, 0.0)
+        r.dispatch_us = 0.0
+        r.gpu_start_us = 1.0
+        r.gpu_end_us = lat - 2
+        r.complete_us = lat
+        recs.append(r)
+    rep = ServeReport(records=recs, makespan_us=30.0, gpu_cta_busy_us=60.0, n_cta_slots=4)
+    assert rep.mean_latency_us() == pytest.approx(20.0)
+    assert rep.percentile_latency_us(50) == pytest.approx(20.0)
+    assert rep.throughput_qps == pytest.approx(3 / 30e-6)
+    assert rep.gpu_utilization == pytest.approx(60.0 / (4 * 30.0))
+    assert np.array_equal(rep.sorted_latencies_us(), [10.0, 20.0, 30.0])
+    s = rep.summary()
+    assert s["n_queries"] == 3 and s["mean_latency_us"] == pytest.approx(20.0)
+
+
+def test_report_empty():
+    rep = ServeReport(records=[], makespan_us=0.0, gpu_cta_busy_us=0.0, n_cta_slots=1)
+    assert rep.mean_latency_us() == 0.0
+    assert rep.throughput_qps == 0.0
+    assert rep.mean_bubble_us == 0.0
+
+
+def test_latency_kind_validation():
+    rep = ServeReport(records=[], makespan_us=0.0, gpu_cta_busy_us=0.0, n_cta_slots=1)
+    with pytest.raises(ValueError):
+        rep.mean_latency_us("wallclock")

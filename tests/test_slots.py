@@ -1,0 +1,71 @@
+"""Unit tests for the slot state machine (Fig. 5)."""
+
+import pytest
+
+from repro.core.slots import Slot, SlotState, StateTransitionError
+
+
+def test_lifecycle():
+    s = Slot(slot_id=0, n_ctas=2)
+    assert s.state is SlotState.NONE and s.is_free
+    s.dispatch(query_id=7)
+    assert s.state is SlotState.WORK and s.query_id == 7
+    s.advance_cta(0)
+    assert not s.all_finished
+    assert s.state is SlotState.WORK  # least-advanced CTA governs
+    s.advance_cta(1)
+    assert s.all_finished and s.state is SlotState.FINISH
+    qid = s.collect()
+    assert qid == 7 and s.state is SlotState.DONE and s.is_free
+    assert s.queries_served == 1
+    s.dispatch(8)  # slot reuse
+    s.advance_cta(0)
+    s.advance_cta(1)
+    s.collect()
+    s.retire()
+    assert s.state is SlotState.QUIT
+
+
+def test_collect_before_finish_rejected():
+    s = Slot(0, 2)
+    s.dispatch(1)
+    s.advance_cta(0)
+    with pytest.raises(StateTransitionError):
+        s.collect()
+
+
+def test_gpu_can_only_advance_work():
+    s = Slot(0, 1)
+    with pytest.raises(StateTransitionError):
+        s.advance_cta(0)  # NONE: host owns it
+    s.dispatch(1)
+    s.advance_cta(0)
+    with pytest.raises(StateTransitionError):
+        s.advance_cta(0)  # already FINISH
+
+
+def test_dispatch_while_working_rejected():
+    s = Slot(0, 1)
+    s.dispatch(1)
+    with pytest.raises(StateTransitionError):
+        s.dispatch(2)
+
+
+def test_retire_from_none():
+    s = Slot(0, 1)
+    s.retire()
+    assert s.state is SlotState.QUIT
+    with pytest.raises(StateTransitionError):
+        s.dispatch(1)
+
+
+def test_cta_index_bounds():
+    s = Slot(0, 2)
+    s.dispatch(1)
+    with pytest.raises(IndexError):
+        s.advance_cta(2)
+
+
+def test_n_ctas_validation():
+    with pytest.raises(ValueError):
+        Slot(0, 0)

@@ -1,0 +1,51 @@
+"""Unit tests for the GDRCopy-style state channel (§V-A)."""
+
+import pytest
+
+from repro.core.state_sync import StateChannel
+from repro.gpusim.device import RTX_A6000
+from repro.gpusim.pcie import PCIeLink
+
+
+def test_gdrcopy_poll_free():
+    link = PCIeLink(RTX_A6000)
+    chan = StateChannel(link, "gdrcopy")
+    t = chan.poll(5.0, n_slots=32, ctas_per_slot=8)
+    assert t == 5.0
+    assert link.stats.transactions == 0
+
+
+def test_naive_poll_generates_traffic():
+    link = PCIeLink(RTX_A6000)
+    chan = StateChannel(link, "naive")
+    t = chan.poll(0.0, n_slots=16, ctas_per_slot=8)
+    assert t > 0.0
+    assert link.stats.transactions == 16
+    assert link.stats.by_tag["state-poll"] == 16
+
+
+def test_publish_costs_one_write_both_modes():
+    for mode in ("naive", "gdrcopy"):
+        link = PCIeLink(RTX_A6000)
+        chan = StateChannel(link, mode)
+        chan.publish(0.0)
+        assert link.stats.transactions == 1
+        assert link.stats.by_tag["state-publish"] == 1
+
+
+def test_publish_uses_mmio_overhead():
+    link = PCIeLink(RTX_A6000)
+    chan = StateChannel(link, "gdrcopy")
+    done = chan.publish(0.0)
+    assert done < link.lat_us + 0.1  # far below a DMA transaction
+
+
+def test_poll_zero_slots():
+    link = PCIeLink(RTX_A6000)
+    chan = StateChannel(link, "naive")
+    assert chan.poll(1.0, 0, 8) == 1.0
+
+
+def test_invalid_mode():
+    with pytest.raises(ValueError):
+        StateChannel(PCIeLink(RTX_A6000), "mmap")

@@ -1,0 +1,51 @@
+"""Unit tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.analysis.timeline import ascii_timeline
+from repro.core.serving import QueryRecord, ServeReport
+
+
+def mkreport(specs):
+    recs = []
+    for i, (d, gs, ge, c) in enumerate(specs):
+        r = QueryRecord(i, 0.0)
+        r.dispatch_us, r.gpu_start_us, r.gpu_end_us, r.complete_us = d, gs, ge, c
+        recs.append(r)
+    return ServeReport(records=recs, makespan_us=max(s[3] for s in specs),
+                       gpu_cta_busy_us=0.0, n_cta_slots=1)
+
+
+def test_renders_phases():
+    rep = mkreport([(0.0, 10.0, 50.0, 100.0)])
+    out = ascii_timeline(rep, width=40)
+    line = next(l for l in out.splitlines() if l.startswith("q"))
+    body = line.split("|")[1]
+    assert "." in body and "#" in body and "-" in body
+    assert body.index(".") < body.index("#") < body.index("-")
+
+
+def test_bubble_visible_for_static_like_records():
+    rep = mkreport([(0.0, 1.0, 20.0, 100.0), (0.0, 1.0, 99.0, 100.0)])
+    out = ascii_timeline(rep, width=60)
+    lines = [l for l in out.splitlines() if l.startswith("q")]
+    assert lines[0].count("-") > lines[1].count("-")
+
+
+def test_empty_and_validation():
+    rep = ServeReport(records=[], makespan_us=0, gpu_cta_busy_us=0, n_cta_slots=1)
+    assert ascii_timeline(rep) == "(no queries)"
+    rep2 = mkreport([(0, 1, 2, 3)])
+    with pytest.raises(ValueError):
+        ascii_timeline(rep2, sort_by="latency")
+
+
+def test_real_engine_output(ds, graph):
+    from repro.core import ALGASSystem
+
+    sys_ = ALGASSystem(ds.base, graph, metric=ds.metric, k=10, l_total=64,
+                       batch_size=4, max_parallel=2)
+    rep = sys_.serve(ds.queries[:8])
+    out = ascii_timeline(rep.serve, width=60)
+    assert out.count("\n") >= 8
+    assert "legend" in out

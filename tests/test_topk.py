@@ -1,0 +1,53 @@
+"""Unit tests for TopK selection and merging."""
+
+import numpy as np
+
+from repro.search.topk import heap_merge, merge_sorted_lists, select_topk
+
+
+def test_select_topk_basic():
+    ids = np.array([5, 3, 9, 1])
+    d = np.array([0.3, 0.1, 0.9, 0.2], dtype=np.float32)
+    out_ids, out_d = select_topk(ids, d, 2)
+    assert out_ids.tolist() == [3, 1]
+    assert np.allclose(out_d, [0.1, 0.2])
+
+
+def test_select_topk_dedups_keeping_best():
+    ids = np.array([7, 7, 8])
+    d = np.array([0.5, 0.2, 0.3], dtype=np.float32)
+    out_ids, out_d = select_topk(ids, d, 3)
+    assert out_ids.tolist() == [7, 8]
+    assert np.allclose(out_d, [0.2, 0.3])
+
+
+def test_select_topk_empty():
+    out_ids, _ = select_topk(np.array([], np.int64), np.array([], np.float32), 3)
+    assert out_ids.size == 0
+
+
+def test_heap_merge_equals_global_topk():
+    rng = np.random.default_rng(0)
+    lists = []
+    for _ in range(4):
+        d = np.sort(rng.random(10).astype(np.float32))
+        ids = rng.choice(1000, 10, replace=False)
+        lists.append((ids.astype(np.int64), d))
+    a_ids, a_d = heap_merge(lists, 7)
+    b_ids, b_d = merge_sorted_lists(lists, 7)
+    assert np.allclose(a_d, b_d)
+    assert set(a_ids) == set(b_ids)
+
+
+def test_heap_merge_dedups_across_lists():
+    l1 = (np.array([1, 2]), np.array([0.1, 0.4], dtype=np.float32))
+    l2 = (np.array([1, 3]), np.array([0.2, 0.3], dtype=np.float32))
+    ids, d = heap_merge([l1, l2], 3)
+    assert ids.tolist() == [1, 3, 2]
+
+
+def test_heap_merge_short_lists():
+    ids, d = heap_merge([(np.array([4]), np.array([1.0], dtype=np.float32))], 5)
+    assert ids.tolist() == [4]
+    ids, _ = heap_merge([], 5)
+    assert ids.size == 0

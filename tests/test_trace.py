@@ -1,0 +1,36 @@
+"""Unit tests for trace containers."""
+
+from repro.gpusim.trace import CTATrace, QueryTrace, StepRecord
+
+
+def mkstep(n_new=4, did_sort=True, n_exp=1):
+    return StepRecord(
+        select_offset=0, n_expanded=n_exp, n_neighbors_fetched=8,
+        n_visited_checks=8, n_new_points=n_new, dim=32,
+        sort_size=20, cand_list_len=16, did_sort=did_sort,
+    )
+
+
+def test_cta_trace_aggregates():
+    t = CTATrace(steps=[mkstep(), mkstep(n_new=2, did_sort=False), mkstep(n_exp=3)])
+    assert t.n_steps == 3
+    assert t.n_sorts == 2
+    assert t.n_distances == 4 + 2 + 4
+    assert t.n_expanded == 1 + 1 + 3
+
+
+def test_query_trace_aggregates():
+    a = CTATrace(steps=[mkstep()])
+    b = CTATrace(steps=[mkstep(), mkstep()])
+    q = QueryTrace(ctas=[a, b], dim=32, k=5)
+    assert q.n_ctas == 2
+    assert q.max_steps == 2
+    assert q.total_distances == a.n_distances + b.n_distances
+    assert q.total_sorts == 3
+
+
+def test_empty_traces():
+    t = CTATrace()
+    assert t.n_steps == 0 and t.n_sorts == 0 and t.n_distances == 0
+    q = QueryTrace()
+    assert q.max_steps == 0 and q.n_ctas == 0

@@ -1,0 +1,88 @@
+"""Unit tests for the adaptive tuning scheme (paper §IV-C equations)."""
+
+import math
+
+import pytest
+
+from repro.core.tuning import plan_layout, reserved_cache_bytes, tune
+from repro.gpusim.device import RTX_A6000, DeviceProperties
+
+
+def test_threads_pinned_to_warp():
+    t = tune(RTX_A6000, n_slots=16, l_total=128, k=16, max_degree=32, dim=128)
+    assert t.threads_per_block == RTX_A6000.warp_size
+
+
+def test_residency_condition_holds():
+    # N_parallel * slot <= N_SM * N_max_block_per_SM  (paper eq. 1)
+    for slots in (1, 16, 64, 256):
+        t = tune(RTX_A6000, n_slots=slots, l_total=128, k=16, max_degree=32, dim=128)
+        assert t.feasible
+        assert t.n_parallel * slots <= RTX_A6000.max_resident_blocks
+
+
+def test_shared_memory_condition_holds():
+    t = tune(RTX_A6000, n_slots=16, l_total=256, k=16, max_degree=32, dim=960)
+    # M_avail <= M_per_SM / N_block_per_SM - M_reserved  (paper eq. 3)
+    m_avail = RTX_A6000.shared_mem_per_sm / t.n_block_per_sm - t.reserved_cache_per_block
+    assert t.block_shared_mem_bytes <= m_avail
+
+
+def test_more_slots_fewer_ctas_each():
+    small = tune(RTX_A6000, n_slots=16, l_total=128, k=16, max_degree=32, dim=128)
+    huge = tune(RTX_A6000, n_slots=1024, l_total=128, k=16, max_degree=32, dim=128)
+    assert huge.n_parallel < small.n_parallel
+
+
+def test_max_parallel_cap_respected():
+    t = tune(RTX_A6000, n_slots=4, l_total=128, k=16, max_degree=32, dim=128, max_parallel=4)
+    assert t.n_parallel == 4
+
+
+def test_reserved_cache_scales_with_dim():
+    assert reserved_cache_bytes(128) == 1024
+    assert reserved_cache_bytes(960) == 4096
+    with pytest.raises(ValueError):
+        reserved_cache_bytes(0)
+
+
+def test_plan_layout_splits_list():
+    lay = plan_layout(l_total=128, n_parallel=8, k=16, max_degree=32, dim=128)
+    assert lay.cand_list_len == 16
+    lay2 = plan_layout(l_total=64, n_parallel=8, k=16, max_degree=32, dim=128)
+    assert lay2.cand_list_len == 16  # floor at k
+
+
+def test_beam_width_grows_expand_list():
+    a = plan_layout(64, 4, 8, 32, 64, beam_width=1)
+    b = plan_layout(64, 4, 8, 32, 64, beam_width=4)
+    assert b.expand_list_len == 4 * a.expand_list_len
+
+
+def test_infeasible_reported():
+    tiny = DeviceProperties(
+        name="tiny",
+        shared_mem_per_block=2048,
+        shared_mem_per_sm=2048,
+        reserved_shared_mem_per_block=1024,
+        shared_mem_per_block_optin=2048,
+        num_sms=1,
+        max_blocks_per_sm=1,
+        max_threads_per_block=64,
+        warp_size=32,
+    )
+    t = tune(tiny, n_slots=8, l_total=4096, k=16, max_degree=64, dim=960)
+    assert not t.feasible
+
+
+def test_adapts_across_devices():
+    from repro.gpusim.device import A100_SXM
+
+    a = tune(RTX_A6000, n_slots=128, l_total=128, k=16, max_degree=32, dim=128)
+    b = tune(A100_SXM, n_slots=128, l_total=128, k=16, max_degree=32, dim=128)
+    assert b.n_parallel >= a.n_parallel  # bigger device, at least as parallel
+
+
+def test_validates():
+    with pytest.raises(ValueError):
+        tune(RTX_A6000, n_slots=0, l_total=128, k=16, max_degree=32, dim=128)

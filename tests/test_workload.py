@@ -1,0 +1,39 @@
+"""Unit tests for query arrival workloads."""
+
+import numpy as np
+import pytest
+
+from repro.data.workload import closed_loop, poisson_arrivals, uniform_arrivals
+
+
+def test_closed_loop_all_at_zero():
+    evs = closed_loop(5)
+    assert [e.query_id for e in evs] == list(range(5))
+    assert all(e.arrival_us == 0.0 for e in evs)
+
+
+def test_poisson_mean_rate():
+    evs = poisson_arrivals(4000, rate_qps=10_000, seed=0)
+    gaps = np.diff([0.0] + [e.arrival_us for e in evs])
+    assert np.mean(gaps) == pytest.approx(100.0, rel=0.1)  # 1e6/10k us
+    assert all(g >= 0 for g in gaps)
+
+
+def test_poisson_deterministic_by_seed():
+    a = poisson_arrivals(10, 1000, seed=1)
+    b = poisson_arrivals(10, 1000, seed=1)
+    assert [e.arrival_us for e in a] == [e.arrival_us for e in b]
+
+
+def test_uniform_arrivals_gap():
+    evs = uniform_arrivals(4, rate_qps=1_000_000)
+    assert [e.arrival_us for e in evs] == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_invalid_rates():
+    with pytest.raises(ValueError):
+        poisson_arrivals(5, 0)
+    with pytest.raises(ValueError):
+        uniform_arrivals(5, -1)
+    with pytest.raises(ValueError):
+        closed_loop(-1)
