@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Micro-harness: scalar oracle vs vectorized lockstep search backend.
+
+Times the raw search stage (no scheduling) for both backends on the four
+mini corpora, verifies the results agree bit-for-bit while it is at it,
+and writes the numbers to ``BENCH_search.json`` at the repo root.  The
+headline configuration is batch-64 SIFT-mini at n=20000 / L=128 — the
+acceptance gate is a >= 5x vectorized speedup there.
+
+Usage:
+    PYTHONPATH=src python benchmarks/perf/bench_search.py [out.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import load_dataset
+from repro.graphs import build_cagra
+from repro.search import (
+    batched_intra_cta_search,
+    batched_multi_cta_search,
+    intra_cta_search,
+    make_entries,
+    multi_cta_search,
+)
+
+#: (dataset, n_base) — GIST runs smaller because 960-d ground truth and
+#: scalar per-pair distances dominate otherwise.
+CORPORA = [
+    ("sift1m-mini", 20_000),
+    ("gist1m-mini", 6_000),
+    ("glove200-mini", 12_000),
+    ("nytimes-mini", 12_000),
+]
+N_QUERIES = 64
+K = 16
+L_TOTAL = 128
+N_CTAS = 8
+GRAPH_DEGREE = 16
+REPEATS = 2
+
+
+def _best_of(fn, repeats: int = REPEATS) -> tuple[float, object]:
+    best, out = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _assert_equal(scalar_results, batch_results) -> None:
+    for a, b in zip(scalar_results, batch_results):
+        assert np.array_equal(a.ids, b.ids), "backend results diverge"
+        assert np.asarray(a.dists).tobytes() == np.asarray(b.dists).tobytes()
+
+
+def bench_dataset(name: str, n_base: int) -> dict:
+    ds = load_dataset(name, n=n_base, n_queries=N_QUERIES, gt_k=K, seed=7)
+    graph = build_cagra(ds.base, graph_degree=GRAPH_DEGREE, metric=ds.metric)
+    queries = ds.queries
+    rng_entries = [
+        make_entries(ds.n, N_CTAS, 2, np.random.default_rng(1000 + i))
+        for i in range(len(queries))
+    ]
+    intra_entries = [e[0] for e in rng_entries]
+
+    # --- single-CTA: B queries, one CTA each, full-length candidate list
+    t_s1, res_s1 = _best_of(lambda: [
+        intra_cta_search(ds.base, graph, q, K, L_TOTAL, intra_entries[i],
+                         metric=ds.metric)
+        for i, q in enumerate(queries)
+    ])
+    t_v1, res_v1 = _best_of(lambda: batched_intra_cta_search(
+        ds.base, graph, queries, K, L_TOTAL, intra_entries, metric=ds.metric
+    ))
+    _assert_equal(res_s1, res_v1)
+
+    # --- multi-CTA: B queries x N_CTAS CTAs sharing a visited bitmap
+    t_sm, res_sm = _best_of(lambda: [
+        multi_cta_search(ds.base, graph, q, K, L_TOTAL, N_CTAS,
+                         metric=ds.metric, entries=rng_entries[i])
+        for i, q in enumerate(queries)
+    ])
+    t_vm, res_vm = _best_of(lambda: batched_multi_cta_search(
+        ds.base, graph, queries, K, L_TOTAL, N_CTAS,
+        metric=ds.metric, entries=rng_entries
+    ))
+    _assert_equal(res_sm, res_vm)
+
+    return {
+        "dataset": name,
+        "n_base": ds.n,
+        "dim": ds.dim,
+        "metric": ds.metric,
+        "n_queries": len(queries),
+        "graph_degree": GRAPH_DEGREE,
+        "k": K,
+        "l_total": L_TOTAL,
+        "single_cta": {
+            "scalar_s": round(t_s1, 4),
+            "vectorized_s": round(t_v1, 4),
+            "speedup": round(t_s1 / t_v1, 2),
+        },
+        "multi_cta": {
+            "n_ctas": N_CTAS,
+            "scalar_s": round(t_sm, 4),
+            "vectorized_s": round(t_vm, 4),
+            "speedup": round(t_sm / t_vm, 2),
+        },
+    }
+
+
+def main(argv: list[str]) -> int:
+    out_path = Path(argv[1]) if len(argv) > 1 else (
+        Path(__file__).resolve().parents[2] / "BENCH_search.json"
+    )
+    rows = []
+    for name, n_base in CORPORA:
+        row = bench_dataset(name, n_base)
+        rows.append(row)
+        print(
+            f"{name:>14s}  single-CTA {row['single_cta']['speedup']:5.2f}x   "
+            f"multi-CTA {row['multi_cta']['speedup']:5.2f}x"
+        )
+    report = {
+        "benchmark": "search backend: scalar oracle vs vectorized lockstep",
+        "config": {
+            "n_queries": N_QUERIES, "k": K, "l_total": L_TOTAL,
+            "n_ctas": N_CTAS, "graph_degree": GRAPH_DEGREE,
+            "repeats": REPEATS, "timing": "best-of-repeats wall clock",
+        },
+        "results": rows,
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    headline = rows[0]
+    if headline["single_cta"]["speedup"] < 5.0:
+        print("WARNING: batch-64 SIFT-mini single-CTA speedup below 5x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

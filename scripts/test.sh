@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI test entry point: tier-1 suite, then the perf smoke gate.
+#
+#   scripts/test.sh            # everything
+#   scripts/test.sh --tier1    # unit/integration/property tests only
+#   scripts/test.sh --perf     # perf smoke only (~2 s; fails if the
+#                              # vectorized backend loses to the scalar one)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+run_tier1=1
+run_perf=1
+case "${1:-}" in
+  --tier1) run_perf=0 ;;
+  --perf) run_tier1=0 ;;
+esac
+
+if [ "$run_tier1" = 1 ]; then
+  python -m pytest -x -q
+fi
+if [ "$run_perf" = 1 ]; then
+  python -m pytest benchmarks/perf -m perf_smoke -q
+fi

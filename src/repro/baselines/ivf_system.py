@@ -40,9 +40,16 @@ class IVFSystem:
         cost_params: CostParams | None = None,
         mem_per_block: int = 8192,
         seed: int = 0,
+        backend: str = "vectorized",
     ):
         if k <= 0:
             raise ValueError("k must be positive")
+        if backend not in ("scalar", "vectorized"):
+            raise ValueError(f"unknown backend {backend!r}")
+        # The IVF scan is a dense matrix sweep and is already vectorized
+        # in both cases; the knob is accepted for a uniform system API and
+        # recorded as serve-report provenance.
+        self.backend = backend
         self.index = IVFFlatIndex(base, nlist=nlist, metric=metric, seed=seed)
         self.nprobe = int(nprobe)
         self.device = device
@@ -97,6 +104,7 @@ class IVFSystem:
             k=self.k,
             merge_on_gpu=False,
             mem_per_block=self.mem_per_block,
+            search_backend=self.backend,
         )
         report = StaticBatchEngine(self.device, self.cost_model, cfg).serve(jobs)
         return SystemReport(ids=ids, dists=dists, serve=report, traces=traces)
@@ -127,11 +135,15 @@ class IVFPQSystem(IVFSystem):
         cost_params: CostParams | None = None,
         mem_per_block: int = 8192,
         seed: int = 0,
+        backend: str = "vectorized",
     ):
         from ..search.quantization import IVFPQIndex
 
         if k <= 0:
             raise ValueError("k must be positive")
+        if backend not in ("scalar", "vectorized"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend = backend
         self.index = IVFPQIndex(base, nlist=nlist, m=m, ks=ks, metric=metric, seed=seed)
         self.nprobe = int(nprobe)
         self.rerank = int(rerank)

@@ -58,6 +58,10 @@ class DynamicBatchConfig:
     #: CPU time to enqueue an async transfer on a stream (§V-B: dispatches
     #: are asynchronous; the host does not block on the copy itself).
     host_submit_us: float = 0.3
+    #: which search backend produced the traces this engine replays
+    #: ("scalar" oracle or the "vectorized" lockstep engine) — provenance
+    #: recorded in the serve report; the two are trace-equivalent.
+    search_backend: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.n_slots <= 0 or self.n_parallel <= 0 or self.k <= 0:
@@ -66,6 +70,8 @@ class DynamicBatchConfig:
             raise ValueError("host_threads must be positive")
         if self.host_poll_period_us <= 0:
             raise ValueError("host_poll_period_us must be positive")
+        if self.search_backend not in ("scalar", "vectorized"):
+            raise ValueError(f"unknown search backend {self.search_backend!r}")
 
 
 class DynamicBatchEngine:
@@ -261,6 +267,7 @@ class DynamicBatchEngine:
             meta={
                 "mode": "dynamic",
                 "config": cfg,
+                "search_backend": cfg.search_backend,
                 "dropped": len(dropped_ids),
                 "dropped_ids": sorted(dropped_ids),
             },

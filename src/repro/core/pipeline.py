@@ -76,11 +76,15 @@ class BaseGraphSystem:
         cost_params: CostParams | None = None,
         entries_per_cta: int = 2,
         seed: int = 0,
+        backend: str = "vectorized",
     ):
         if k <= 0 or l_total < k:
             raise ValueError("need 0 < k <= l_total")
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if backend not in ("scalar", "vectorized"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend = backend
         self.base = np.asarray(base, dtype=np.float32)
         self.graph = graph
         self.device = device
@@ -114,34 +118,45 @@ class BaseGraphSystem:
     def n_parallel(self) -> int:
         return self.tuning.n_parallel
 
+    def _single_cta_entries(self, rng: np.random.Generator) -> np.ndarray:
+        return (
+            make_entries(self.base.shape[0], 1, self.entries_per_cta, rng)[0]
+            if self.entries_per_cta > 1
+            else np.array([self._medoid])
+        )
+
     def search_one(self, query: np.ndarray, rng: np.random.Generator):
         """Run the system's search for one query; returns a SearchResult."""
         if self.n_parallel == 1:
-            entries = (
-                make_entries(self.base.shape[0], 1, self.entries_per_cta, rng)[0]
-                if self.entries_per_cta > 1
-                else np.array([self._medoid])
-            )
             return intra_cta_search(
                 self.base, self.graph, query, self.k,
-                self.tuning.per_cta_cand_len, entries,
-                metric=self.metric, beam=self.beam,
+                self.tuning.per_cta_cand_len, self._single_cta_entries(rng),
+                metric=self.metric, beam=self.beam, backend=self.backend,
             )
         return multi_cta_search(
             self.base, self.graph, query, self.k, self.l_total, self.n_parallel,
             metric=self.metric, beam=self.beam,
-            entries_per_cta=self.entries_per_cta, rng=rng,
+            entries_per_cta=self.entries_per_cta, rng=rng, backend=self.backend,
         )
 
     def search_all(self, queries: np.ndarray):
-        """Search every query; returns padded ids/dists and traces."""
+        """Search every query; returns padded ids/dists and traces.
+
+        With the vectorized backend the whole query set advances in one
+        lockstep SoA batch (all queries × all CTAs); entry points are drawn
+        from the rng in the same per-query order as the scalar loop, so the
+        two backends return byte-identical results and traces.
+        """
         rng = np.random.default_rng(self.seed)
         nq = queries.shape[0]
+        if self.backend == "vectorized":
+            results = self._search_all_vectorized(queries, rng)
+        else:
+            results = (self.search_one(queries[i], rng) for i in range(nq))
         ids = np.full((nq, self.k), -1, dtype=np.int64)
         dists = np.full((nq, self.k), np.inf, dtype=np.float32)
         traces: list[QueryTrace] = []
-        for i in range(nq):
-            r = self.search_one(queries[i], rng)
+        for i, r in enumerate(results):
             m = min(self.k, len(r.ids))
             ids[i, :m] = r.ids[:m]
             dists[i, :m] = r.dists[:m]
@@ -150,6 +165,29 @@ class BaseGraphSystem:
                 tr = QueryTrace(ctas=[tr], dim=int(self.base.shape[1]), k=self.k)
             traces.append(tr)
         return ids, dists, traces
+
+    def _search_all_vectorized(self, queries: np.ndarray, rng: np.random.Generator):
+        from ..search.batched import (
+            batched_intra_cta_search,
+            batched_multi_cta_search,
+        )
+
+        nq = queries.shape[0]
+        if self.n_parallel == 1:
+            entries = [self._single_cta_entries(rng) for _ in range(nq)]
+            return batched_intra_cta_search(
+                self.base, self.graph, queries, self.k,
+                self.tuning.per_cta_cand_len, entries,
+                metric=self.metric, beam=self.beam,
+            )
+        entries = [
+            make_entries(self.base.shape[0], self.n_parallel, self.entries_per_cta, rng)
+            for _ in range(nq)
+        ]
+        return batched_multi_cta_search(
+            self.base, self.graph, queries, self.k, self.l_total, self.n_parallel,
+            metric=self.metric, beam=self.beam, entries=entries,
+        )
 
     # -------------------------------------------------------------- pricing
     def jobs_from_traces(
@@ -220,6 +258,7 @@ class ALGASSystem(BaseGraphSystem):
         cost_params: CostParams | None = None,
         entries_per_cta: int = 2,
         seed: int = 0,
+        backend: str = "vectorized",
     ):
         if beam is True:
             # Default two-phase split per §IV-C: diffuse once the selected
@@ -232,6 +271,7 @@ class ALGASSystem(BaseGraphSystem):
         super().__init__(
             base, graph, device, metric, k, l_total, batch_size,
             n_parallel, max_parallel, beam, cost_params, entries_per_cta, seed,
+            backend,
         )
         if host_threads == "auto":
             # §V-B: one host thread struggles above ~16-32 slots; scale the
@@ -251,5 +291,6 @@ class ALGASSystem(BaseGraphSystem):
             host_threads=self.host_threads,
             state_mode=self.state_mode,
             merge_on_cpu=self.merge_on_cpu,
+            search_backend=self.backend,
         )
         return DynamicBatchEngine(self.device, self.cost_model, cfg)

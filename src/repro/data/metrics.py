@@ -20,6 +20,7 @@ __all__ = [
     "METRICS",
     "normalize",
     "pairwise_distances",
+    "pair_distances",
     "query_distances",
     "distance_one",
     "blocked_pairwise",
@@ -81,6 +82,31 @@ def query_distances(query: np.ndarray, points: np.ndarray, metric: str = "l2") -
         diff = points - query
         return np.einsum("ij,ij->i", diff, diff).astype(np.float32)
     return (1.0 - points @ query).astype(np.float32)
+
+
+def pair_distances(a: np.ndarray, b: np.ndarray, metric: str = "l2") -> np.ndarray:
+    """Row-wise distances between matching rows of ``a`` and ``b``.
+
+    This is the shared distance kernel of the scalar and vectorized search
+    backends: the scalar path calls it with a broadcast-tiled query, the
+    lockstep batch engine with per-pair gathered query rows.  Both inputs
+    are materialized contiguous before the einsum, so the per-row
+    accumulation order — and therefore every produced distance bit — is
+    identical no matter how rows are batched (the parity suite relies on
+    this for byte-identical results across backends).
+
+    As everywhere in this module, cosine inputs are assumed normalized, so
+    the cosine distance is ``1 - dot``.
+    """
+    _check_metric(metric)
+    a = np.ascontiguousarray(a, dtype=np.float32)
+    b = np.ascontiguousarray(b, dtype=np.float32)
+    if a.shape != b.shape or a.ndim != 2:
+        raise ValueError("a and b must be matching 2-D arrays")
+    if metric == "l2":
+        diff = a - b
+        return np.einsum("ij,ij->i", diff, diff).astype(np.float32)
+    return (1.0 - np.einsum("ij,ij->i", a, b)).astype(np.float32)
 
 
 def pairwise_distances(

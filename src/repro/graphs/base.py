@@ -37,6 +37,13 @@ class GraphIndex:
     indices: np.ndarray
     kind: str = "generic"
 
+    def __setattr__(self, name, value) -> None:
+        # Reassigning the CSR arrays invalidates the cached padded neighbour
+        # matrix (the batched search engine gathers from it every step).
+        if name in ("indptr", "indices"):
+            self.__dict__.pop("_nbr_cache", None)
+        object.__setattr__(self, name, value)
+
     def __post_init__(self) -> None:
         self.indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(self.indices, dtype=np.int32)
@@ -106,13 +113,34 @@ class GraphIndex:
         return cls(indptr, indices, kind=kind)
 
     def to_matrix(self, fill: int = -1) -> np.ndarray:
-        """Dense ``(n, max_degree)`` neighbour matrix, padded with ``fill``."""
+        """Dense ``(n, max_degree)`` neighbour matrix, padded with ``fill``.
+
+        Built with a single mask/scatter: row-major boolean selection visits
+        vertices in order, so the grouped ``indices`` scatter straight into
+        each row's leading slots in storage order.
+        """
         n, d = self.n_vertices, self.max_degree
         out = np.full((n, d), fill, dtype=np.int32)
-        for v in range(n):
-            nb = self.neighbors(v)
-            out[v, : nb.size] = nb
+        mask = np.arange(d)[None, :] < self.degrees[:, None]
+        out[mask] = self.indices
         return out
+
+    def neighbor_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(padded matrix, degree vector)`` for batched gathers.
+
+        The matrix is ``to_matrix()`` output (``-1`` padded, read-only) and
+        the degrees are a contiguous ``int64`` copy; both are cached on the
+        instance and invalidated when ``indptr``/``indices`` are reassigned.
+        """
+        cache = self.__dict__.get("_nbr_cache")
+        if cache is None:
+            mat = self.to_matrix()
+            deg = np.ascontiguousarray(self.degrees, dtype=np.int64)
+            mat.setflags(write=False)
+            deg.setflags(write=False)
+            cache = (mat, deg)
+            self.__dict__["_nbr_cache"] = cache
+        return cache
 
     # -------------------------------------------------------------- storage
     def save(self, path: str | os.PathLike) -> None:

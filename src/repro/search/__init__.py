@@ -1,5 +1,12 @@
-"""Search kernels: greedy/beam-extend intra-CTA, multi-CTA, IVF baseline."""
+"""Search kernels: greedy/beam-extend intra-CTA, multi-CTA (scalar oracle
+and the vectorized lockstep batch engine), IVF baseline."""
 
+from .batched import (
+    BatchedVisited,
+    LockstepEngine,
+    batched_intra_cta_search,
+    batched_multi_cta_search,
+)
 from .beam_extend import beam_extend_search, default_beam_config, greedy_extend_search
 from .bruteforce import FlatIndex
 from .candidates import CandidateList
@@ -13,6 +20,10 @@ from .topk import heap_merge, merge_sorted_lists, select_topk
 from .visited import VisitedBitmap
 
 __all__ = [
+    "BatchedVisited",
+    "LockstepEngine",
+    "batched_intra_cta_search",
+    "batched_multi_cta_search",
     "beam_extend_search",
     "default_beam_config",
     "greedy_extend_search",

@@ -1,0 +1,400 @@
+"""Vectorized lockstep batch search engine (SoA intra-CTA kernels).
+
+The scalar :class:`~repro.search.intra_cta.CTASearcher` advances one query
+one graph step per Python iteration — every ``neighbors()`` call, distance
+matvec, and argsort is a sub-microsecond kernel drowned in numpy dispatch
+overhead.  This module runs **B CTAs in lockstep** instead, the way CAGRA's
+batched kernels (and any serious GPU traversal) do:
+
+* candidate lists are structure-of-arrays ``(B, L)`` id/dist/checked
+  blocks, selected and maintained with row-parallel kernels;
+* the per-query visited sets are one packed ``(Q, ceil(n/8))`` ``uint8``
+  bitmap with a vectorized, order-preserving test-and-set;
+* neighbour expansion is a single fancy-indexed gather from the graph's
+  cached padded ``(n, max_degree)`` neighbour matrix
+  (:meth:`~repro.graphs.base.GraphIndex.neighbor_matrix`);
+* all freshly admitted points of a step are scored with **one** batched
+  distance computation (:func:`~repro.data.metrics.pair_distances`);
+* list maintenance is one stable row-wise argsort over the rows that
+  actually received new candidates.
+
+The engine is a *bit-exact* replacement for the scalar path: per-row
+ordering of every effectful operation (entry seeding, candidate selection,
+neighbour fetch order, visited test-and-set, tie-breaking in the merge)
+matches the scalar searcher, and the shared ``pair_distances`` kernel makes
+every distance bit identical.  Multi-CTA queries share a visited row; the
+row order within a query reproduces the scalar round-robin schedule, so
+cross-CTA work partitioning — and therefore results *and* per-step
+:class:`~repro.gpusim.trace.StepRecord` traces — are identical too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.metrics import pair_distances
+from ..gpusim.trace import CTATrace, QueryTrace, StepRecord
+from ..graphs.base import GraphIndex
+from .intra_cta import BeamConfig, SearchResult
+from .multi_cta import make_entries, per_cta_capacity
+from .topk import heap_merge
+
+__all__ = [
+    "BatchedVisited",
+    "LockstepEngine",
+    "batched_intra_cta_search",
+    "batched_multi_cta_search",
+]
+
+
+class BatchedVisited:
+    """Per-query packed visited bitmaps with ordered test-and-set.
+
+    One ``uint8`` bit-row per query (all CTAs of a query share the row,
+    like the shared visited table of §IV-B).  ``test_and_set`` resolves
+    duplicates first-come-first-served over the *given sequence order*,
+    which the engine arranges to be (CTA, fetch position) — exactly the
+    order in which the scalar round-robin schedule issues its atomicOrs.
+    """
+
+    __slots__ = ("n", "words_per_row", "_bits", "probes", "sets")
+
+    def __init__(self, n_rows: int, n_points: int):
+        if n_points <= 0:
+            raise ValueError("n_points must be positive")
+        self.n = n_points
+        self.words_per_row = (n_points + 7) // 8
+        self._bits = np.zeros((max(n_rows, 1), self.words_per_row), dtype=np.uint8)
+        self.probes = 0
+        self.sets = 0
+
+    def test_and_set(self, rows: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """Mark ``(rows, ids)`` pairs visited; return the fresh mask."""
+        if ids.size == 0:
+            return np.zeros(0, dtype=bool)
+        if ids.min() < 0 or ids.max() >= self.n:
+            raise IndexError("vertex id out of range")
+        self.probes += int(ids.size)
+        byte = ids >> 3
+        bit = np.uint8(1) << (ids & 7).astype(np.uint8)
+        already = (self._bits[rows, byte] & bit) != 0
+        fresh = ~already
+        if fresh.any():
+            f_idx = np.flatnonzero(fresh)
+            keys = rows[f_idx].astype(np.int64) * self.n + ids[f_idx]
+            # np.unique returns the index of the *first* occurrence of each
+            # key: later duplicates in the sequence lose, first-come wins.
+            _, first = np.unique(keys, return_index=True)
+            dup = np.ones(f_idx.size, dtype=bool)
+            dup[first] = False
+            fresh[f_idx[dup]] = False
+            s_idx = np.flatnonzero(fresh)
+            flat = rows[s_idx].astype(np.int64) * self.words_per_row + byte[s_idx]
+            np.bitwise_or.at(self._bits.reshape(-1), flat, bit[s_idx])
+            self.sets += int(s_idx.size)
+        return fresh
+
+
+class LockstepEngine:
+    """Advance ``R`` CTA rows (possibly across many queries) in lockstep.
+
+    Row ``r`` models one CTA serving query ``row_query[r]``; rows of the
+    same query must be contiguous and in CTA order (that order is the
+    scalar round-robin schedule the visited tie-breaking reproduces).
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        graph: GraphIndex,
+        queries: np.ndarray,
+        row_query: np.ndarray,
+        row_entries: list[np.ndarray],
+        cand_capacity: int,
+        metric: str = "l2",
+        beam: BeamConfig | None = None,
+        record_trace: bool = True,
+    ):
+        if cand_capacity <= 0:
+            raise ValueError("cand_capacity must be positive")
+        self.points = np.asarray(points, dtype=np.float32)
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        self.queries = queries
+        self.row_query = np.asarray(row_query, dtype=np.int64)
+        if len(row_entries) != self.row_query.size:
+            raise ValueError("need one entry array per row")
+        self.metric = metric
+        self.beam = beam
+        self.nbr_mat, self.degrees = graph.neighbor_matrix()
+        self.dim = int(self.points.shape[1])
+        R = self.row_query.size
+        L = cand_capacity
+        self.R, self.L = R, L
+        self.cand_ids = np.full((R, L), -1, dtype=np.int64)
+        self.cand_d = np.full((R, L), np.inf, dtype=np.float32)
+        self.cand_checked = np.zeros((R, L), dtype=bool)
+        self.sizes = np.zeros(R, dtype=np.int64)
+        self.active = np.zeros(R, dtype=bool)
+        self.visited = BatchedVisited(queries.shape[0], self.points.shape[0])
+        self.traces: list[CTATrace] | None = (
+            [CTATrace() for _ in range(R)] if record_trace else None
+        )
+        self._col = np.arange(L)
+        self._seed(row_entries)
+
+    # ------------------------------------------------------------- seeding
+    def _seed(self, row_entries: list[np.ndarray]) -> None:
+        R = self.R
+        if R == 0:
+            return
+        ents = [np.unique(np.asarray(e, dtype=np.int64)) for e in row_entries]
+        for e in ents:
+            if e.size == 0:
+                raise ValueError("need at least one entry point")
+        counts = np.array([e.size for e in ents], dtype=np.int64)
+        rows = np.repeat(np.arange(R, dtype=np.int64), counts)
+        ids = np.concatenate(ents)
+        fresh = self.visited.test_and_set(self.row_query[rows], ids)
+        new_counts = self._score_and_merge(rows[fresh], ids[fresh])
+        self.active[:] = self.sizes > 0
+        if self.traces is not None:
+            sizes = self.sizes
+            best = self.cand_d[:, 0]
+            for r in range(R):
+                n_new = int(new_counts[r])
+                self.traces[r].steps.append(
+                    StepRecord(
+                        select_offset=0,
+                        n_expanded=0,
+                        n_neighbors_fetched=0,
+                        n_visited_checks=int(counts[r]),
+                        n_new_points=n_new,
+                        dim=self.dim,
+                        sort_size=n_new,
+                        cand_list_len=0,
+                        did_sort=n_new > 1,
+                        best_dist=float(best[r]) if sizes[r] else float("nan"),
+                    )
+                )
+
+    # ------------------------------------------------------------- merging
+    def _score_and_merge(self, rows: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """Score fresh (row, id) pairs with one batched distance kernel and
+        fold them into their rows' candidate lists; returns per-row counts.
+
+        ``rows`` must be sorted ascending with per-row insertion order
+        preserved — that order is the stable-merge tie order.
+        """
+        counts = np.bincount(rows, minlength=self.R).astype(np.int64)
+        if ids.size == 0:
+            return counts
+        dists = pair_distances(
+            self.queries[self.row_query[rows]], self.points[ids], self.metric
+        )
+        mrows = np.flatnonzero(counts)
+        maxc = int(counts[mrows].max())
+        # Scatter the ragged per-row pairs into an inf-padded (Bm, maxc)
+        # block, preserving insertion order within each row.
+        offsets = np.zeros(self.R, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        pos_in_row = np.arange(rows.size, dtype=np.int64) - offsets[rows]
+        rc = np.searchsorted(mrows, rows)
+        pad_d = np.full((mrows.size, maxc), np.inf, dtype=np.float32)
+        pad_ids = np.full((mrows.size, maxc), -1, dtype=np.int64)
+        pad_d[rc, pos_in_row] = dists
+        pad_ids[rc, pos_in_row] = ids
+        # One stable row-wise sort: old entries are already sorted and come
+        # first, so ties resolve old-before-new and new-in-fetch-order —
+        # identical to the scalar merge.
+        concat_d = np.concatenate([self.cand_d[mrows], pad_d], axis=1)
+        concat_ids = np.concatenate([self.cand_ids[mrows], pad_ids], axis=1)
+        concat_c = np.concatenate(
+            [self.cand_checked[mrows], np.zeros((mrows.size, maxc), dtype=bool)],
+            axis=1,
+        )
+        order = np.argsort(concat_d, axis=1, kind="stable")[:, : self.L]
+        self.cand_d[mrows] = np.take_along_axis(concat_d, order, axis=1)
+        self.cand_ids[mrows] = np.take_along_axis(concat_ids, order, axis=1)
+        self.cand_checked[mrows] = np.take_along_axis(concat_c, order, axis=1)
+        self.sizes[mrows] = np.minimum(self.sizes[mrows] + counts[mrows], self.L)
+        return counts
+
+    # ------------------------------------------------------------ stepping
+    def step_all(self) -> bool:
+        """One maintenance cycle for every active row; False when all done."""
+        act = np.flatnonzero(self.active)
+        if act.size == 0:
+            return False
+        live = self._col[None, :] < self.sizes[act, None]
+        unchecked = live & ~self.cand_checked[act]
+        has = unchecked.any(axis=1)
+        self.active[act[~has]] = False  # exhausted rows finish, no record
+        act = act[has]
+        if act.size == 0:
+            return False
+        unchecked = unchecked[has]
+        off = np.argmax(unchecked, axis=1)
+        if self.beam is not None:
+            width = np.where(
+                off >= self.beam.offset_beam, self.beam.beam_width, 1
+            ).astype(np.int64)
+        else:
+            width = np.ones(act.size, dtype=np.int64)
+        csum = np.cumsum(unchecked, axis=1)
+        sel = unchecked & (csum <= width[:, None])
+        n_exp = sel.sum(axis=1)
+        sel_local, sel_cols = np.nonzero(sel)  # row-major: per-row offset order
+        pick_rows = act[sel_local]
+        pick_ids = self.cand_ids[pick_rows, sel_cols]
+        selected_dist = self.cand_d[act, off]
+        self.cand_checked[pick_rows, sel_cols] = True
+
+        # Neighbour expansion: one gather, flattened row-major so the global
+        # pair order is (row asc, pick order, storage order) — the scalar
+        # concatenation order.
+        deg = self.degrees[pick_ids]
+        nb = self.nbr_mat[pick_ids]
+        valid = np.arange(nb.shape[1])[None, :] < deg[:, None]
+        nbr_flat = nb[valid].astype(np.int64)
+        pair_rows = np.repeat(pick_rows, deg)
+        nfetch = np.bincount(pick_rows, weights=deg, minlength=self.R).astype(np.int64)
+
+        fresh = self.visited.test_and_set(self.row_query[pair_rows], nbr_flat)
+        sizes_before = self.sizes.copy()
+        new_counts = self._score_and_merge(pair_rows[fresh], nbr_flat[fresh])
+
+        if self.traces is not None:
+            for i, r in enumerate(act.tolist()):
+                n_new = int(new_counts[r])
+                self.traces[r].steps.append(
+                    StepRecord(
+                        select_offset=int(off[i]),
+                        n_expanded=int(n_exp[i]),
+                        n_neighbors_fetched=int(nfetch[r]),
+                        n_visited_checks=int(nfetch[r]),
+                        n_new_points=n_new,
+                        dim=self.dim,
+                        sort_size=int(sizes_before[r]) + n_new if n_new else 0,
+                        cand_list_len=int(sizes_before[r]),
+                        did_sort=n_new > 0,
+                        best_dist=float(selected_dist[i]),
+                    )
+                )
+        return True
+
+    def run(self, max_rounds: int, what: str = "search") -> None:
+        """Drive all rows to completion (same budgets as the scalar path)."""
+        rounds = 0
+        while self.step_all():
+            rounds += 1
+            if rounds >= max_rounds:
+                raise RuntimeError(
+                    f"{what} exceeded step budget — disconnected graph?"
+                )
+
+    # ------------------------------------------------------------- results
+    def results_row(self, r: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+        m = int(min(k, self.sizes[r]))
+        ids = self.cand_ids[r, :m].copy()
+        dists = self.cand_d[r, :m].copy()
+        if self.traces is not None:
+            self.traces[r].result_len = m
+        return ids, dists
+
+    def trace_row(self, r: int) -> CTATrace | None:
+        return self.traces[r] if self.traces is not None else None
+
+
+def batched_intra_cta_search(
+    points: np.ndarray,
+    graph: GraphIndex,
+    queries: np.ndarray,
+    k: int,
+    cand_capacity: int,
+    entries: list[np.ndarray],
+    metric: str = "l2",
+    beam: BeamConfig | None = None,
+    record_trace: bool = True,
+) -> list[SearchResult]:
+    """Single-CTA search of ``B`` queries in lockstep.
+
+    ``entries[i]`` seeds query ``i``.  Per-query results and traces are
+    bit-identical to ``intra_cta_search`` run query-by-query.
+    """
+    queries = np.asarray(queries, dtype=np.float32)
+    if queries.ndim == 1:
+        queries = queries[None, :]
+    B = queries.shape[0]
+    row_entries = [np.atleast_1d(np.asarray(e, dtype=np.int64)) for e in entries]
+    eng = LockstepEngine(
+        points, graph, queries, np.arange(B), row_entries, cand_capacity,
+        metric=metric, beam=beam, record_trace=record_trace,
+    )
+    eng.run(100 * cand_capacity)
+    out = []
+    for r in range(B):
+        ids, dists = eng.results_row(r, k)
+        out.append(SearchResult(ids=ids, dists=dists, trace=eng.trace_row(r)))
+    return out
+
+
+def batched_multi_cta_search(
+    points: np.ndarray,
+    graph: GraphIndex,
+    queries: np.ndarray,
+    k: int,
+    l_total: int,
+    n_ctas: int,
+    metric: str = "l2",
+    beam: BeamConfig | None = None,
+    entries: list[list[np.ndarray]] | None = None,
+    entries_per_cta: int = 2,
+    rng: np.random.Generator | None = None,
+    record_trace: bool = True,
+) -> list[SearchResult]:
+    """Multi-CTA search of ``B`` queries, all CTA rows in one lockstep batch.
+
+    ``entries[q][c]`` seeds CTA ``c`` of query ``q``; when omitted they are
+    drawn per query in order from ``rng`` — the same stream of
+    :func:`make_entries` calls the scalar driver issues.
+    """
+    if n_ctas <= 0:
+        raise ValueError("n_ctas must be positive")
+    queries = np.asarray(queries, dtype=np.float32)
+    if queries.ndim == 1:
+        queries = queries[None, :]
+    B = queries.shape[0]
+    rng = rng or np.random.default_rng(0)
+    l_cta = per_cta_capacity(l_total, n_ctas, k)
+    row_entries: list[np.ndarray] = []
+    row_query = np.repeat(np.arange(B, dtype=np.int64), n_ctas)
+    for q in range(B):
+        e = entries[q] if entries is not None else make_entries(
+            points.shape[0], n_ctas, entries_per_cta, rng
+        )
+        if len(e) != n_ctas:
+            raise ValueError("need one entry array per CTA")
+        row_entries.extend(np.atleast_1d(np.asarray(x, dtype=np.int64)) for x in e)
+    eng = LockstepEngine(
+        points, graph, queries, row_query, row_entries, l_cta,
+        metric=metric, beam=beam, record_trace=record_trace,
+    )
+    eng.run(200 * l_cta * n_ctas + 1000, what="multi-CTA search")
+    out = []
+    for q in range(B):
+        rows = range(q * n_ctas, (q + 1) * n_ctas)
+        lists = [eng.results_row(r, k) for r in rows]
+        ids, dists = heap_merge(lists, k)
+        trace = None
+        if record_trace:
+            trace = QueryTrace(
+                ctas=[eng.trace_row(r) for r in rows],
+                dim=int(points.shape[1]),
+                k=k,
+            )
+        out.append(
+            SearchResult(ids=ids, dists=dists, trace=trace, extra={"per_cta": lists})
+        )
+    return out

@@ -4,6 +4,12 @@ One per CTA: ids, distances, and per-entry *checked* flags, kept sorted by
 ascending distance.  ``merge`` models the bitonic sort+merge maintenance
 step (§IV-B step ④): new scored points are folded in and the list is
 truncated back to capacity ``L``.
+
+Selection keeps a monotone scan cursor: every entry left of the cursor is
+known-checked, so ``first_unchecked`` resumes from the cursor instead of
+rescanning the prefix each cycle (O(1) amortized).  ``merge`` rewinds the
+cursor only as far as the earliest inserted candidate, preserving the
+invariant.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ __all__ = ["CandidateList"]
 class CandidateList:
     """Sorted (id, dist, checked) triple list with capacity ``L``."""
 
-    __slots__ = ("capacity", "ids", "dists", "checked", "size")
+    __slots__ = ("capacity", "ids", "dists", "checked", "size", "_cursor")
 
     def __init__(self, capacity: int):
         if capacity <= 0:
@@ -26,6 +32,7 @@ class CandidateList:
         self.dists = np.empty(capacity, dtype=np.float32)
         self.checked = np.zeros(capacity, dtype=bool)
         self.size = 0
+        self._cursor = 0
 
     # ------------------------------------------------------------- queries
     def first_unchecked(self) -> int:
@@ -34,15 +41,25 @@ class CandidateList:
         The offset is the quantity §IV-C's ``offset_beam`` threshold is
         compared against.
         """
-        unchecked = np.flatnonzero(~self.checked[: self.size])
-        return int(unchecked[0]) if unchecked.size else -1
+        c = self._cursor
+        checked = self.checked
+        size = self.size
+        while c < size and checked[c]:
+            c += 1
+        self._cursor = c
+        return c if c < size else -1
 
     def unchecked_offsets(self, limit: int) -> np.ndarray:
         """Offsets of up to ``limit`` closest unchecked candidates."""
         if limit <= 0:
             return np.empty(0, dtype=np.int64)
-        unchecked = np.flatnonzero(~self.checked[: self.size])
-        return unchecked[:limit].astype(np.int64)
+        first = self.first_unchecked()
+        if first < 0:
+            return np.empty(0, dtype=np.int64)
+        if limit == 1:
+            return np.array([first], dtype=np.int64)
+        rest = np.flatnonzero(~self.checked[first : self.size])
+        return (rest[:limit] + first).astype(np.int64)
 
     @property
     def is_exhausted(self) -> bool:
@@ -71,6 +88,12 @@ class CandidateList:
 
         Callers guarantee id-uniqueness (the visited bitmap filters
         duplicates), so no dedup pass is modelled or performed.
+
+        The live prefix is already sorted, so only the new block is sorted
+        and spliced in via ``searchsorted`` (``side="right"`` keeps the
+        stable-sort tie order: existing entries before new ones, new ones in
+        insertion order).  The returned participant count is unchanged —
+        the *modelled* GPU maintenance step still sorts everything.
         """
         new_ids = np.asarray(new_ids, dtype=np.int64)
         new_dists = np.asarray(new_dists, dtype=np.float32)
@@ -78,15 +101,38 @@ class CandidateList:
             raise ValueError("new_ids/new_dists must be matching 1-D arrays")
         if new_ids.size == 0:
             return 0
-        total = self.size + new_ids.size
-        all_ids = np.concatenate([self.ids[: self.size], new_ids])
-        all_d = np.concatenate([self.dists[: self.size], new_dists])
-        all_c = np.concatenate([self.checked[: self.size], np.zeros(new_ids.size, bool)])
-        order = np.argsort(all_d, kind="stable")[: self.capacity]
-        self.size = order.size
-        self.ids[: self.size] = all_ids[order]
-        self.dists[: self.size] = all_d[order]
-        self.checked[: self.size] = all_c[order]
+        size = self.size
+        total = size + new_ids.size
+        order = np.argsort(new_dists, kind="stable")
+        nd = new_dists[order]
+        ni = new_ids[order]
+        pos = np.searchsorted(self.dists[:size], nd, side="right") + np.arange(nd.size)
+        new_size = min(total, self.capacity)
+        # Slots of old entries = complement of the new entries' slots; old
+        # order is preserved, so old element j lands at old_slots[j].
+        is_new = np.zeros(total, dtype=bool)
+        is_new[pos] = True
+        old_slots = np.flatnonzero(~is_new)
+        mapped_cursor = old_slots[self._cursor] if self._cursor < size else total
+
+        m_ids = np.empty(new_size, dtype=np.int64)
+        m_d = np.empty(new_size, dtype=np.float32)
+        m_c = np.zeros(new_size, dtype=bool)
+        keep_new = pos < new_size
+        m_ids[pos[keep_new]] = ni[keep_new]
+        m_d[pos[keep_new]] = nd[keep_new]
+        keep_old = old_slots < new_size
+        m_ids[old_slots[keep_old]] = self.ids[:size][keep_old]
+        m_d[old_slots[keep_old]] = self.dists[:size][keep_old]
+        m_c[old_slots[keep_old]] = self.checked[:size][keep_old]
+
+        self.size = new_size
+        self.ids[:new_size] = m_ids
+        self.dists[:new_size] = m_d
+        self.checked[:new_size] = m_c
+        # Rewind the cursor to the earliest possibly-unchecked slot: the
+        # first inserted candidate or the old cursor's new position.
+        self._cursor = int(min(mapped_cursor, pos[0], new_size))
         return int(total)
 
     def snapshot(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..data.metrics import query_distances
+from ..data.metrics import pair_distances
 from ..gpusim.trace import CTATrace, StepRecord
 from ..graphs.base import GraphIndex
 from .candidates import CandidateList
@@ -97,7 +97,7 @@ class CTASearcher:
         fresh = visited.test_and_set(entries)
         seed_ids = entries[fresh]
         if seed_ids.size:
-            seed_d = query_distances(self.query, points[seed_ids], metric)
+            seed_d = self._distances(points[seed_ids])
             sort_size = self.cand.merge(seed_ids, seed_d)
         else:
             sort_size = 0
@@ -118,6 +118,16 @@ class CTASearcher:
             )
         if self.cand.size == 0:
             self.finished = True
+
+    def _distances(self, pts: np.ndarray) -> np.ndarray:
+        """Distances from the query to ``pts`` via the shared pair kernel.
+
+        Both backends route through :func:`pair_distances` so the scalar
+        oracle and the lockstep engine produce bit-identical distances.
+        """
+        return pair_distances(
+            np.broadcast_to(self.query, pts.shape), pts, self.metric
+        )
 
     def step(self) -> bool:
         """One maintenance cycle; returns False once the search is done."""
@@ -144,7 +154,7 @@ class CTASearcher:
         new_ids = nbrs[fresh]
         cand_len_before = self.cand.size
         if new_ids.size:
-            new_d = query_distances(self.query, self.points[new_ids], self.metric)
+            new_d = self._distances(self.points[new_ids])
             sort_size = self.cand.merge(new_ids, new_d)
             did_sort = True
         else:
@@ -195,13 +205,27 @@ def intra_cta_search(
     metric: str = "l2",
     beam: BeamConfig | None = None,
     record_trace: bool = True,
+    backend: str = "scalar",
 ) -> SearchResult:
     """Single-CTA search of one query (greedy or beam-extend).
 
     ``entries`` may be a single vertex id or an array of ids (multiple
     random entries are how CAGRA-style searches seed the list).
+    ``backend`` selects the stepping engine: ``"scalar"`` is the one-step-
+    per-Python-iteration oracle, ``"vectorized"`` the SoA lockstep engine
+    (:mod:`repro.search.batched`); both produce bit-identical results.
     """
+    if backend not in ("scalar", "vectorized"):
+        raise ValueError(f"unknown backend {backend!r}")
     entries = np.atleast_1d(np.asarray(entries, dtype=np.int64))
+    if backend == "vectorized":
+        from .batched import batched_intra_cta_search
+
+        query = np.asarray(query, dtype=np.float32)
+        return batched_intra_cta_search(
+            points, graph, query[None, :], k, cand_capacity, [entries],
+            metric=metric, beam=beam, record_trace=record_trace,
+        )[0]
     visited = VisitedBitmap(points.shape[0])
     s = CTASearcher(
         points, graph, query, cand_capacity, entries, visited,

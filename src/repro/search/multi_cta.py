@@ -64,6 +64,7 @@ def multi_cta_search(
     entries_per_cta: int = 2,
     rng: np.random.Generator | None = None,
     record_trace: bool = True,
+    backend: str = "scalar",
 ) -> SearchResult:
     """Search one query with ``n_ctas`` cooperating CTAs.
 
@@ -71,10 +72,25 @@ def multi_cta_search(
     :class:`CTATrace` per CTA.  The merged result equals the global TopK of
     the per-CTA lists (property-tested), so swapping the merge location
     (CPU vs GPU) cannot change recall — only latency.
+
+    ``backend="vectorized"`` steps all CTAs in one lockstep SoA batch
+    (:mod:`repro.search.batched`) with bit-identical results and traces.
     """
     if n_ctas <= 0:
         raise ValueError("n_ctas must be positive")
+    if backend not in ("scalar", "vectorized"):
+        raise ValueError(f"unknown backend {backend!r}")
     rng = rng or np.random.default_rng(0)
+    if backend == "vectorized":
+        from .batched import batched_multi_cta_search
+
+        return batched_multi_cta_search(
+            points, graph, np.asarray(query, dtype=np.float32)[None, :],
+            k, l_total, n_ctas, metric=metric, beam=beam,
+            entries=[entries] if entries is not None else None,
+            entries_per_cta=entries_per_cta, rng=rng,
+            record_trace=record_trace,
+        )[0]
     l_cta = per_cta_capacity(l_total, n_ctas, k)
     if entries is None:
         entries = make_entries(points.shape[0], n_ctas, entries_per_cta, rng)
