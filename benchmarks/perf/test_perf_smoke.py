@@ -23,6 +23,7 @@ from repro.search import (
     intra_cta_search,
     make_entries,
 )
+from repro.telemetry import MetricsRegistry, to_prometheus_text
 
 pytestmark = pytest.mark.perf_smoke
 
@@ -61,6 +62,17 @@ def test_vectorized_never_loses_to_scalar():
     t0 = time.perf_counter()
     vectorized()
     t_vectorized = time.perf_counter() - t0
+
+    # Report through the telemetry registry so the gate's numbers come out
+    # in the same exposition format as serving metrics.
+    reg = MetricsRegistry()
+    reg.gauge("algas_perf_smoke_seconds", "perf smoke wall-clock",
+              backend="scalar").set(t_scalar)
+    reg.gauge("algas_perf_smoke_seconds", backend="vectorized").set(t_vectorized)
+    reg.gauge("algas_perf_smoke_speedup",
+              "scalar / vectorized wall-clock ratio").set(t_scalar / t_vectorized)
+    print()
+    print(to_prometheus_text(reg), end="")
 
     assert t_vectorized < t_scalar, (
         f"vectorized backend lost to scalar: "

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# CI test entry point: tier-1 suite, then the perf smoke gate.
+# CI test entry point: lint, tier-1 suite, then the perf smoke gate.
 #
 #   scripts/test.sh            # everything
-#   scripts/test.sh --tier1    # unit/integration/property tests only
+#   scripts/test.sh --tier1    # lint + unit/integration/property tests
 #   scripts/test.sh --perf     # perf smoke only (~2 s; fails if the
 #                              # vectorized backend loses to the scalar one)
 set -euo pipefail
@@ -17,6 +17,15 @@ case "${1:-}" in
 esac
 
 if [ "$run_tier1" = 1 ]; then
+  # Lint first (config in pyproject [tool.ruff]); skip when ruff is not
+  # available — the container image does not ship it.
+  if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests benchmarks
+  elif python -c "import ruff" >/dev/null 2>&1; then
+    python -m ruff check src tests benchmarks
+  else
+    echo "ruff not installed; skipping lint step"
+  fi
   python -m pytest -x -q
 fi
 if [ "$run_perf" = 1 ]; then

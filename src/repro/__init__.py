@@ -17,11 +17,20 @@ Quickstart::
 """
 
 from .baselines import CAGRASystem, GANNSSystem, IVFSystem
-from .core import ALGASSystem, ServeReport, SystemReport, tune
+from .core import (
+    ALGASSystem,
+    ReplicatedServer,
+    ServeConfig,
+    ServeReport,
+    ShardedServer,
+    SystemReport,
+    tune,
+)
 from .data import Dataset, load_dataset, recall
 from .gpusim import RTX_A6000, CostModel, CostParams, DeviceProperties
 from .graphs import GraphIndex, build_cagra, build_nsw, build_nsw_fast
 from .search import BeamConfig, IVFFlatIndex, intra_cta_search, multi_cta_search
+from .telemetry import MetricsRegistry, Telemetry
 
 __version__ = "1.0.0"
 
@@ -30,8 +39,13 @@ __all__ = [
     "GANNSSystem",
     "IVFSystem",
     "ALGASSystem",
+    "ReplicatedServer",
+    "ShardedServer",
+    "ServeConfig",
     "ServeReport",
     "SystemReport",
+    "Telemetry",
+    "MetricsRegistry",
     "tune",
     "Dataset",
     "load_dataset",

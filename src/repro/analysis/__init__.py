@@ -3,7 +3,7 @@
 from .export import records_to_csv, rows_to_csv, summary_to_json
 from .recall import OperatingPoint, point_at_recall, sweep_candidate_sizes
 from .report import banner, format_series, format_table
-from .timeline import ascii_timeline
+from .timeline import ascii_slot_timeline, ascii_timeline
 from .stats import (
     StepStats,
     batch_step_spread,
@@ -15,6 +15,7 @@ from .stats import (
 
 __all__ = [
     "ascii_timeline",
+    "ascii_slot_timeline",
     "records_to_csv",
     "rows_to_csv",
     "summary_to_json",

@@ -9,13 +9,28 @@ paper's Fig. 4 (static vs dynamic batching timelines):
 
 Legend: ``.`` waiting for GPU start, ``#`` CTAs busy, ``-`` finished on
 GPU but not yet returned (the query bubble under static batching).
+
+:func:`ascii_slot_timeline` renders the *slot* view of the same run from
+telemetry occupancy spans — one row per persistent-kernel slot, showing
+which intervals the slot was occupied and its busy fraction.
 """
 
 from __future__ import annotations
 
 from ..core.serving import QueryRecord, ServeReport
 
-__all__ = ["ascii_timeline"]
+__all__ = ["ascii_timeline", "ascii_slot_timeline"]
+
+
+def _column_scaler(t0: float, t1: float, width: int):
+    """Map a time onto a character column over ``[t0, t1]``."""
+    span = max(t1 - t0, 1e-9)
+    scale = (width - 1) / span
+
+    def col(t: float) -> int:
+        return min(width - 1, max(0, int((t - t0) * scale)))
+
+    return col, span
 
 
 def ascii_timeline(
@@ -40,11 +55,7 @@ def ascii_timeline(
     records = records[:max_queries]
     t0 = min(r.dispatch_us for r in records)
     t1 = max(r.complete_us for r in records)
-    span = max(t1 - t0, 1e-9)
-    scale = (width - 1) / span
-
-    def col(t: float) -> int:
-        return min(width - 1, max(0, int((t - t0) * scale)))
+    col, span = _column_scaler(t0, t1, width)
 
     lines = [f"timeline: {t0:.1f} .. {t1:.1f} us ({span:.1f} us span)"]
     for r in records:
@@ -59,4 +70,44 @@ def ascii_timeline(
             row[x] = "-"
         lines.append(f"q{r.query_id:4d} |{''.join(row).rstrip()}|")
     lines.append("legend: . queued->GPU   # GPU busy   - bubble (done, not returned)")
+    return "\n".join(lines)
+
+
+def ascii_slot_timeline(spans, width: int = 72, max_slots: int = 32) -> str:
+    """Render per-slot occupancy intervals as ASCII rows.
+
+    ``spans`` is an iterable of slot-occupancy spans (anything with
+    ``slot_id`` / ``start_us`` / ``end_us`` attributes — the telemetry
+    layer's ``Telemetry.slot_timeline()`` passes its ``slot`` spans here).
+    Adjacent queries on the same slot alternate ``#`` / ``=`` so back-to-back
+    occupancy reads as distinct queries; ``.`` marks idle time.  Each row
+    ends with the slot's busy fraction over the rendered horizon.
+    """
+    by_slot: dict[int, list] = {}
+    for s in spans:
+        if s.slot_id is None:
+            continue
+        by_slot.setdefault(int(s.slot_id), []).append(s)
+    if not by_slot:
+        return "(no slot occupancy spans)"
+    t0 = min(s.start_us for ss in by_slot.values() for s in ss)
+    t1 = max(s.end_us for ss in by_slot.values() for s in ss)
+    col, span = _column_scaler(t0, t1, width)
+
+    lines = [f"slot occupancy: {t0:.1f} .. {t1:.1f} us ({span:.1f} us span)"]
+    for slot_id in sorted(by_slot)[:max_slots]:
+        intervals = sorted(by_slot[slot_id], key=lambda s: s.start_us)
+        row = ["."] * width
+        busy = 0.0
+        for i, s in enumerate(intervals):
+            ch = "#" if i % 2 == 0 else "="
+            busy += max(0.0, s.end_us - s.start_us)
+            lo, hi = col(s.start_us), col(s.end_us)
+            for x in range(lo, max(hi, lo + 1)):
+                row[x] = ch
+        util = busy / span if span > 0 else 0.0
+        lines.append(f"slot {slot_id:3d} |{''.join(row)}| {100 * util:5.1f}%")
+    if len(by_slot) > max_slots:
+        lines.append(f"... {len(by_slot) - max_slots} more slots elided")
+    lines.append("legend: #/= occupied (alternating queries)   . idle")
     return "\n".join(lines)

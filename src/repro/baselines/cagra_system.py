@@ -23,9 +23,9 @@ class CAGRASystem(BaseGraphSystem):
         kwargs.setdefault("beam", None)  # CAGRA has no beam extend
         super().__init__(*args, **kwargs)
 
-    def make_engine(self) -> StaticBatchEngine:
+    def make_engine(self, slots: int | None = None, telemetry=None) -> StaticBatchEngine:
         cfg = StaticBatchConfig(
-            batch_size=self.batch_size,
+            batch_size=slots or self.batch_size,
             n_parallel=self.n_parallel,
             k=self.k,
             merge_on_gpu=True,
@@ -33,4 +33,4 @@ class CAGRASystem(BaseGraphSystem):
             reserved_cache_per_block=self.tuning.reserved_cache_per_block,
             search_backend=self.backend,
         )
-        return StaticBatchEngine(self.device, self.cost_model, cfg)
+        return StaticBatchEngine(self.device, self.cost_model, cfg, telemetry=telemetry)

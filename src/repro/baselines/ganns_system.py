@@ -25,9 +25,9 @@ class GANNSSystem(BaseGraphSystem):
         kwargs.setdefault("entries_per_cta", 1)  # medoid entry
         super().__init__(*args, **kwargs)
 
-    def make_engine(self) -> StaticBatchEngine:
+    def make_engine(self, slots: int | None = None, telemetry=None) -> StaticBatchEngine:
         cfg = StaticBatchConfig(
-            batch_size=self.batch_size,
+            batch_size=slots or self.batch_size,
             n_parallel=1,
             k=self.k,
             merge_on_gpu=False,  # nothing to merge; host copies results
@@ -35,4 +35,4 @@ class GANNSSystem(BaseGraphSystem):
             reserved_cache_per_block=self.tuning.reserved_cache_per_block,
             search_backend=self.backend,
         )
-        return StaticBatchEngine(self.device, self.cost_model, cfg)
+        return StaticBatchEngine(self.device, self.cost_model, cfg, telemetry=telemetry)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.pipeline import SystemReport
-from ..core.serving import QueryJob
+from ..core.serving import QueryJob, ServeConfig, as_serve_config
 from ..core.static_batcher import StaticBatchConfig, StaticBatchEngine
 from ..data.workload import QueryEvent, closed_loop
 from ..gpusim.costmodel import CostModel, CostParams
@@ -78,15 +78,29 @@ class IVFSystem:
             traces.append(QueryTrace(ctas=[r.trace], dim=dim, k=self.k))
         return ids, dists, traces
 
+    def make_engine(self, slots: int | None = None, telemetry=None) -> StaticBatchEngine:
+        cfg = StaticBatchConfig(
+            batch_size=slots or self.batch_size,
+            n_parallel=1,
+            k=self.k,
+            merge_on_gpu=False,
+            mem_per_block=self.mem_per_block,
+            search_backend=self.backend,
+        )
+        return StaticBatchEngine(self.device, self.cost_model, cfg, telemetry=telemetry)
+
     def serve(
         self,
         queries: np.ndarray,
+        config: ServeConfig | None = None,
+        *,
         events: list[QueryEvent] | None = None,
     ) -> SystemReport:
+        cfg = as_serve_config(config, events, owner=f"{type(self).__name__}.serve")
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]
-        events = events or closed_loop(queries.shape[0])
+        evs = cfg.workload or closed_loop(queries.shape[0])
         ids, dists, traces = self.search_all(queries)
         jobs = [
             QueryJob(
@@ -96,17 +110,10 @@ class IVFSystem:
                 dim=tr.dim,
                 k=self.k,
             )
-            for ev, tr in zip(sorted(events, key=lambda e: e.query_id), traces)
+            for ev, tr in zip(sorted(evs, key=lambda e: e.query_id), traces)
         ]
-        cfg = StaticBatchConfig(
-            batch_size=self.batch_size,
-            n_parallel=1,
-            k=self.k,
-            merge_on_gpu=False,
-            mem_per_block=self.mem_per_block,
-            search_backend=self.backend,
-        )
-        report = StaticBatchEngine(self.device, self.cost_model, cfg).serve(jobs)
+        engine = self.make_engine(slots=cfg.slots, telemetry=cfg.telemetry)
+        report = engine.serve(jobs)
         return SystemReport(ids=ids, dists=dists, serve=report, traces=traces)
 
 

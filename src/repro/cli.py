@@ -52,6 +52,12 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--state-mode", choices=("gdrcopy", "naive"), default="gdrcopy")
     s.add_argument("--no-beam", action="store_true")
     s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write serve telemetry (latency histograms, slot "
+                        "occupancy, drop counters) to PATH; .prom/.txt emits "
+                        "Prometheus text, anything else a JSON document")
+    s.add_argument("--slot-timeline", action="store_true",
+                   help="print an ASCII per-slot occupancy timeline")
 
     t = sub.add_parser("tune", help="adaptive GPU tuning (§IV-C)")
     t.add_argument("--device", default="RTX A6000")
@@ -108,9 +114,10 @@ def _cmd_build(args) -> int:
 
 def _cmd_serve(args) -> int:
     from .baselines import CAGRASystem, GANNSSystem, IVFSystem
-    from .core import ALGASSystem
+    from .core import ALGASSystem, ServeConfig
     from .data import load_dataset, recall
     from .graphs import build_cagra, build_nsw_fast
+    from .telemetry import Telemetry, write_metrics
 
     ds = load_dataset(args.dataset, n=args.n, n_queries=args.queries,
                       gt_k=max(64, args.k), seed=args.seed)
@@ -136,7 +143,8 @@ def _cmd_serve(args) -> int:
             system = CAGRASystem(ds.base, g, **common)
         else:
             system = GANNSSystem(ds.base, g, **common)
-    rep = system.serve(ds.queries)
+    tel = Telemetry() if (args.metrics_out or args.slot_timeline) else None
+    rep = system.serve(ds.queries, ServeConfig(telemetry=tel))
     rec = recall(rep.ids, ds.gt_at(args.k))
     s = rep.serve.summary()
     print(f"system={args.system} dataset={args.dataset} n={ds.n} "
@@ -147,6 +155,11 @@ def _cmd_serve(args) -> int:
     print(f"throughput    = {s['throughput_qps']:,.0f} qps")
     print(f"gpu util      = {s['gpu_utilization']:.2f}  "
           f"mean bubble = {s['mean_bubble_us']:.1f} us")
+    if args.slot_timeline and tel is not None:
+        print(tel.slot_timeline())
+    if args.metrics_out and tel is not None:
+        write_metrics(tel, args.metrics_out)
+        print(f"metrics       -> {args.metrics_out}")
     return 0
 
 

@@ -8,7 +8,7 @@ from .merge import HostMerger, MergeOutcome
 from .persistent_kernel import PersistentKernel
 from .pipeline import ALGASSystem, BaseGraphSystem, SystemReport
 from .query_manager import ManagedQuery, QueryManager
-from .serving import QueryJob, QueryRecord, ServeReport
+from .serving import QueryJob, QueryRecord, ServeConfig, ServeReport, as_serve_config
 from .slots import Slot, SlotState, StateTransitionError
 from .state_sync import STATE_WORD_BYTES, StateChannel
 from .static_batcher import StaticBatchConfig, StaticBatchEngine
@@ -35,7 +35,9 @@ __all__ = [
     "QueryManager",
     "QueryJob",
     "QueryRecord",
+    "ServeConfig",
     "ServeReport",
+    "as_serve_config",
     "Slot",
     "SlotState",
     "StateTransitionError",

@@ -23,8 +23,9 @@ import numpy as np
 from ..data.workload import QueryEvent, closed_loop
 from ..graphs.base import GraphIndex
 from ..search.topk import heap_merge
+from ..telemetry import NULL_TELEMETRY
 from .pipeline import ALGASSystem, SystemReport
-from .serving import QueryRecord, ServeReport
+from .serving import QueryRecord, ServeConfig, ServeReport, as_serve_config
 
 __all__ = ["ReplicatedServer", "ShardedServer"]
 
@@ -55,25 +56,40 @@ class ReplicatedServer:
         self.system = ALGASSystem(base, graph, **algas_kwargs)
 
     def serve(
-        self, queries: np.ndarray, events: list[QueryEvent] | None = None
+        self,
+        queries: np.ndarray,
+        config: ServeConfig | None = None,
+        *,
+        events: list[QueryEvent] | None = None,
     ) -> SystemReport:
+        cfg = as_serve_config(config, events, owner="ReplicatedServer.serve")
+        tel = cfg.telemetry or NULL_TELEMETRY
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]
-        events = events or closed_loop(queries.shape[0])
-        ids, dists, traces = self.system.search_all(queries)
+        evs = cfg.workload or closed_loop(queries.shape[0])
+        ids, dists, traces = self.system.search_all(
+            queries, backend=cfg.backend, seed=cfg.seed
+        )
         jobs = self.system.jobs_from_traces(
-            traces, sorted(events, key=lambda e: e.query_id)
+            traces, sorted(evs, key=lambda e: e.query_id)
         )
         groups = [jobs[g :: self.n_gpus] for g in range(self.n_gpus)]
-        parts = [
-            self.system.make_engine().serve(group) for group in groups if group
-        ]
+        parts = []
+        for g, group in enumerate(groups):
+            if not group:
+                continue
+            # Each replica aggregates into the shared registry under its
+            # own ``gpu`` label (no-op when telemetry is off).
+            shard_tel = tel.scoped(gpu=str(g)) if tel.enabled else None
+            engine = self.system.make_engine(slots=cfg.slots, telemetry=shard_tel)
+            parts.append(engine.serve(group))
         serve = _merged_report(
             parts,
             n_cta_slots=self.n_gpus * self.system.batch_size * self.system.n_parallel,
             meta={"mode": "replicated", "n_gpus": self.n_gpus},
         )
+        tel.observe_report(serve, mode="replicated")
         return SystemReport(ids=ids, dists=dists, serve=serve, traces=traces)
 
 
@@ -114,21 +130,31 @@ class ShardedServer:
             )
 
     def serve(
-        self, queries: np.ndarray, events: list[QueryEvent] | None = None
+        self,
+        queries: np.ndarray,
+        config: ServeConfig | None = None,
+        *,
+        events: list[QueryEvent] | None = None,
     ) -> SystemReport:
+        cfg = as_serve_config(config, events, owner="ShardedServer.serve")
+        tel = cfg.telemetry or NULL_TELEMETRY
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]
         nq = queries.shape[0]
-        events = events or closed_loop(nq)
-        ordered = sorted(events, key=lambda e: e.query_id)
+        evs = cfg.workload or closed_loop(nq)
+        ordered = sorted(evs, key=lambda e: e.query_id)
 
         per_shard = []
         parts = []
-        for shard in self.shards:
-            s_ids, s_dists, traces = shard.system.search_all(queries)
+        for g, shard in enumerate(self.shards):
+            s_ids, s_dists, traces = shard.system.search_all(
+                queries, backend=cfg.backend, seed=cfg.seed
+            )
             jobs = shard.system.jobs_from_traces(traces, ordered)
-            parts.append(shard.system.make_engine().serve(jobs))
+            shard_tel = tel.scoped(shard=str(g)) if tel.enabled else None
+            engine = shard.system.make_engine(slots=cfg.slots, telemetry=shard_tel)
+            parts.append(engine.serve(jobs))
             per_shard.append((s_ids, s_dists, shard.local_to_global))
 
         # Host-side cross-shard merge (global ids).
@@ -172,4 +198,9 @@ class ShardedServer:
             meta={"mode": "sharded", "n_gpus": self.n_gpus,
                   "pcie": [p.pcie for p in parts]},
         )
+        if tel.enabled:
+            # Cross-shard fan-in cost: one extra host merge per query.
+            for _ in records:
+                tel.merge_observed(self.n_gpus, merge_us)
+            tel.observe_report(serve, mode="sharded")
         return SystemReport(ids=ids, dists=dists, serve=serve, traces=[])

@@ -27,6 +27,7 @@ from ..gpusim.costmodel import CostModel
 from ..gpusim.device import DeviceProperties
 from ..gpusim.engine import Simulator
 from ..gpusim.pcie import PCIeLink
+from ..telemetry import NULL_TELEMETRY
 from .merge import HostMerger
 from .query_manager import ManagedQuery, QueryManager
 from .serving import QueryJob, QueryRecord, ServeReport
@@ -82,10 +83,12 @@ class DynamicBatchEngine:
         device: DeviceProperties,
         cost_model: CostModel,
         config: DynamicBatchConfig,
+        telemetry=None,
     ):
         self.device = device
         self.cm = cost_model
         self.cfg = config
+        self.tel = telemetry or NULL_TELEMETRY
 
     def serve(
         self,
@@ -106,19 +109,23 @@ class DynamicBatchEngine:
                     f"job {j.query_id} has {j.n_ctas} CTA durations, "
                     f"engine expects n_parallel={cfg.n_parallel}"
                 )
+        tel = self.tel
         sim = Simulator()
         link = PCIeLink(self.device)
         chan = StateChannel(link, cfg.state_mode)
-        merger = HostMerger(self.cm)
+        merger = HostMerger(self.cm, telemetry=tel)
 
         slots = [Slot(slot_id=i, n_ctas=cfg.n_parallel) for i in range(cfg.n_slots)]
+        if tel.enabled:
+            for s in slots:
+                s.observer = tel.slot_transition
         # Per-slot runtime info.
         slot_job: list[QueryJob | None] = [None] * cfg.n_slots
         slot_ready_at: list[float | None] = [None] * cfg.n_slots  # FINISH visible
         records: dict[int, QueryRecord] = {
             j.query_id: QueryRecord(j.query_id, j.arrival_us) for j in jobs
         }
-        manager = QueryManager(managed if managed is not None else jobs)
+        manager = QueryManager(managed if managed is not None else jobs, telemetry=tel)
         outstanding = len(jobs)
         drops_seen = 0
         gpu_busy = 0.0
@@ -218,12 +225,18 @@ class DynamicBatchEngine:
                                 t += self.cm.cpu_merge_us(1, cfg.k)  # filter only
                             rec.complete_us = t
                             outstanding -= 1
+                            if tel.enabled:
+                                tel.slot_occupied(s, rec.dispatch_us, t,
+                                                  job.query_id)
+                                tel.query_completed(rec)
                     for s in active:
                         if slots[s].is_free and manager.peek_ready(t) is not None:
                             progress = True
                             job = manager.next_ready(t).job
                             rec = records[job.query_id]
                             rec.dispatch_us = t
+                            if tel.enabled:
+                                tel.query_dispatched(job.query_id, job.arrival_us, t)
                             # Async dispatch (§V-B): the host only pays the
                             # stream-submission cost; the copy and the WORK
                             # flag are posted back-to-back (PCIe orders posted
@@ -257,7 +270,7 @@ class DynamicBatchEngine:
         dropped_ids = {m.job.query_id for m in manager.dropped}
         recs = [records[j.query_id] for j in jobs if j.query_id not in dropped_ids]
         makespan = max((r.complete_us for r in recs), default=0.0)
-        return ServeReport(
+        report = ServeReport(
             records=recs,
             makespan_us=makespan,
             gpu_cta_busy_us=gpu_busy,
@@ -272,3 +285,5 @@ class DynamicBatchEngine:
                 "dropped_ids": sorted(dropped_ids),
             },
         )
+        tel.observe_report(report, mode="dynamic")
+        return report

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..gpusim.costmodel import CostModel
 from ..search.topk import heap_merge
+from ..telemetry import NULL_TELEMETRY
 
 __all__ = ["HostMerger", "MergeOutcome"]
 
@@ -29,8 +30,9 @@ class MergeOutcome:
 class HostMerger:
     """Merges per-CTA result lists on the host and prices the work."""
 
-    def __init__(self, cost_model: CostModel):
+    def __init__(self, cost_model: CostModel, telemetry=None):
         self._cm = cost_model
+        self._tel = telemetry or NULL_TELEMETRY
         self.total_cpu_us = 0.0
         self.merges = 0
 
@@ -42,6 +44,7 @@ class HostMerger:
         cpu = self._cm.cpu_merge_us(len(lists), k)
         self.total_cpu_us += cpu
         self.merges += 1
+        self._tel.merge_observed(len(lists), cpu)
         return MergeOutcome(ids=ids, dists=dists, cpu_us=cpu)
 
     def merge_cost_only(self, n_lists: int, k: int) -> float:
@@ -49,4 +52,5 @@ class HostMerger:
         cpu = self._cm.cpu_merge_us(n_lists, k)
         self.total_cpu_us += cpu
         self.merges += 1
+        self._tel.merge_observed(n_lists, cpu)
         return cpu

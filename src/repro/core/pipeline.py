@@ -30,7 +30,7 @@ from ..graphs.utils import medoid
 from ..search.intra_cta import BeamConfig, intra_cta_search
 from ..search.multi_cta import make_entries, multi_cta_search
 from .dynamic_batcher import DynamicBatchConfig, DynamicBatchEngine
-from .serving import QueryJob, ServeReport
+from .serving import QueryJob, ServeConfig, ServeReport, as_serve_config
 from .static_batcher import StaticBatchConfig, StaticBatchEngine
 from .tuning import TuningResult, tune
 
@@ -125,34 +125,40 @@ class BaseGraphSystem:
             else np.array([self._medoid])
         )
 
-    def search_one(self, query: np.ndarray, rng: np.random.Generator):
+    def search_one(self, query: np.ndarray, rng: np.random.Generator,
+                   backend: str | None = None):
         """Run the system's search for one query; returns a SearchResult."""
+        backend = backend or self.backend
         if self.n_parallel == 1:
             return intra_cta_search(
                 self.base, self.graph, query, self.k,
                 self.tuning.per_cta_cand_len, self._single_cta_entries(rng),
-                metric=self.metric, beam=self.beam, backend=self.backend,
+                metric=self.metric, beam=self.beam, backend=backend,
             )
         return multi_cta_search(
             self.base, self.graph, query, self.k, self.l_total, self.n_parallel,
             metric=self.metric, beam=self.beam,
-            entries_per_cta=self.entries_per_cta, rng=rng, backend=self.backend,
+            entries_per_cta=self.entries_per_cta, rng=rng, backend=backend,
         )
 
-    def search_all(self, queries: np.ndarray):
+    def search_all(self, queries: np.ndarray, backend: str | None = None,
+                   seed: int | None = None):
         """Search every query; returns padded ids/dists and traces.
 
         With the vectorized backend the whole query set advances in one
         lockstep SoA batch (all queries × all CTAs); entry points are drawn
         from the rng in the same per-query order as the scalar loop, so the
         two backends return byte-identical results and traces.
+        ``backend``/``seed`` override the system's configured values for
+        this call (the :class:`~repro.core.serving.ServeConfig` knobs).
         """
-        rng = np.random.default_rng(self.seed)
+        backend = backend or self.backend
+        rng = np.random.default_rng(self.seed if seed is None else seed)
         nq = queries.shape[0]
-        if self.backend == "vectorized":
+        if backend == "vectorized":
             results = self._search_all_vectorized(queries, rng)
         else:
-            results = (self.search_one(queries[i], rng) for i in range(nq))
+            results = (self.search_one(queries[i], rng, backend) for i in range(nq))
         ids = np.full((nq, self.k), -1, dtype=np.int64)
         dists = np.full((nq, self.k), np.inf, dtype=np.float32)
         traces: list[QueryTrace] = []
@@ -214,23 +220,40 @@ class BaseGraphSystem:
         return self.tuning.block_shared_mem_bytes
 
     # ------------------------------------------------------------- serving
-    def make_engine(self):  # pragma: no cover - abstract
+    def make_engine(self, slots: int | None = None, telemetry=None):  # pragma: no cover
+        """Build the system's batching engine (abstract).
+
+        ``slots`` overrides the configured slot count / batch size for one
+        serve; ``telemetry`` instruments the engine (both are the
+        :class:`~repro.core.serving.ServeConfig` knobs).
+        """
         raise NotImplementedError
 
     def serve(
         self,
         queries: np.ndarray,
+        config: ServeConfig | None = None,
+        *,
         events: list[QueryEvent] | None = None,
     ) -> SystemReport:
-        """Search + schedule a query set (closed loop by default)."""
+        """Search + schedule a query set (closed loop by default).
+
+        ``config`` is the unified :class:`~repro.core.serving.ServeConfig`;
+        the old ``events=`` keyword (and positional event-list) forms are
+        deprecated shims that still work for one release.
+        """
+        cfg = as_serve_config(config, events, owner=f"{type(self).__name__}.serve")
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]
-        events = events or closed_loop(queries.shape[0])
-        ids, dists, traces = self.search_all(queries)
-        ordered = sorted(events, key=lambda e: e.query_id)
+        evs = cfg.workload or closed_loop(queries.shape[0])
+        ids, dists, traces = self.search_all(
+            queries, backend=cfg.backend, seed=cfg.seed
+        )
+        ordered = sorted(evs, key=lambda e: e.query_id)
         jobs = self.jobs_from_traces(traces, ordered)
-        report = self.make_engine().serve(jobs)
+        engine = self.make_engine(slots=cfg.slots, telemetry=cfg.telemetry)
+        report = engine.serve(jobs)
         return SystemReport(ids=ids, dists=dists, serve=report, traces=traces)
 
 
@@ -283,9 +306,9 @@ class ALGASSystem(BaseGraphSystem):
         self.state_mode = state_mode
         self.merge_on_cpu = merge_on_cpu
 
-    def make_engine(self) -> DynamicBatchEngine:
+    def make_engine(self, slots: int | None = None, telemetry=None) -> DynamicBatchEngine:
         cfg = DynamicBatchConfig(
-            n_slots=self.batch_size,
+            n_slots=slots or self.batch_size,
             n_parallel=self.n_parallel,
             k=self.k,
             host_threads=self.host_threads,
@@ -293,4 +316,4 @@ class ALGASSystem(BaseGraphSystem):
             merge_on_cpu=self.merge_on_cpu,
             search_backend=self.backend,
         )
-        return DynamicBatchEngine(self.device, self.cost_model, cfg)
+        return DynamicBatchEngine(self.device, self.cost_model, cfg, telemetry=telemetry)

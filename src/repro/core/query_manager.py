@@ -23,6 +23,7 @@ import heapq
 import itertools
 from dataclasses import dataclass
 
+from ..telemetry import NULL_TELEMETRY
 from .serving import QueryJob
 
 __all__ = ["ManagedQuery", "QueryManager"]
@@ -42,10 +43,15 @@ class ManagedQuery:
 class QueryManager:
     """Priority admission queue with arrival gating and deadline drops."""
 
-    def __init__(self, queries: list[ManagedQuery] | list[QueryJob] | None = None):
+    def __init__(
+        self,
+        queries: list[ManagedQuery] | list[QueryJob] | None = None,
+        telemetry=None,
+    ):
         self._arrivals: list[tuple[float, int, ManagedQuery]] = []
         self._ready: list[tuple[int, float, int, ManagedQuery]] = []
         self._seq = itertools.count()
+        self._tel = telemetry or NULL_TELEMETRY
         self.dropped: list[ManagedQuery] = []
         self.dispatched = 0
         for q in queries or []:
@@ -56,12 +62,17 @@ class QueryManager:
         if isinstance(q, QueryJob):
             q = ManagedQuery(q)
         heapq.heappush(self._arrivals, (q.job.arrival_us, next(self._seq), q))
+        self._tel.query_submitted()
 
     # ------------------------------------------------------------- internal
     def _admit(self, now: float) -> None:
+        admitted = False
         while self._arrivals and self._arrivals[0][0] <= now:
             _, seq, q = heapq.heappop(self._arrivals)
             heapq.heappush(self._ready, (-q.priority, q.job.arrival_us, seq, q))
+            admitted = True
+        if admitted:
+            self._tel.queue_depth(len(self._ready))
 
     def _drop_expired(self, now: float) -> None:
         live = []
@@ -70,6 +81,9 @@ class QueryManager:
             q = entry[3]
             if q.deadline_us is not None and q.deadline_us < now:
                 self.dropped.append(q)
+                self._tel.query_dropped(
+                    q.job.query_id, q.job.arrival_us, q.deadline_us
+                )
                 changed = True
             else:
                 live.append(entry)
@@ -103,6 +117,7 @@ class QueryManager:
         self._ready.pop()
         heapq.heapify(self._ready)
         self.dispatched += 1
+        self._tel.queue_depth(len(self._ready))
         return q
 
     def peek_ready(self, now: float) -> ManagedQuery | None:

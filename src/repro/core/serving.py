@@ -1,19 +1,35 @@
-"""Shared serving vocabulary: jobs, per-query records, serve reports.
+"""Shared serving vocabulary: jobs, per-query records, configs, reports.
 
 Both batching engines consume :class:`QueryJob` lists (priced traces — the
 search itself has already run) and produce a :class:`ServeReport` with
 identical semantics, so every Fig. 10–15 comparison is apples-to-apples.
+
+:class:`ServeConfig` is the unified ``serve()`` argument accepted by every
+entry point (:class:`~repro.core.pipeline.ALGASSystem`, the baselines,
+:class:`~repro.core.cluster.ReplicatedServer` /
+:class:`~repro.core.cluster.ShardedServer`); the old per-system keyword
+forms remain as deprecation shims via :func:`as_serve_config`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
+import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..data.workload import QueryEvent
 from ..gpusim.pcie import PCIeStats
 
-__all__ = ["QueryJob", "QueryRecord", "ServeReport"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry import Telemetry
+
+__all__ = ["QueryJob", "QueryRecord", "ServeConfig", "ServeReport", "as_serve_config"]
 
 
 @dataclass(frozen=True)
@@ -70,6 +86,99 @@ class QueryRecord:
         """Time between this query's own GPU completion and its return —
         in static batching, waiting for the batch's slowest query."""
         return max(0.0, self.complete_us - self.gpu_end_us)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Unified serve-time options accepted by every ``serve()`` entry point.
+
+    Every field defaults to "use the system's configured value", so
+    ``serve(queries)`` and ``serve(queries, ServeConfig())`` are identical.
+
+    * ``workload`` — arrival events (None → closed loop over the queries);
+    * ``slots`` — overrides the engine's slot count / batch size;
+    * ``backend`` — overrides the search backend ("scalar"/"vectorized");
+    * ``seed`` — overrides the entry-point RNG seed;
+    * ``telemetry`` — a :class:`~repro.telemetry.Telemetry` to instrument
+      the run (None → the no-op default; the hot path is unaffected).
+    """
+
+    workload: list[QueryEvent] | None = None
+    slots: int | None = None
+    backend: str | None = None
+    seed: int | None = None
+    telemetry: "Telemetry | None" = None
+
+    def __post_init__(self) -> None:
+        if self.slots is not None and self.slots <= 0:
+            raise ValueError("slots must be positive")
+        if self.backend is not None and self.backend not in ("scalar", "vectorized"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.workload is not None:
+            for ev in self.workload:
+                if not isinstance(ev, QueryEvent):
+                    raise TypeError(
+                        f"workload must contain QueryEvent, got {type(ev).__name__}"
+                    )
+
+
+def as_serve_config(config=None, events=None, owner: str = "serve") -> ServeConfig:
+    """Coerce the ``serve()`` arguments into one :class:`ServeConfig`.
+
+    Accepts the new form (a ``ServeConfig`` or None) and the two legacy
+    forms kept as deprecation shims for one release:
+
+    * ``serve(queries, events=[...])`` — the old keyword argument;
+    * ``serve(queries, [QueryEvent, ...])`` — the old second positional.
+    """
+    if events is not None:
+        if config is not None:
+            raise TypeError(f"{owner}() takes either config or events, not both")
+        warnings.warn(
+            f"{owner}(queries, events=...) is deprecated; pass "
+            f"ServeConfig(workload=events) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return ServeConfig(workload=list(events))
+    if config is None:
+        return ServeConfig()
+    if isinstance(config, ServeConfig):
+        return config
+    if isinstance(config, (list, tuple)) and all(
+        isinstance(e, QueryEvent) for e in config
+    ):
+        warnings.warn(
+            f"{owner}(queries, [QueryEvent, ...]) is deprecated; pass "
+            f"ServeConfig(workload=events) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return ServeConfig(workload=list(config))
+    raise TypeError(
+        f"{owner}() expected a ServeConfig (or a legacy QueryEvent list), "
+        f"got {type(config).__name__}"
+    )
+
+
+def _json_safe(value):
+    """Best-effort JSON conversion: dataclasses → dicts, unknowns → repr."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _json_safe(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
 
 
 @dataclass
@@ -135,3 +244,47 @@ class ServeReport:
             "gpu_utilization": self.gpu_utilization,
             "mean_bubble_us": self.mean_bubble_us,
         }
+
+    # ------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-ready dict: full per-query records plus headline metrics.
+
+        ``meta`` is serialized best-effort (dataclass configs become plain
+        dicts); a round-tripped report therefore compares equal on records
+        and derived metrics, while ``meta`` holds data rather than objects.
+        """
+        return {
+            "records": [dataclasses.asdict(r) for r in self.records],
+            "makespan_us": self.makespan_us,
+            "gpu_cta_busy_us": self.gpu_cta_busy_us,
+            "n_cta_slots": self.n_cta_slots,
+            "host_busy_us": self.host_busy_us,
+            "pcie": None if self.pcie is None else _json_safe(self.pcie),
+            "meta": _json_safe(self.meta),
+            "summary": self.summary(),  # convenience; ignored by from_dict
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeReport":
+        pcie = data.get("pcie")
+        return cls(
+            records=[QueryRecord(**r) for r in data["records"]],
+            makespan_us=data["makespan_us"],
+            gpu_cta_busy_us=data["gpu_cta_busy_us"],
+            n_cta_slots=data["n_cta_slots"],
+            pcie=None if pcie is None else PCIeStats(**pcie),
+            host_busy_us=data.get("host_busy_us", 0.0),
+            meta=data.get("meta") or {},
+        )
+
+    def to_json(self, path: str | os.PathLike | None = None, indent: int = 2) -> str:
+        """Serialize to a JSON string, optionally also writing ``path``."""
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, data: str | bytes) -> "ServeReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(data))

@@ -59,6 +59,11 @@ class Slot:
     #: id of the query currently owned by the slot (None when empty)
     query_id: int | None = None
     queries_served: int = 0
+    #: optional transition observer ``(slot_id, old, new)`` — the telemetry
+    #: layer attaches :meth:`Telemetry.slot_transition` here.  Host-side
+    #: transitions fire once per slot, GPU-side once per CTA (matching who
+    #: writes how many state words over the wire).
+    observer: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.n_ctas <= 0:
@@ -97,7 +102,10 @@ class Slot:
         for i, cur in enumerate(self.cta_states):
             if new not in _ALLOWED[cur]:
                 raise StateTransitionError(f"slot {self.slot_id} CTA {i}: {cur} → {new}")
+        old = self.state
         self.cta_states = [new] * self.n_ctas
+        if self.observer is not None:
+            self.observer(self.slot_id, old, new)
 
     def dispatch(self, query_id: int) -> None:
         """NONE/DONE → WORK with a query attached."""
@@ -130,3 +138,5 @@ class Slot:
                 f"slot {self.slot_id} CTA {cta}: GPU may only advance WORK, saw {cur}"
             )
         self.cta_states[cta] = SlotState.FINISH
+        if self.observer is not None:
+            self.observer(self.slot_id, cur, SlotState.FINISH)

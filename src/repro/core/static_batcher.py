@@ -22,6 +22,7 @@ from ..gpusim.costmodel import CostModel
 from ..gpusim.device import DeviceProperties
 from ..gpusim.kernel import launch_blocks
 from ..gpusim.pcie import PCIeLink
+from ..telemetry import NULL_TELEMETRY
 from .merge import HostMerger
 from .serving import QueryJob, QueryRecord, ServeReport
 
@@ -68,13 +69,16 @@ class StaticBatchEngine:
         device: DeviceProperties,
         cost_model: CostModel,
         config: StaticBatchConfig,
+        telemetry=None,
     ):
         self.device = device
         self.cm = cost_model
         self.cfg = config
+        self.tel = telemetry or NULL_TELEMETRY
 
     def serve(self, jobs: list[QueryJob]) -> ServeReport:
         cfg = self.cfg
+        tel = self.tel
         jobs = sorted(jobs, key=lambda j: (j.arrival_us, j.query_id))
         if len({j.query_id for j in jobs}) != len(jobs):
             raise ValueError("duplicate query ids in job list")
@@ -84,8 +88,9 @@ class StaticBatchEngine:
                     f"job {j.query_id} has {j.n_ctas} CTA durations, "
                     f"engine expects n_parallel={cfg.n_parallel}"
                 )
+        tel.query_submitted(len(jobs))
         link = PCIeLink(self.device)
-        merger = HostMerger(self.cm)
+        merger = HostMerger(self.cm, telemetry=tel)
         records: list[QueryRecord] = []
         gpu_busy = 0.0
         host_busy = 0.0
@@ -143,11 +148,19 @@ class StaticBatchEngine:
                 rec.detected_us = batch_complete
                 rec.complete_us = batch_complete  # batch returns as a unit
                 records.append(rec)
+                if tel.enabled:
+                    tel.query_dispatched(j.query_id, j.arrival_us, ready)
+                    tel.query_completed(rec)
+            if tel.enabled:
+                bi = lo // cfg.batch_size
+                tel.span("batch", ready, batch_complete,
+                         batch=bi, queries=len(batch))
+                tel.span("kernel", t_up, kernel_end, batch=bi)
             prev_complete = batch_complete
             prev_kernel_end = kernel_end
 
         makespan = max((r.complete_us for r in records), default=0.0)
-        return ServeReport(
+        report = ServeReport(
             records=records,
             makespan_us=makespan,
             gpu_cta_busy_us=gpu_busy,
@@ -156,3 +169,5 @@ class StaticBatchEngine:
             host_busy_us=host_busy,
             meta={"mode": "static", "config": cfg, "search_backend": cfg.search_backend},
         )
+        tel.observe_report(report, mode="static")
+        return report

@@ -9,8 +9,15 @@ from .datasets import (
     load_real_dataset,
 )
 from .groundtruth import exact_knn, recall, recall_per_query
+from .io import read_bvecs, read_fvecs, read_ivecs, write_fvecs, write_ivecs
 from .metrics import METRICS, distance_one, normalize, pairwise_distances, query_distances
-from .synthetic import gaussian_mixture, hypersphere_mixture, split_queries, uniform_cube
+from .synthetic import (
+    gaussian_mixture,
+    hypersphere_mixture,
+    latent_mixture,
+    split_queries,
+    uniform_cube,
+)
 from .workload import QueryEvent, closed_loop, poisson_arrivals, uniform_arrivals
 
 __all__ = [
@@ -30,8 +37,14 @@ __all__ = [
     "query_distances",
     "gaussian_mixture",
     "hypersphere_mixture",
+    "latent_mixture",
     "split_queries",
     "uniform_cube",
+    "read_bvecs",
+    "read_fvecs",
+    "read_ivecs",
+    "write_fvecs",
+    "write_ivecs",
     "QueryEvent",
     "closed_loop",
     "poisson_arrivals",

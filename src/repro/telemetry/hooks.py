@@ -1,0 +1,283 @@
+"""The `Telemetry` facade: instrumentation hooks for the serving stack.
+
+Every instrumented component (:class:`~repro.core.query_manager.QueryManager`,
+:class:`~repro.core.slots.Slot`, :class:`~repro.core.merge.HostMerger`, both
+batching engines, the systems and cluster servers) takes an optional
+``telemetry`` object and calls these hooks.  The default is
+:data:`NULL_TELEMETRY`, whose hooks are all no-ops, so the hot path and the
+existing benchmarks pay nothing unless observability is requested.
+
+A telemetry object bundles a :class:`~repro.telemetry.registry.MetricsRegistry`
+and a :class:`~repro.telemetry.spans.SpanLog`; ``scoped(**labels)`` returns a
+view that shares both but stamps extra labels on every metric — the cluster
+servers use this for per-shard/per-replica aggregation into one registry.
+
+Metric catalog: see docs/observability.md (kept in sync with ``_CATALOG``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .registry import Buckets, MetricsRegistry
+from .spans import SpanLog
+
+__all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY"]
+
+#: depth buckets for the queue-depth distribution (0..2048, powers of two).
+_DEPTH_BUCKETS = (0.0,) + Buckets.exponential(1.0, 2.0, 12)
+
+#: the always-present metric families: (kind, name, help, histogram buckets)
+_CATALOG: tuple[tuple[str, str, str, tuple | None], ...] = (
+    ("counter", "algas_queries_submitted_total",
+     "queries admitted to the serving queue", None),
+    ("counter", "algas_queries_dispatched_total",
+     "queries handed to a slot or batch", None),
+    ("counter", "algas_queries_completed_total",
+     "queries whose merged results were returned", None),
+    ("counter", "algas_queries_dropped_total",
+     "queries dropped past their deadline before dispatch", None),
+    ("gauge", "algas_queue_depth",
+     "ready-queue depth (last sampled; high_water in JSON)", None),
+    ("histogram", "algas_queue_depth_observed",
+     "ready-queue depth sampled at each admission/dispatch", _DEPTH_BUCKETS),
+    ("histogram", "algas_queue_wait_us",
+     "arrival to dispatch wait per query (us)", Buckets.LATENCY_US),
+    ("histogram", "algas_search_us",
+     "GPU search time per query: first CTA start to last CTA end (us)",
+     Buckets.LATENCY_US),
+    ("histogram", "algas_host_merge_us",
+     "host-side TopK merge cost per merge (us)", Buckets.LATENCY_US),
+    ("histogram", "algas_service_latency_us",
+     "dispatch to completion per query (us)", Buckets.LATENCY_US),
+    ("histogram", "algas_e2e_latency_us",
+     "arrival to completion per query (us)", Buckets.LATENCY_US),
+    ("histogram", "algas_bubble_us",
+     "per-query idle time between own GPU finish and return (us)",
+     Buckets.LATENCY_US),
+)
+
+
+class Telemetry:
+    """Live telemetry: a metrics registry + span log + lifecycle hooks."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        spans: SpanLog | None = None,
+        labels: dict[str, str] | None = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.spans = spans if spans is not None else SpanLog()
+        self.labels = {k: str(v) for k, v in (labels or {}).items()}
+        for kind, name, help, buckets in _CATALOG:
+            if kind == "counter":
+                self.registry.counter(name, help, **self.labels)
+            elif kind == "gauge":
+                self.registry.gauge(name, help, **self.labels)
+            else:
+                self.registry.histogram(name, help, buckets=buckets, **self.labels)
+
+    def scoped(self, **labels: str) -> "Telemetry":
+        """A view sharing this registry/span log with extra constant labels."""
+        return Telemetry(self.registry, self.spans, {**self.labels, **labels})
+
+    # ------------------------------------------------------ query lifecycle
+    def query_submitted(self, n: int = 1) -> None:
+        self.registry.counter("algas_queries_submitted_total", **self.labels).inc(n)
+
+    def queue_depth(self, depth: int) -> None:
+        self.registry.gauge("algas_queue_depth", **self.labels).set(depth)
+        self.registry.histogram(
+            "algas_queue_depth_observed", **self.labels
+        ).observe(depth)
+
+    def query_dispatched(self, query_id: int, arrival_us: float, dispatch_us: float) -> None:
+        self.registry.counter("algas_queries_dispatched_total", **self.labels).inc()
+        self.registry.histogram("algas_queue_wait_us", **self.labels).observe(
+            max(0.0, dispatch_us - arrival_us)
+        )
+        self.spans.record("queue", arrival_us, dispatch_us, query_id=query_id,
+                          **self.labels)
+
+    def query_completed(self, record) -> None:
+        """Observe a finished :class:`~repro.core.serving.QueryRecord`."""
+        labels = self.labels
+        reg = self.registry
+        reg.counter("algas_queries_completed_total", **labels).inc()
+        reg.histogram("algas_search_us", **labels).observe(
+            max(0.0, record.gpu_end_us - record.gpu_start_us)
+        )
+        reg.histogram("algas_service_latency_us", **labels).observe(
+            record.service_latency_us
+        )
+        reg.histogram("algas_e2e_latency_us", **labels).observe(record.e2e_latency_us)
+        reg.histogram("algas_bubble_us", **labels).observe(record.bubble_us)
+        qid = record.query_id
+        self.spans.record("search", record.gpu_start_us, record.gpu_end_us,
+                          query_id=qid, **labels)
+        self.spans.record("merge", record.detected_us, record.complete_us,
+                          query_id=qid, **labels)
+        self.spans.record("query", record.arrival_us, record.complete_us,
+                          query_id=qid, **labels)
+
+    def query_dropped(
+        self,
+        query_id: int | None = None,
+        arrival_us: float | None = None,
+        deadline_us: float | None = None,
+    ) -> None:
+        self.registry.counter("algas_queries_dropped_total", **self.labels).inc()
+        if query_id is not None and arrival_us is not None and deadline_us is not None:
+            self.spans.record("dropped", arrival_us, deadline_us, query_id=query_id,
+                              **self.labels)
+
+    # ---------------------------------------------------------------- slots
+    def slot_transition(self, slot_id: int, old, new) -> None:
+        """One slot/CTA state transition (``old``/``new`` are SlotStates)."""
+        self.registry.counter(
+            "algas_slot_transitions_total",
+            "slot state-machine transitions (per CTA for GPU-side FINISH)",
+            **{"from": old.value, "to": new.value, **self.labels},
+        ).inc()
+
+    def slot_occupied(
+        self, slot_id: int, start_us: float, end_us: float, query_id: int
+    ) -> None:
+        """One completed occupancy interval: dispatch → results collected."""
+        slot = str(slot_id)
+        self.registry.counter(
+            "algas_slot_busy_us_total", "per-slot occupied time (us)",
+            slot=slot, **self.labels,
+        ).inc(max(0.0, end_us - start_us))
+        self.registry.counter(
+            "algas_slot_queries_total", "queries served per slot",
+            slot=slot, **self.labels,
+        ).inc()
+        self.spans.record("slot", start_us, end_us, query_id=query_id,
+                          slot_id=slot_id, **self.labels)
+
+    # ----------------------------------------------------------- host merge
+    def merge_observed(self, n_lists: int, cpu_us: float) -> None:
+        self.registry.histogram("algas_host_merge_us", **self.labels).observe(cpu_us)
+
+    # ------------------------------------------------------- generic spans
+    def span(self, name: str, start_us: float, end_us: float,
+             query_id: int | None = None, slot_id: int | None = None,
+             **attrs) -> None:
+        self.spans.record(name, start_us, end_us, query_id=query_id,
+                          slot_id=slot_id, **{**self.labels, **attrs})
+
+    # ---------------------------------------------------------- serve level
+    def observe_report(self, report, mode: str | None = None) -> None:
+        """Record a finished serve's headline numbers as gauges."""
+        labels = dict(self.labels)
+        if mode is not None:
+            labels["mode"] = mode
+        reg = self.registry
+        reg.gauge("algas_makespan_us", "makespan of the last serve (us)",
+                  **labels).set(report.makespan_us)
+        reg.gauge("algas_throughput_qps", "throughput of the last serve",
+                  **labels).set(report.throughput_qps)
+        reg.gauge("algas_gpu_utilization",
+                  "busy fraction of reserved CTA contexts, last serve",
+                  **labels).set(report.gpu_utilization)
+        reg.gauge("algas_host_busy_us", "host thread busy time, last serve (us)",
+                  **labels).set(report.host_busy_us)
+
+    # ------------------------------------------------------------ exposition
+    def to_dict(self, max_spans: int | None = None) -> dict:
+        from .exposition import telemetry_document
+
+        return telemetry_document(self, max_spans=max_spans)
+
+    def to_json(self, path: str | os.PathLike | None = None,
+                max_spans: int | None = 10_000) -> str:
+        from .exposition import write_metrics
+
+        text = json.dumps(self.to_dict(max_spans=max_spans), indent=2) + "\n"
+        if path is not None:
+            write_metrics(self, path, max_spans=max_spans)
+        return text
+
+    def to_prometheus(self) -> str:
+        from .exposition import to_prometheus_text
+
+        return to_prometheus_text(self.registry)
+
+    def slot_timeline(self, width: int = 72, max_slots: int = 32) -> str:
+        """ASCII per-slot occupancy timeline (see repro.analysis.timeline)."""
+        from ..analysis.timeline import ascii_slot_timeline
+
+        return ascii_slot_timeline(
+            self.spans.filter(name="slot"), width=width, max_slots=max_slots
+        )
+
+
+class NullTelemetry(Telemetry):
+    """No-op telemetry: every hook returns immediately.
+
+    The default for every instrumented component — guarantees the hot path
+    is unaffected when observability is off (the perf_smoke gate holds the
+    engines to <5% overhead against the seed numbers).
+    """
+
+    enabled = False
+
+    def __init__(self):
+        # No registry, no spans: nothing is ever recorded.
+        self.registry = None
+        self.spans = None
+        self.labels = {}
+
+    def scoped(self, **labels) -> "NullTelemetry":
+        return self
+
+    def query_submitted(self, n: int = 1) -> None:
+        pass
+
+    def queue_depth(self, depth: int) -> None:
+        pass
+
+    def query_dispatched(self, query_id, arrival_us, dispatch_us) -> None:
+        pass
+
+    def query_completed(self, record) -> None:
+        pass
+
+    def query_dropped(self, query_id=None, arrival_us=None, deadline_us=None) -> None:
+        pass
+
+    def slot_transition(self, slot_id, old, new) -> None:
+        pass
+
+    def slot_occupied(self, slot_id, start_us, end_us, query_id) -> None:
+        pass
+
+    def merge_observed(self, n_lists, cpu_us) -> None:
+        pass
+
+    def span(self, name, start_us, end_us, query_id=None, slot_id=None, **attrs) -> None:
+        pass
+
+    def observe_report(self, report, mode=None) -> None:
+        pass
+
+    def to_dict(self, max_spans=None) -> dict:
+        return {}
+
+    def to_json(self, path=None, max_spans=10_000) -> str:
+        return "{}"
+
+    def to_prometheus(self) -> str:
+        return ""
+
+    def slot_timeline(self, width: int = 72, max_slots: int = 32) -> str:
+        return "(telemetry disabled)"
+
+
+#: shared no-op instance; components do ``tel = telemetry or NULL_TELEMETRY``.
+NULL_TELEMETRY = NullTelemetry()

@@ -55,6 +55,43 @@ def test_serve_ivf(capsys):
     assert "recall@8" in capsys.readouterr().out
 
 
+def test_serve_metrics_out(tmp_path, capsys):
+    import json
+
+    mpath = tmp_path / "metrics.json"
+    rc = main([
+        "serve", "--dataset", "sift1m-mini", "--n", "1500", "--queries", "16",
+        "--degree", "8", "--k", "8", "--l", "32", "--batch", "4",
+        "--metrics-out", str(mpath), "--slot-timeline",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "slot occupancy" in out and str(mpath) in out
+    doc = json.loads(mpath.read_text())
+    fams = doc["metrics"]
+    # per-phase latency histograms
+    for name in ("algas_queue_wait_us", "algas_search_us", "algas_host_merge_us"):
+        assert fams[name]["type"] == "histogram"
+        assert fams[name]["series"][0]["count"] > 0
+    # slot-occupancy stats and drop counters
+    assert doc["slot_occupancy"]["slots"]
+    assert fams["algas_queries_dropped_total"]["series"][0]["value"] == 0.0
+    assert doc["n_spans"] > 0
+
+
+def test_serve_metrics_out_prometheus(tmp_path):
+    mpath = tmp_path / "metrics.prom"
+    rc = main([
+        "serve", "--dataset", "sift1m-mini", "--n", "1500", "--queries", "8",
+        "--degree", "8", "--k", "8", "--l", "32", "--batch", "4",
+        "--metrics-out", str(mpath),
+    ])
+    assert rc == 0
+    text = mpath.read_text()
+    assert "# TYPE algas_search_us histogram" in text
+    assert 'algas_search_us_bucket{le="+Inf"} 8' in text
+
+
 def test_figure_unknown():
     assert main(["figure", "fig99"]) == 2
 

@@ -65,3 +65,45 @@ def test_bool_and_pending():
     assert not m
     m.submit(job(0, 100.0))
     assert m and m.pending == 1
+
+
+# ----------------------------------------------------- telemetry observation
+def test_deadline_drops_counted_in_telemetry():
+    from repro.telemetry import Telemetry
+
+    tel = Telemetry()
+    m = QueryManager(telemetry=tel)
+    m.submit(ManagedQuery(job(0, 0.0), deadline_us=3.0))
+    m.submit(ManagedQuery(job(1, 0.0), deadline_us=4.0))
+    m.submit(ManagedQuery(job(2, 0.0)))
+    got = m.next_ready(5.0)
+    assert got.job.query_id == 2
+    assert tel.registry.get("algas_queries_submitted_total").value == 3
+    assert tel.registry.get("algas_queries_dropped_total").value == 2
+    assert tel.registry.get("algas_queue_depth").high_water >= 1
+    # each drop leaves a span covering arrival -> deadline
+    dropped = tel.spans.filter(name="dropped")
+    assert [(s.query_id, s.end_us) for s in dropped] == [(0, 3.0), (1, 4.0)]
+
+
+def test_priority_ordering_observed_in_queue_depth():
+    from repro.telemetry import Telemetry
+
+    tel = Telemetry()
+    m = QueryManager(telemetry=tel)
+    m.submit(ManagedQuery(job(0, 0.0), priority=0))
+    m.submit(ManagedQuery(job(1, 1.0), priority=5))
+    assert m.next_ready(2.0).job.query_id == 1  # urgent overtakes FIFO
+    assert m.next_ready(4.0).job.query_id == 0
+    assert m.next_ready(4.0) is None
+    assert tel.registry.get("algas_queries_submitted_total").value == 2
+    # queue depth sampled at admission (2) and after each pop (1, then 0)
+    g = tel.registry.get("algas_queue_depth")
+    assert g.high_water == 2.0 and g.value == 0.0
+    depth = tel.registry.get("algas_queue_depth_observed")
+    assert depth.count == 3 and depth.sum == pytest.approx(3.0)
+
+
+def test_query_manager_default_is_noop_telemetry():
+    m = QueryManager([job(0)])
+    assert m.next_ready(1.0).job.query_id == 0  # no registry, no crash

@@ -1,0 +1,114 @@
+"""Unified ServeConfig surface: parity with legacy forms + validation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CAGRASystem, GANNSSystem, IVFSystem
+from repro.core import ALGASSystem, ReplicatedServer, ServeConfig, ShardedServer
+from repro.core.serving import as_serve_config
+from repro.data import load_dataset, poisson_arrivals
+from repro.graphs import build_cagra
+
+
+@pytest.fixture(scope="module")
+def mini():
+    ds = load_dataset("sift1m-mini", n=1500, n_queries=16, gt_k=16, seed=0)
+    g = build_cagra(ds.base, graph_degree=16, metric=ds.metric)
+    return ds, g
+
+
+def _systems(ds, g):
+    kw = dict(metric=ds.metric, k=8, l_total=64, batch_size=8, seed=0)
+    yield "algas", ALGASSystem(ds.base, g, **kw)
+    yield "cagra", CAGRASystem(ds.base, g, **kw)
+    yield "ganns", GANNSSystem(ds.base, g, **kw)
+    yield "ivf", IVFSystem(ds.base, nlist=16, nprobe=4, metric=ds.metric,
+                           k=8, batch_size=8, seed=0)
+
+
+# ------------------------------------------------------------------- parity
+@pytest.mark.parametrize("name", ["algas", "cagra", "ganns", "ivf"])
+def test_legacy_events_kwarg_parity(mini, name):
+    """Old serve(queries, events=...) == new serve(queries, ServeConfig(...))."""
+    ds, g = mini
+    events = poisson_arrivals(len(ds.queries), rate_qps=200_000, seed=1)
+    system = dict(_systems(ds, g))[name]
+    with pytest.warns(DeprecationWarning, match="events"):
+        old = system.serve(ds.queries, events=events)
+    new = system.serve(ds.queries, ServeConfig(workload=events))
+    assert np.array_equal(old.ids, new.ids)
+    assert old.serve.summary() == new.serve.summary()
+    assert [r.complete_us for r in old.serve.records] == [
+        r.complete_us for r in new.serve.records
+    ]
+
+
+def test_legacy_positional_event_list(mini):
+    ds, g = mini
+    events = poisson_arrivals(len(ds.queries), rate_qps=200_000, seed=1)
+    system = ALGASSystem(ds.base, g, metric=ds.metric, k=8, l_total=64,
+                         batch_size=8, seed=0)
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        old = system.serve(ds.queries, events)
+    new = system.serve(ds.queries, ServeConfig(workload=events))
+    assert old.serve.summary() == new.serve.summary()
+
+
+def test_cluster_servers_accept_both_forms(mini):
+    ds, g = mini
+    events = poisson_arrivals(len(ds.queries), rate_qps=200_000, seed=1)
+    kw = dict(metric=ds.metric, k=8, l_total=64, batch_size=8, seed=0)
+    rs = ReplicatedServer(ds.base, g, n_gpus=2, **kw)
+    with pytest.warns(DeprecationWarning):
+        old = rs.serve(ds.queries, events=events)
+    new = rs.serve(ds.queries, ServeConfig(workload=events))
+    assert old.serve.summary() == new.serve.summary()
+
+    builder = lambda pts: build_cagra(pts, graph_degree=16, metric=ds.metric)
+    ss = ShardedServer(ds.base, builder, n_gpus=2, **kw)
+    with pytest.warns(DeprecationWarning):
+        old = ss.serve(ds.queries, events=events)
+    new = ss.serve(ds.queries, ServeConfig(workload=events))
+    assert old.serve.summary() == new.serve.summary()
+
+
+# ---------------------------------------------------------------- overrides
+def test_slots_override_changes_engine_width(mini):
+    ds, g = mini
+    system = ALGASSystem(ds.base, g, metric=ds.metric, k=8, l_total=64,
+                         batch_size=8, seed=0)
+    narrow = system.serve(ds.queries, ServeConfig(slots=2))
+    wide = system.serve(ds.queries, ServeConfig(slots=8))
+    # Same results, different scheduling width.
+    assert np.array_equal(narrow.ids, wide.ids)
+    assert narrow.serve.makespan_us > wide.serve.makespan_us
+
+
+def test_backend_and_seed_overrides(mini):
+    ds, g = mini
+    system = ALGASSystem(ds.base, g, metric=ds.metric, k=8, l_total=64,
+                         batch_size=8, seed=0)
+    a = system.serve(ds.queries, ServeConfig(backend="scalar", seed=3))
+    b = system.serve(ds.queries, ServeConfig(backend="vectorized", seed=3))
+    # Exact search: identical neighbour sets on both backends.
+    assert np.array_equal(a.ids, b.ids)
+
+
+# --------------------------------------------------------------- validation
+def test_serve_config_validation():
+    with pytest.raises(ValueError):
+        ServeConfig(slots=0)
+    with pytest.raises(ValueError):
+        ServeConfig(backend="cuda")
+    with pytest.raises(TypeError):
+        ServeConfig(workload=[1, 2, 3])
+
+
+def test_as_serve_config_coercion():
+    cfg = ServeConfig(slots=4)
+    assert as_serve_config(cfg) is cfg
+    assert as_serve_config(None) == ServeConfig()
+    with pytest.raises(TypeError, match="either config or events"):
+        as_serve_config(cfg, events=[])
+    with pytest.raises(TypeError, match="expected a ServeConfig"):
+        as_serve_config({"slots": 4})
