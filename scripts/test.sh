@@ -1,20 +1,38 @@
 #!/usr/bin/env bash
-# CI test entry point: lint, tier-1 suite, then the perf smoke gate.
+# CI test entry point: lint, tier-1 suite, perf smoke, chaos smoke.
 #
 #   scripts/test.sh            # everything
 #   scripts/test.sh --tier1    # lint + unit/integration/property tests
 #   scripts/test.sh --perf     # perf smoke only (~2 s; fails if the
 #                              # vectorized backend loses to the scalar one)
+#   scripts/test.sh --chaos    # chaos smoke only: serve under the fixed
+#                              # "smoke" fault plan (1 of 4 shards killed,
+#                              # slots hung/corrupted, PCIe stalled) and
+#                              # require >=99% of queries answered with no
+#                              # deadlock (docs/robustness.md)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 run_tier1=1
 run_perf=1
+run_chaos=1
 case "${1:-}" in
-  --tier1) run_perf=0 ;;
-  --perf) run_tier1=0 ;;
+  --tier1) run_perf=0; run_chaos=0 ;;
+  --perf) run_tier1=0; run_chaos=0 ;;
+  --chaos) run_tier1=0; run_perf=0 ;;
 esac
+
+# Per-test watchdog: the resilience suite exercises hang/deadlock recovery,
+# so a regression there can wedge the whole run.  pytest-timeout is
+# optional (the container image does not ship it) — gate on availability,
+# same pattern as ruff above.
+PYTEST_TIMEOUT_ARGS=()
+if python -c "import pytest_timeout" >/dev/null 2>&1; then
+  PYTEST_TIMEOUT_ARGS=(--timeout=300 --timeout-method=thread)
+else
+  echo "pytest-timeout not installed; running without per-test watchdog"
+fi
 
 if [ "$run_tier1" = 1 ]; then
   # Lint first (config in pyproject [tool.ruff]); skip when ruff is not
@@ -26,8 +44,14 @@ if [ "$run_tier1" = 1 ]; then
   else
     echo "ruff not installed; skipping lint step"
   fi
-  python -m pytest -x -q
+  python -m pytest -x -q ${PYTEST_TIMEOUT_ARGS[@]+"${PYTEST_TIMEOUT_ARGS[@]}"}
 fi
 if [ "$run_perf" = 1 ]; then
-  python -m pytest benchmarks/perf -m perf_smoke -q
+  python -m pytest benchmarks/perf -m perf_smoke -q \
+    ${PYTEST_TIMEOUT_ARGS[@]+"${PYTEST_TIMEOUT_ARGS[@]}"}
+fi
+if [ "$run_chaos" = 1 ]; then
+  timeout 300 python -m repro chaos --plan smoke --mode sharded --gpus 4 \
+    --n 2000 --queries 64 --batch 8 --k 8 --degree 12 --seed 0 \
+    --min-completion 0.99
 fi

@@ -29,6 +29,7 @@ from .core import (
 from .data import Dataset, load_dataset, recall
 from .gpusim import RTX_A6000, CostModel, CostParams, DeviceProperties
 from .graphs import GraphIndex, build_cagra, build_nsw, build_nsw_fast
+from .resilience import FaultPlan, ResiliencePolicy, named_plan, run_chaos
 from .search import BeamConfig, IVFFlatIndex, intra_cta_search, multi_cta_search
 from .telemetry import MetricsRegistry, Telemetry
 
@@ -46,6 +47,10 @@ __all__ = [
     "SystemReport",
     "Telemetry",
     "MetricsRegistry",
+    "FaultPlan",
+    "ResiliencePolicy",
+    "named_plan",
+    "run_chaos",
     "tune",
     "Dataset",
     "load_dataset",

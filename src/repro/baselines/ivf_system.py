@@ -78,7 +78,13 @@ class IVFSystem:
             traces.append(QueryTrace(ctas=[r.trace], dim=dim, k=self.k))
         return ids, dists, traces
 
-    def make_engine(self, slots: int | None = None, telemetry=None) -> StaticBatchEngine:
+    def make_engine(self, slots: int | None = None, telemetry=None,
+                    faults=None, resilience=None) -> StaticBatchEngine:
+        if faults is not None or resilience is not None:
+            raise ValueError(
+                "fault injection / resilience is a dynamic-engine feature; "
+                "the static baselines do not support it"
+            )
         cfg = StaticBatchConfig(
             batch_size=slots or self.batch_size,
             n_parallel=1,
@@ -112,7 +118,8 @@ class IVFSystem:
             )
             for ev, tr in zip(sorted(evs, key=lambda e: e.query_id), traces)
         ]
-        engine = self.make_engine(slots=cfg.slots, telemetry=cfg.telemetry)
+        engine = self.make_engine(slots=cfg.slots, telemetry=cfg.telemetry,
+                                  faults=cfg.faults, resilience=cfg.resilience)
         report = engine.serve(jobs)
         return SystemReport(ids=ids, dists=dists, serve=report, traces=traces)
 

@@ -5,6 +5,7 @@ Commands
 ``datasets``   list the registered corpora (paper Table III)
 ``build``      build a graph index over a dataset and save it (.npz)
 ``serve``      search + schedule a query set with a chosen system
+``chaos``      serve a workload under a fault plan (docs/robustness.md)
 ``tune``       run the §IV-C adaptive tuner for a configuration
 ``figure``     regenerate one of the paper's figures/tables
 """
@@ -58,6 +59,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "Prometheus text, anything else a JSON document")
     s.add_argument("--slot-timeline", action="store_true",
                    help="print an ASCII per-slot occupancy timeline")
+
+    c = sub.add_parser("chaos", help="serve a workload under a fault plan "
+                                     "(docs/robustness.md)")
+    c.add_argument("--plan", default="smoke",
+                   help="built-in plan name or path to a JSON plan "
+                        "(built-ins: none|smoke|slot-hangs|shard-kill|stragglers)")
+    c.add_argument("--mode", choices=("sharded", "replicated", "single"),
+                   default="sharded")
+    c.add_argument("--gpus", type=int, default=4)
+    c.add_argument("--dataset", default="sift1m-mini")
+    c.add_argument("--n", type=int, default=4000)
+    c.add_argument("--queries", type=int, default=96)
+    c.add_argument("--batch", type=int, default=8)
+    c.add_argument("--k", type=int, default=8)
+    c.add_argument("--degree", type=int, default=12)
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--watchdog-us", type=float, default=None,
+                   help="watchdog no-progress budget (default: policy default)")
+    c.add_argument("--min-completion", type=float, default=0.99,
+                   help="exit non-zero if the answered fraction is below this")
+    c.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the run's telemetry (.prom/.txt Prometheus, "
+                        "else JSON)")
 
     t = sub.add_parser("tune", help="adaptive GPU tuning (§IV-C)")
     t.add_argument("--device", default="RTX A6000")
@@ -155,12 +179,56 @@ def _cmd_serve(args) -> int:
     print(f"throughput    = {s['throughput_qps']:,.0f} qps")
     print(f"gpu util      = {s['gpu_utilization']:.2f}  "
           f"mean bubble = {s['mean_bubble_us']:.1f} us")
+    meta = rep.serve.meta
+    recs = rep.serve.records
+    print(f"dropped       = {meta.get('dropped', 0)}  "
+          f"failed = {meta.get('failed', 0)}  "
+          f"retried = {sum(1 for r in recs if r.retries)}  "
+          f"partial = {sum(1 for r in recs if r.partial)}")
     if args.slot_timeline and tel is not None:
         print(tel.slot_timeline())
     if args.metrics_out and tel is not None:
         write_metrics(tel, args.metrics_out)
         print(f"metrics       -> {args.metrics_out}")
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from .resilience import ResiliencePolicy, load_plan, run_chaos
+    from .telemetry import Telemetry, write_metrics
+
+    try:
+        plan = load_plan(args.plan)
+    except ValueError as e:
+        print(str(e), file=sys.stderr)
+        return 2
+    policy = None
+    if args.watchdog_us is not None:
+        policy = ResiliencePolicy(watchdog_budget_us=args.watchdog_us)
+    tel = Telemetry() if args.metrics_out else None
+    result = run_chaos(
+        plan,
+        mode=args.mode,
+        n_gpus=args.gpus,
+        dataset=args.dataset,
+        n=args.n,
+        n_queries=args.queries,
+        batch_size=args.batch,
+        k=args.k,
+        degree=args.degree,
+        seed=args.seed,
+        policy=policy,
+        telemetry=tel,
+    )
+    print(f"plan={args.plan} seed={result.plan.seed}")
+    print(result.summary())
+    if args.metrics_out and tel is not None:
+        write_metrics(tel, args.metrics_out)
+        print(f"metrics       -> {args.metrics_out}")
+    ok = result.passed(args.min_completion)
+    print(f"verdict       = {'PASS' if ok else 'FAIL'} "
+          f"(min completion {args.min_completion:.2%})")
+    return 0 if ok else 1
 
 
 def _cmd_tune(args) -> int:
@@ -226,6 +294,7 @@ def main(argv: list[str] | None = None) -> int:
         "datasets": _cmd_datasets,
         "build": _cmd_build,
         "serve": _cmd_serve,
+        "chaos": _cmd_chaos,
         "tune": _cmd_tune,
         "figure": _cmd_figure,
     }[args.command]

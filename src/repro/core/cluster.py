@@ -12,35 +12,118 @@ results) and scheduling (priced traces) are already separated:
   TopK (one more heap merge — the same §IV-B machinery).  Latency gains
   come from smaller per-shard graphs; the fan-out costs merge work and
   ties each query to the *slowest* shard.
+
+Both servers participate in the resilience layer (docs/robustness.md):
+a :class:`~repro.resilience.faults.FaultPlan` is sliced per GPU with
+``plan.for_shard(g)`` (engine-level faults) and ``plan.shard_fault(g)``
+(kill/slow the whole GPU).  Defenses:
+
+* replication **hedges**: a query unanswered ``hedge_delay_us`` past its
+  arrival (or lost to a replica kill) is re-sent to the next replica and
+  the first answer wins.  Hedges are priced as a second serve pass on the
+  backup — an approximation that assumes hedges ride spare capacity
+  rather than contending with the backup's own primaries.
+* sharding answers from a **quorum**: the K-of-N shards that reported
+  within ``straggler_budget_us`` of the first shard's answer; records
+  answered from a subset are flagged ``partial`` and the report carries
+  an estimated recall penalty (fraction of the corpus not consulted).
+
+With no plan and no policy both servers are bit-identical to the plain
+fan-out (every resilience branch is gated on them).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..data.workload import QueryEvent, closed_loop
 from ..graphs.base import GraphIndex
+from ..resilience.policy import (
+    DEFAULT_POLICY,
+    ResilienceStats,
+    merge_resilience_meta,
+)
 from ..search.topk import heap_merge
 from ..telemetry import NULL_TELEMETRY
 from .pipeline import ALGASSystem, SystemReport
-from .serving import QueryRecord, ServeConfig, ServeReport, as_serve_config
+from .serving import (
+    QueryJob,
+    QueryRecord,
+    ServeConfig,
+    ServeReport,
+    as_serve_config,
+)
 
 __all__ = ["ReplicatedServer", "ShardedServer"]
 
 
-def _merged_report(parts: list[ServeReport], n_cta_slots: int, meta: dict) -> ServeReport:
-    records = [r for p in parts for r in p.records]
-    makespan = max((p.makespan_us for p in parts), default=0.0)
+def _scaled_jobs(jobs: list[QueryJob], factor: float) -> list[QueryJob]:
+    """Price a slowed GPU: every CTA duration stretched by ``factor``."""
+    return [
+        replace(j, cta_durations_us=tuple(d * factor for d in j.cta_durations_us))
+        for j in jobs
+    ]
+
+
+def _cluster_policy(cfg: ServeConfig):
+    """Resolve ``(plan, policy, stats)`` for a cluster serve.
+
+    All three are None for a fault-free, undefended run so the healthy
+    path stays bit-identical; injecting faults without a policy arms the
+    default defenses (same convention as the engine).
+    """
+    plan = cfg.faults if cfg.faults is not None and not cfg.faults.empty else None
+    policy = cfg.resilience
+    if policy is None and plan is not None:
+        policy = DEFAULT_POLICY
+    stats = ResilienceStats() if policy is not None else None
+    return plan, policy, stats
+
+
+def _merged_report(
+    parts: list[ServeReport],
+    n_cta_slots: int,
+    meta: dict,
+    records: list[QueryRecord] | None = None,
+    makespan_us: float | None = None,
+    cluster_stats: ResilienceStats | None = None,
+) -> ServeReport:
+    if records is None:
+        records = [r for p in parts for r in p.records]
+    if makespan_us is None:
+        makespan_us = max((p.makespan_us for p in parts), default=0.0)
+    # Aggregate per-part admission/defense ledgers so a cluster report
+    # exposes the same meta keys as a single engine (dropped counts used
+    # to be silently lost in the fan-in).
+    agg: dict = {
+        "dropped": sum(p.meta.get("dropped", 0) for p in parts),
+        "dropped_ids": sorted(
+            i for p in parts for i in p.meta.get("dropped_ids", [])
+        ),
+    }
+    res = merge_resilience_meta(
+        [p.meta.get("resilience") for p in parts]
+        + ([cluster_stats.to_meta()] if cluster_stats is not None else [])
+    )
+    if res is not None:
+        # A query an engine gave up on but a cluster defense rescued
+        # (hedge win, quorum answer) is answered, not failed.
+        res["failed_ids"] = sorted(
+            set(res["failed_ids"]) - {r.query_id for r in records}
+        )
+        agg["resilience"] = res
+        agg["failed"] = len(res["failed_ids"])
+        agg["failed_ids"] = res["failed_ids"]
     return ServeReport(
         records=records,
-        makespan_us=makespan,
+        makespan_us=makespan_us,
         gpu_cta_busy_us=sum(p.gpu_cta_busy_us for p in parts),
         n_cta_slots=n_cta_slots,
         pcie=None,  # per-GPU links; see meta["pcie"] for the list
         host_busy_us=sum(p.host_busy_us for p in parts),
-        meta={**meta, "pcie": [p.pcie for p in parts]},
+        meta={**agg, **meta, "pcie": [p.pcie for p in parts]},
     )
 
 
@@ -64,6 +147,7 @@ class ReplicatedServer:
     ) -> SystemReport:
         cfg = as_serve_config(config, events, owner="ReplicatedServer.serve")
         tel = cfg.telemetry or NULL_TELEMETRY
+        plan, policy, cstats = _cluster_policy(cfg)
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]
@@ -75,22 +159,156 @@ class ReplicatedServer:
             traces, sorted(evs, key=lambda e: e.query_id)
         )
         groups = [jobs[g :: self.n_gpus] for g in range(self.n_gpus)]
-        parts = []
+        parts: list[ServeReport] = []
+        # Per non-empty group: (gpu, answered records, rescue-needed qids,
+        # qid -> original job).
+        served: list[tuple[int, list[QueryRecord], list[int], dict[int, QueryJob]]] = []
         for g, group in enumerate(groups):
             if not group:
                 continue
+            sub = plan.for_shard(g) if plan is not None else None
+            if sub is not None and sub.empty:
+                sub = None
+            sfault = plan.shard_fault(g) if plan is not None else None
+            run_jobs = group
+            if sfault is not None and sfault.kind == "slow":
+                run_jobs = _scaled_jobs(group, sfault.factor)
+                cstats.note_fault("shard_slow")
+                tel.fault_injected("shard_slow")
             # Each replica aggregates into the shared registry under its
             # own ``gpu`` label (no-op when telemetry is off).
             shard_tel = tel.scoped(gpu=str(g)) if tel.enabled else None
-            engine = self.system.make_engine(slots=cfg.slots, telemetry=shard_tel)
-            parts.append(engine.serve(group))
+            engine = self.system.make_engine(
+                slots=cfg.slots, telemetry=shard_tel,
+                faults=sub, resilience=policy,
+            )
+            part = engine.serve(run_jobs)
+            recs = list(part.records)
+            rescue = list(part.meta.get("failed_ids", []))
+            if sfault is not None and sfault.kind == "kill":
+                cstats.note_fault("shard_kill")
+                tel.fault_injected("shard_kill")
+                # Answers completing after the kill never reach the host.
+                rescue += [r.query_id for r in recs if r.complete_us > sfault.at_us]
+                recs = [r for r in recs if r.complete_us <= sfault.at_us]
+            parts.append(part)
+            served.append((g, recs, rescue, {j.query_id: j for j in group}))
+
+        if cstats is None:
+            serve = _merged_report(
+                parts,
+                n_cta_slots=self.n_gpus * self.system.batch_size * self.system.n_parallel,
+                meta={"mode": "replicated", "n_gpus": self.n_gpus},
+            )
+            tel.observe_report(serve, mode="replicated")
+            return SystemReport(ids=ids, dists=dists, serve=serve, traces=traces)
+
+        records, hedge_meta = self._hedge_pass(
+            served, parts, policy, cstats, tel, cfg, plan
+        )
+        makespan = max((r.complete_us for r in records), default=0.0)
         serve = _merged_report(
             parts,
             n_cta_slots=self.n_gpus * self.system.batch_size * self.system.n_parallel,
-            meta={"mode": "replicated", "n_gpus": self.n_gpus},
+            meta={"mode": "replicated", "n_gpus": self.n_gpus, **hedge_meta},
+            records=records,
+            makespan_us=makespan,
+            cluster_stats=cstats,
         )
         tel.observe_report(serve, mode="replicated")
         return SystemReport(ids=ids, dists=dists, serve=serve, traces=traces)
+
+    # ------------------------------------------------------------- hedging
+    def _hedge_pass(self, served, parts, policy, cstats, tel, cfg, plan):
+        """Re-send slow/lost queries to the next replica; first answer wins.
+
+        Returns the final record list plus meta about the hedge trigger.
+        The backup serve is a separate engine pass (hedges are assumed to
+        ride spare capacity, not contend with the backup's primaries); a
+        replica's engine-level faults fire only on its primary pass.
+        """
+        lats = [
+            r.complete_us - r.arrival_us for _, recs, _, _ in served for r in recs
+        ]
+        if policy.hedge_delay_us is not None:
+            delay = policy.hedge_delay_us
+        elif lats:
+            delay = float(np.percentile(lats, policy.hedge_percentile))
+        else:
+            delay = 0.0
+        can_hedge = self.n_gpus >= 2
+
+        hedge_jobs: dict[int, list[QueryJob]] = {}
+        # qid -> record the hedge races against (None when the primary
+        # answer was lost outright).
+        racing: dict[int, QueryRecord | None] = {}
+        arrivals: dict[int, float] = {}
+        records: list[QueryRecord] = []
+        for g, recs, rescue, by_qid in served:
+            records.extend(recs)
+            backup = (g + 1) % self.n_gpus
+            for qid in rescue:
+                arrivals[qid] = by_qid[qid].arrival_us
+                if not can_hedge:
+                    cstats.failed_ids.append(qid)
+                    continue
+                racing[qid] = None
+                hedge_jobs.setdefault(backup, []).append(
+                    replace(by_qid[qid], arrival_us=by_qid[qid].arrival_us + delay)
+                )
+            if not can_hedge:
+                continue
+            for r in recs:
+                if r.complete_us - r.arrival_us > delay:
+                    racing[r.query_id] = r
+                    arrivals[r.query_id] = r.arrival_us
+                    hedge_jobs.setdefault(backup, []).append(
+                        replace(by_qid[r.query_id], arrival_us=r.arrival_us + delay)
+                    )
+
+        hedged: dict[int, QueryRecord] = {}
+        for b, jobs_b in sorted(hedge_jobs.items()):
+            bfault = plan.shard_fault(b) if plan is not None else None
+            if bfault is not None and bfault.kind == "slow":
+                jobs_b = _scaled_jobs(jobs_b, bfault.factor)
+            engine = self.system.make_engine(
+                slots=cfg.slots, resilience=policy,
+            )
+            part = engine.serve(sorted(jobs_b, key=lambda j: j.arrival_us))
+            parts.append(part)
+            for r in part.records:
+                if bfault is not None and bfault.kind == "kill" \
+                        and r.complete_us > bfault.at_us:
+                    continue  # the backup died too
+                hedged[r.query_id] = r
+
+        for qid, primary in racing.items():
+            cstats.hedges += 1
+            tel.hedge_fired(qid, arrivals[qid] + delay)
+            h = hedged.get(qid)
+            if primary is None:
+                if h is None:
+                    cstats.hedge_losses += 1
+                    cstats.failed_ids.append(qid)
+                    continue
+                rec = QueryRecord(qid, arrivals[qid])
+                rec.dispatch_us = h.dispatch_us
+                rec.gpu_start_us = h.gpu_start_us
+                rec.gpu_end_us = h.gpu_end_us
+                rec.detected_us = h.detected_us
+                rec.complete_us = h.complete_us
+                rec.retries = h.retries
+                records.append(rec)
+                cstats.hedge_wins += 1
+                tel.hedge_won(qid)
+            elif h is not None and h.complete_us < primary.complete_us:
+                primary.complete_us = h.complete_us
+                primary.detected_us = min(primary.detected_us, h.detected_us)
+                cstats.hedge_wins += 1
+                tel.hedge_won(qid)
+            else:
+                cstats.hedge_losses += 1
+        return records, {"hedge_delay_us": delay}
 
 
 @dataclass
@@ -138,6 +356,7 @@ class ShardedServer:
     ) -> SystemReport:
         cfg = as_serve_config(config, events, owner="ShardedServer.serve")
         tel = cfg.telemetry or NULL_TELEMETRY
+        plan, policy, cstats = _cluster_policy(cfg)
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]
@@ -147,17 +366,52 @@ class ShardedServer:
 
         per_shard = []
         parts = []
+        answered: list[dict[int, QueryRecord]] = []
         for g, shard in enumerate(self.shards):
             s_ids, s_dists, traces = shard.system.search_all(
                 queries, backend=cfg.backend, seed=cfg.seed
             )
             jobs = shard.system.jobs_from_traces(traces, ordered)
+            sub = plan.for_shard(g) if plan is not None else None
+            if sub is not None and sub.empty:
+                sub = None
+            sfault = plan.shard_fault(g) if plan is not None else None
+            if sfault is not None and sfault.kind == "slow":
+                jobs = _scaled_jobs(jobs, sfault.factor)
+                cstats.note_fault("shard_slow")
+                tel.fault_injected("shard_slow")
             shard_tel = tel.scoped(shard=str(g)) if tel.enabled else None
-            engine = shard.system.make_engine(slots=cfg.slots, telemetry=shard_tel)
-            parts.append(engine.serve(jobs))
+            engine = shard.system.make_engine(
+                slots=cfg.slots, telemetry=shard_tel,
+                faults=sub, resilience=policy,
+            )
+            part = engine.serve(jobs)
+            recs = {r.query_id: r for r in part.records}
+            if sfault is not None and sfault.kind == "kill":
+                cstats.note_fault("shard_kill")
+                tel.fault_injected("shard_kill")
+                recs = {
+                    q: r for q, r in recs.items() if r.complete_us <= sfault.at_us
+                }
+            parts.append(part)
+            answered.append(recs)
             per_shard.append((s_ids, s_dists, shard.local_to_global))
 
-        # Host-side cross-shard merge (global ids).
+        if cstats is None:
+            return self._merge_all(
+                queries, ordered, per_shard, answered, parts, tel, ids_shape=nq
+            )
+        return self._merge_quorum(
+            queries, ordered, per_shard, answered, parts, policy, cstats, tel,
+            ids_shape=nq,
+        )
+
+    # --------------------------------------------------------- merge paths
+    def _merge_all(self, queries, ordered, per_shard, answered, parts, tel,
+                   ids_shape):
+        """Healthy fan-in: every query waits for every shard (bit-identical
+        to the pre-resilience server)."""
+        nq = ids_shape
         k = self.k
         ids = np.full((nq, k), -1, dtype=np.int64)
         dists = np.full((nq, k), np.inf, dtype=np.float32)
@@ -174,11 +428,8 @@ class ShardedServer:
         cm = self.shards[0].system.cost_model
         merge_us = cm.cpu_merge_us(self.n_gpus, k)
         records = []
-        by_qid = [
-            {r.query_id: r for r in p.records} for p in parts
-        ]
         for ev in ordered:
-            rs = [m[ev.query_id] for m in by_qid]
+            rs = [m[ev.query_id] for m in answered]
             rec = QueryRecord(ev.query_id, ev.arrival_us)
             rec.dispatch_us = min(r.dispatch_us for r in rs)
             rec.gpu_start_us = min(r.gpu_start_us for r in rs)
@@ -202,5 +453,100 @@ class ShardedServer:
             # Cross-shard fan-in cost: one extra host merge per query.
             for _ in records:
                 tel.merge_observed(self.n_gpus, merge_us)
+            tel.observe_report(serve, mode="sharded")
+        return SystemReport(ids=ids, dists=dists, serve=serve, traces=[])
+
+    def _merge_quorum(self, queries, ordered, per_shard, answered, parts,
+                      policy, cstats, tel, ids_shape):
+        """Resilient fan-in: answer from the K-of-N shards that reported
+        within the straggler budget of the first; flag subsets ``partial``."""
+        nq = ids_shape
+        k = self.k
+        n = self.n_gpus
+        cm = self.shards[0].system.cost_model
+        K = policy.quorum(n)
+        ids = np.full((nq, k), -1, dtype=np.int64)
+        dists = np.full((nq, k), np.inf, dtype=np.float32)
+        dropped_union = {i for p in parts for i in p.meta.get("dropped_ids", [])}
+        records: list[QueryRecord] = []
+        total_merge_us = 0.0
+        penalty_sum = 0.0
+        for qi, ev in enumerate(ordered):
+            qid = ev.query_id
+            comps = sorted(
+                (answered[g][qid].complete_us, g)
+                for g in range(n)
+                if qid in answered[g]
+            )
+            if not comps:
+                # Every shard lost it: a deadline drop is already counted
+                # by the engines; anything else is a cluster-level failure.
+                if qid not in dropped_union:
+                    cstats.failed_ids.append(qid)
+                continue
+            deadline = comps[0][0] + policy.straggler_budget_us
+            included = [cg for cg in comps if cg[0] <= deadline]
+            if len(included) < K:
+                included = comps[: min(K, len(comps))]
+            inc = sorted(g for _, g in included)
+            merge_us = cm.cpu_merge_us(len(inc), k)
+            total_merge_us += merge_us
+            lists = []
+            for g in inc:
+                s_ids, s_dists, l2g = per_shard[g]
+                valid = s_ids[qi] >= 0
+                lists.append((l2g[s_ids[qi][valid]], s_dists[qi][valid]))
+            m_ids, m_d = heap_merge(lists, k)
+            ids[qi, : len(m_ids)] = m_ids
+            dists[qi, : len(m_ids)] = m_d
+            rs = [answered[g][qid] for g in inc]
+            rec = QueryRecord(qid, ev.arrival_us)
+            rec.dispatch_us = min(r.dispatch_us for r in rs)
+            rec.gpu_start_us = min(r.gpu_start_us for r in rs)
+            rec.gpu_end_us = max(r.gpu_end_us for r in rs)
+            rec.detected_us = max(r.detected_us for r in rs)
+            rec.complete_us = max(r.complete_us for r in rs) + merge_us
+            rec.retries = max(r.retries for r in rs)
+            rec.degraded = any(r.degraded for r in rs)
+            if len(inc) < n:
+                rec.partial = True
+                cstats.partial_answers += 1
+                tel.partial_answer(qid, len(inc), n)
+                # Shards hold disjoint corpus slices, so skipping one skips
+                # that fraction of the candidate pool.
+                penalty_sum += 1.0 - len(inc) / n
+            records.append(rec)
+            if tel.enabled:
+                tel.merge_observed(len(inc), merge_us)
+        makespan = max((r.complete_us for r in records), default=0.0)
+        sys0 = self.shards[0].system
+        res = merge_resilience_meta(
+            [p.meta.get("resilience") for p in parts] + [cstats.to_meta()]
+        )
+        # A quorum answer rescues queries an individual shard gave up on.
+        res["failed_ids"] = sorted(
+            set(res["failed_ids"]) - {r.query_id for r in records}
+        )
+        serve = ServeReport(
+            records=records,
+            makespan_us=makespan,
+            gpu_cta_busy_us=sum(p.gpu_cta_busy_us for p in parts),
+            n_cta_slots=n * sys0.batch_size * sys0.n_parallel,
+            pcie=None,
+            host_busy_us=sum(p.host_busy_us for p in parts) + total_merge_us,
+            meta={
+                "mode": "sharded",
+                "n_gpus": n,
+                "quorum_k": K,
+                "dropped": sum(p.meta.get("dropped", 0) for p in parts),
+                "dropped_ids": sorted(dropped_union),
+                "resilience": res,
+                "failed": len(res["failed_ids"]),
+                "failed_ids": res["failed_ids"],
+                "est_recall_penalty": penalty_sum / max(1, len(records)),
+                "pcie": [p.pcie for p in parts],
+            },
+        )
+        if tel.enabled:
             tel.observe_report(serve, mode="sharded")
         return SystemReport(ids=ids, dists=dists, serve=serve, traces=[])

@@ -17,16 +17,29 @@ Event-driven model of the ALGAS serving loop:
 
 The engine consumes priced :class:`~repro.core.serving.QueryJob`s, so one
 set of search traces can be replayed under dynamic and static disciplines.
+
+Resilience (docs/robustness.md): the engine optionally takes a
+:class:`~repro.resilience.FaultPlan` (slot hangs/corruption, stragglers,
+PCIe stalls are injected at dispatch/finish time) and a
+:class:`~repro.resilience.ResiliencePolicy`.  The host-thread passes then
+run a **watchdog**: a slot that makes no progress past the budget is
+force-retired (its CTA contexts are lost for the rest of the serve) and
+its query is re-dispatched with capped exponential backoff; under overload
+the **degradation** policy dispatches shrunken work until the ready queue
+drains.  With no faults and no policy the engine is bit-identical to the
+pre-resilience code path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..gpusim.costmodel import CostModel
 from ..gpusim.device import DeviceProperties
 from ..gpusim.engine import Simulator
 from ..gpusim.pcie import PCIeLink
+from ..resilience.faults import FaultInjector, FaultPlan
+from ..resilience.policy import DEFAULT_POLICY, ResiliencePolicy, ResilienceStats
 from ..telemetry import NULL_TELEMETRY
 from .merge import HostMerger
 from .query_manager import ManagedQuery, QueryManager
@@ -84,11 +97,19 @@ class DynamicBatchEngine:
         cost_model: CostModel,
         config: DynamicBatchConfig,
         telemetry=None,
+        faults: FaultPlan | None = None,
+        resilience: ResiliencePolicy | None = None,
     ):
         self.device = device
         self.cm = cost_model
         self.cfg = config
         self.tel = telemetry or NULL_TELEMETRY
+        self.fault_plan = faults
+        # Injected faults without an explicit policy get the default
+        # defenses — a chaos run should be survivable out of the box.
+        if resilience is None and faults is not None and not faults.empty:
+            resilience = DEFAULT_POLICY
+        self.policy = resilience
 
     def serve(
         self,
@@ -110,8 +131,17 @@ class DynamicBatchEngine:
                     f"engine expects n_parallel={cfg.n_parallel}"
                 )
         tel = self.tel
+        policy = self.policy
+        injector = (
+            FaultInjector(self.fault_plan)
+            if self.fault_plan is not None and not self.fault_plan.empty
+            else None
+        )
+        stats = ResilienceStats() if (policy or injector) else None
         sim = Simulator()
         link = PCIeLink(self.device)
+        if injector is not None:
+            link.stall_windows = injector.stall_windows
         chan = StateChannel(link, cfg.state_mode)
         merger = HostMerger(self.cm, telemetry=tel)
 
@@ -122,6 +152,11 @@ class DynamicBatchEngine:
         # Per-slot runtime info.
         slot_job: list[QueryJob | None] = [None] * cfg.n_slots
         slot_ready_at: list[float | None] = [None] * cfg.n_slots  # FINISH visible
+        slot_dispatched_at: list[float | None] = [None] * cfg.n_slots
+        # Epoch guard: force-retiring a slot bumps its epoch so in-flight
+        # CTA-end events of the revoked dispatch become no-ops.
+        slot_epoch: list[int] = [0] * cfg.n_slots
+        attempts: dict[int, int] = {}  # query_id -> watchdog re-dispatches
         records: dict[int, QueryRecord] = {
             j.query_id: QueryRecord(j.query_id, j.arrival_us) for j in jobs
         }
@@ -130,6 +165,9 @@ class DynamicBatchEngine:
         drops_seen = 0
         gpu_busy = 0.0
         host_busy = 0.0
+        # Overload degradation state (shared across host threads).
+        degraded = False
+        degraded_since = 0.0
 
         # Partition slots over host threads round-robin (§V-B).
         owned: list[list[int]] = [[] for _ in range(cfg.host_threads)]
@@ -137,17 +175,37 @@ class DynamicBatchEngine:
             owned[s % cfg.host_threads].append(s)
 
         # ----------------------------------------------------------- GPU side
-        def start_slot(slot_id: int, job: QueryJob, state_published_us: float) -> None:
+        def start_slot(
+            slot_id: int,
+            job: QueryJob,
+            state_published_us: float,
+            durations: tuple[float, ...],
+            fault=None,
+        ) -> None:
             nonlocal gpu_busy
             rec = records[job.query_id]
+            epoch = slot_epoch[slot_id]
             gpu_start = state_published_us + cfg.gpu_poll_us
             rec.gpu_start_us = gpu_start
-            ends = [gpu_start + d for d in job.cta_durations_us]
-            gpu_busy += sum(job.cta_durations_us)
+            ends = [gpu_start + d for d in durations]
+            # A hung CTA spins without retiring work; its nominal duration
+            # never lands, so only the live CTAs count as busy time.
+            hang_cta = 0 if fault is not None and fault.kind == "hang" else None
+            gpu_busy += sum(d for i, d in enumerate(durations) if i != hang_cta)
             slot_end = max(ends)
             rec.gpu_end_us = slot_end
 
             def on_cta_end(sim_: Simulator, cta: int, is_last: bool) -> None:
+                if slot_epoch[slot_id] != epoch:
+                    return  # the watchdog revoked this dispatch
+                if fault is not None and fault.kind == "corrupt" and cta == 0:
+                    # The CTA writes garbage instead of FINISH: no result
+                    # push, no publication — the slot can never aggregate
+                    # to FINISH and the watchdog must reap it.
+                    slots[slot_id].corrupt_cta(cta)
+                    stats.note_fault("corrupt")
+                    tel.fault_injected("corrupt")
+                    return
                 slots[slot_id].advance_cta(cta)
                 # §IV-B Finish: "the CTA is responsible for pushing the query
                 # results to the designated location" — a posted write of its
@@ -173,6 +231,8 @@ class DynamicBatchEngine:
                     merge_done = sim_.now + self.cm.gpu_merge_us(cfg.n_parallel, cfg.k)
 
                     def publish_after_merge(sim2: Simulator) -> None:
+                        if slot_epoch[slot_id] != epoch:
+                            return
                         link.transfer(
                             sim2.now,
                             cfg.k * cfg.result_entry_bytes,
@@ -185,8 +245,67 @@ class DynamicBatchEngine:
 
             last_idx = max(range(len(ends)), key=lambda i: ends[i])
             for i, e in enumerate(ends):
+                if i == hang_cta:
+                    continue  # never finishes; the watchdog will notice
                 sim.schedule(
                     e, (lambda s_, i=i: on_cta_end(s_, i, i == last_idx))
+                )
+
+        # ------------------------------------------------------- degradation
+        def update_degrade(t: float) -> None:
+            """Enter/exit overload degradation on ready-queue depth."""
+            nonlocal degraded, degraded_since
+            if policy is None or policy.degrade_queue_depth is None:
+                return
+            depth = manager.ready_depth(t)
+            if not degraded and depth >= policy.degrade_queue_depth:
+                degraded = True
+                degraded_since = t
+                stats.degraded_windows += 1
+                tel.degraded_window_entered(t, depth)
+            elif degraded and depth <= policy.restore_queue_depth:
+                degraded = False
+                stats.degraded_us += t - degraded_since
+                tel.degraded_window_exited(degraded_since, t)
+
+        # ---------------------------------------------------------- watchdog
+        def watchdog_sweep(tid: int, t: float) -> None:
+            """Reap no-progress slots past the budget; re-dispatch or fail."""
+            nonlocal outstanding
+            for s in owned[tid]:
+                job = slot_job[s]
+                da = slot_dispatched_at[s]
+                if job is None or da is None:
+                    continue
+                if t - da < policy.watchdog_budget_us:
+                    continue
+                if slot_ready_at[s] is not None and slots[s].all_finished:
+                    continue  # finished, just not collected yet
+                # The slot is wedged (hung or corrupted): revoke it.  Its
+                # CTA contexts are lost for the rest of the serve — the
+                # survivors absorb the load.
+                slot_epoch[s] += 1
+                slots[s].force_retire()
+                slot_job[s] = None
+                slot_ready_at[s] = None
+                slot_dispatched_at[s] = None
+                stats.watchdog_kills += 1
+                tel.watchdog_kill(s, job.query_id, t)
+                attempt = attempts.get(job.query_id, 0) + 1
+                attempts[job.query_id] = attempt
+                if attempt > policy.max_retries:
+                    stats.retry_failures += 1
+                    stats.failed_ids.append(job.query_id)
+                    outstanding -= 1
+                    tel.retry_exhausted(job.query_id)
+                    continue
+                backoff = policy.backoff_us(attempt)
+                records[job.query_id].retries = attempt
+                stats.retries += 1
+                tel.query_retried(job.query_id, attempt, t)
+                manager.submit(
+                    ManagedQuery(replace(job, arrival_us=t + backoff)),
+                    resubmit=True,
                 )
 
         # ---------------------------------------------------------- host side
@@ -197,6 +316,11 @@ class DynamicBatchEngine:
                 active = [
                     s for s in owned[tid] if slots[s].state is not SlotState.QUIT
                 ]
+                if not active:
+                    # Every owned slot is retired (watchdog kills): this
+                    # thread can never dispatch or collect again.  Other
+                    # threads' slots serve whatever the manager re-queued.
+                    return
                 t = t0
                 # The host thread *spins*: it keeps re-scanning its slots as
                 # long as it finds work (§V-A: polling mode beats blocking).
@@ -209,6 +333,11 @@ class DynamicBatchEngine:
                     for s in active:
                         ready = slot_ready_at[s]
                         if ready is not None and ready <= t:
+                            if not slots[s].all_finished:
+                                # Published but not actually finished: a
+                                # corrupted state word.  Leave the slot for
+                                # the watchdog rather than trust it.
+                                continue
                             progress = True
                             job = slot_job[s]
                             rec = records[job.query_id]
@@ -216,6 +345,7 @@ class DynamicBatchEngine:
                             slots[s].collect()
                             slot_ready_at[s] = None
                             slot_job[s] = None
+                            slot_dispatched_at[s] = None
                             # The CTAs already pushed their lists into the
                             # slot's contiguous host buffer, so the host
                             # merges from local memory (§IV-B step ❹).
@@ -237,6 +367,29 @@ class DynamicBatchEngine:
                             rec.dispatch_us = t
                             if tel.enabled:
                                 tel.query_dispatched(job.query_id, job.arrival_us, t)
+                            durations = job.cta_durations_us
+                            update_degrade(t)
+                            if degraded:
+                                # Overload: dispatch shrunken work (narrow
+                                # beam / scalar fallback) instead of queueing
+                                # deeper; recall gives way to survival.
+                                durations = tuple(
+                                    d * policy.degrade_factor for d in durations
+                                )
+                                rec.degraded = True
+                                stats.degraded_dispatches += 1
+                                tel.degraded_dispatch(job.query_id)
+                            fault = injector.on_dispatch(s) if injector else None
+                            if fault is not None and fault.kind == "straggle":
+                                durations = (
+                                    durations[0] * fault.factor,
+                                ) + durations[1:]
+                                stats.note_fault("straggle")
+                                tel.fault_injected("straggle")
+                                fault = None  # priced in; nothing else to do
+                            elif fault is not None and fault.kind == "hang":
+                                stats.note_fault("hang")
+                                tel.fault_injected("hang")
                             # Async dispatch (§V-B): the host only pays the
                             # stream-submission cost; the copy and the WORK
                             # flag are posted back-to-back (PCIe orders posted
@@ -246,8 +399,12 @@ class DynamicBatchEngine:
                             pub = chan.publish(t, n_words=cfg.n_parallel)
                             slots[s].dispatch(job.query_id)
                             slot_job[s] = job
-                            start_slot(s, job, pub)
+                            slot_dispatched_at[s] = t
+                            start_slot(s, job, pub, durations, fault)
                 host_busy += t - t0
+                if policy is not None:
+                    watchdog_sweep(tid, t)
+                    update_degrade(t)
                 # Deadline drops surfaced by the manager never complete.
                 if len(manager.dropped) > drops_seen:
                     outstanding -= len(manager.dropped) - drops_seen
@@ -268,8 +425,37 @@ class DynamicBatchEngine:
         sim.run()
 
         dropped_ids = {m.job.query_id for m in manager.dropped}
-        recs = [records[j.query_id] for j in jobs if j.query_id not in dropped_ids]
+        failed_ids: set[int] = set()
+        if stats is not None:
+            if degraded:  # close the window left open at drain time
+                stats.degraded_us += sim.now - degraded_since
+                tel.degraded_window_exited(degraded_since, sim.now)
+            failed_ids.update(stats.failed_ids)
+            # Queries stranded with no live slot left to serve them (every
+            # CTA context watchdog-retired) are failures, not hangs: the
+            # simulation drained, so the engine reports rather than blocks.
+            completed = {
+                qid for qid, r in records.items() if r.complete_us > 0.0
+            }
+            for j in jobs:
+                qid = j.query_id
+                if qid not in completed and qid not in dropped_ids:
+                    failed_ids.add(qid)
+            stats.failed_ids = sorted(failed_ids)
+        excluded = dropped_ids | failed_ids
+        recs = [records[j.query_id] for j in jobs if j.query_id not in excluded]
         makespan = max((r.complete_us for r in recs), default=0.0)
+        meta = {
+            "mode": "dynamic",
+            "config": cfg,
+            "search_backend": cfg.search_backend,
+            "dropped": len(dropped_ids),
+            "dropped_ids": sorted(dropped_ids),
+        }
+        if stats is not None:
+            meta["resilience"] = stats.to_meta()
+            meta["failed"] = len(failed_ids)
+            meta["failed_ids"] = sorted(failed_ids)
         report = ServeReport(
             records=recs,
             makespan_us=makespan,
@@ -277,13 +463,7 @@ class DynamicBatchEngine:
             n_cta_slots=cfg.n_slots * cfg.n_parallel,
             pcie=link.stats,
             host_busy_us=host_busy,
-            meta={
-                "mode": "dynamic",
-                "config": cfg,
-                "search_backend": cfg.search_backend,
-                "dropped": len(dropped_ids),
-                "dropped_ids": sorted(dropped_ids),
-            },
+            meta=meta,
         )
         tel.observe_report(report, mode="dynamic")
         return report

@@ -74,14 +74,28 @@ class PersistentKernel:
         )
 
     def persistent_makespan(
-        self, per_block_step_durations: list[list[float]]
+        self,
+        per_block_step_durations: list[list[float]],
+        straggle: dict[int, float] | None = None,
     ) -> float:
         """Makespan under the persistent kernel: blocks are all resident,
-        so each runs its steps back-to-back; one launch overall."""
+        so each runs its steps back-to-back; one launch overall.
+
+        ``straggle`` maps a block index to a slowdown factor (fault
+        injection: a straggling CTA stretches every step it runs, and the
+        makespan is gated on the slowest block).
+        """
         if not per_block_step_durations:
             return 0.0
         if len(per_block_step_durations) > self.total_blocks:
             raise ValueError("more blocks than resident contexts")
+        straggle = straggle or {}
+        for b, f in straggle.items():
+            if not 0 <= b < len(per_block_step_durations):
+                raise ValueError(f"straggle block {b} out of range")
+            if f < 1.0:
+                raise ValueError("straggle factor must be >= 1")
         return self.launch_overhead_us + max(
-            sum(steps) for steps in per_block_step_durations
+            sum(steps) * straggle.get(b, 1.0)
+            for b, steps in enumerate(per_block_step_durations)
         )

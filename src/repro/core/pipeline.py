@@ -220,12 +220,14 @@ class BaseGraphSystem:
         return self.tuning.block_shared_mem_bytes
 
     # ------------------------------------------------------------- serving
-    def make_engine(self, slots: int | None = None, telemetry=None):  # pragma: no cover
+    def make_engine(self, slots: int | None = None, telemetry=None,
+                    faults=None, resilience=None):  # pragma: no cover
         """Build the system's batching engine (abstract).
 
         ``slots`` overrides the configured slot count / batch size for one
-        serve; ``telemetry`` instruments the engine (both are the
-        :class:`~repro.core.serving.ServeConfig` knobs).
+        serve; ``telemetry`` instruments the engine; ``faults`` /
+        ``resilience`` arm the chaos plane and its defenses (all four are
+        the :class:`~repro.core.serving.ServeConfig` knobs).
         """
         raise NotImplementedError
 
@@ -252,7 +254,10 @@ class BaseGraphSystem:
         )
         ordered = sorted(evs, key=lambda e: e.query_id)
         jobs = self.jobs_from_traces(traces, ordered)
-        engine = self.make_engine(slots=cfg.slots, telemetry=cfg.telemetry)
+        engine = self.make_engine(
+            slots=cfg.slots, telemetry=cfg.telemetry,
+            faults=cfg.faults, resilience=cfg.resilience,
+        )
         report = engine.serve(jobs)
         return SystemReport(ids=ids, dists=dists, serve=report, traces=traces)
 
@@ -306,7 +311,8 @@ class ALGASSystem(BaseGraphSystem):
         self.state_mode = state_mode
         self.merge_on_cpu = merge_on_cpu
 
-    def make_engine(self, slots: int | None = None, telemetry=None) -> DynamicBatchEngine:
+    def make_engine(self, slots: int | None = None, telemetry=None,
+                    faults=None, resilience=None) -> DynamicBatchEngine:
         cfg = DynamicBatchConfig(
             n_slots=slots or self.batch_size,
             n_parallel=self.n_parallel,
@@ -316,4 +322,6 @@ class ALGASSystem(BaseGraphSystem):
             merge_on_cpu=self.merge_on_cpu,
             search_backend=self.backend,
         )
-        return DynamicBatchEngine(self.device, self.cost_model, cfg, telemetry=telemetry)
+        return DynamicBatchEngine(self.device, self.cost_model, cfg,
+                                  telemetry=telemetry, faults=faults,
+                                  resilience=resilience)

@@ -57,12 +57,18 @@ class QueryManager:
         for q in queries or []:
             self.submit(q)
 
-    def submit(self, q: ManagedQuery | QueryJob) -> None:
-        """Add a query to the admission queue."""
+    def submit(self, q: ManagedQuery | QueryJob, resubmit: bool = False) -> None:
+        """Add a query to the admission queue.
+
+        ``resubmit=True`` marks a watchdog re-dispatch (the resilience
+        retry path): the query re-enters the queue but is not counted as a
+        new submission — retries have their own telemetry counter.
+        """
         if isinstance(q, QueryJob):
             q = ManagedQuery(q)
         heapq.heappush(self._arrivals, (q.job.arrival_us, next(self._seq), q))
-        self._tel.query_submitted()
+        if not resubmit:
+            self._tel.query_submitted()
 
     # ------------------------------------------------------------- internal
     def _admit(self, now: float) -> None:
@@ -126,6 +132,13 @@ class QueryManager:
         self._drop_expired(now)
         i = self._best_eligible(now)
         return self._ready[i][3] if i is not None else None
+
+    def ready_depth(self, now: float) -> int:
+        """Depth of the ready queue at ``now`` (the overload-degradation
+        signal: arrivals are admitted and expired entries dropped first)."""
+        self._admit(now)
+        self._drop_expired(now)
+        return len(self._ready)
 
     def next_arrival_us(self) -> float | None:
         """Earliest arrival of any query not yet dispatched or dropped."""

@@ -27,6 +27,7 @@ from ..data.workload import QueryEvent
 from ..gpusim.pcie import PCIeStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience import FaultPlan, ResiliencePolicy
     from ..telemetry import Telemetry
 
 __all__ = ["QueryJob", "QueryRecord", "ServeConfig", "ServeReport", "as_serve_config"]
@@ -70,6 +71,11 @@ class QueryRecord:
     gpu_end_us: float = 0.0  # this query's own CTAs all finished
     detected_us: float = 0.0  # host observed completion
     complete_us: float = 0.0  # results merged & filtered, returned
+    # ---- resilience annotations (docs/robustness.md); all default-off so
+    # healthy serves are bit-identical to the pre-resilience engine.
+    retries: int = 0  # watchdog re-dispatches this query survived
+    partial: bool = False  # answered from a shard quorum subset
+    degraded: bool = False  # dispatched under overload degradation
 
     @property
     def service_latency_us(self) -> float:
@@ -100,7 +106,12 @@ class ServeConfig:
     * ``backend`` — overrides the search backend ("scalar"/"vectorized");
     * ``seed`` — overrides the entry-point RNG seed;
     * ``telemetry`` — a :class:`~repro.telemetry.Telemetry` to instrument
-      the run (None → the no-op default; the hot path is unaffected).
+      the run (None → the no-op default; the hot path is unaffected);
+    * ``faults`` — a :class:`~repro.resilience.FaultPlan` to inject
+      (None → healthy run);
+    * ``resilience`` — a :class:`~repro.resilience.ResiliencePolicy`
+      arming the defenses (None → defaults when faults are injected,
+      otherwise fully off).
     """
 
     workload: list[QueryEvent] | None = None
@@ -108,10 +119,25 @@ class ServeConfig:
     backend: str | None = None
     seed: int | None = None
     telemetry: "Telemetry | None" = None
+    faults: "FaultPlan | None" = None
+    resilience: "ResiliencePolicy | None" = None
 
     def __post_init__(self) -> None:
+        from ..resilience import FaultPlan, ResiliencePolicy
+
         if self.slots is not None and self.slots <= 0:
             raise ValueError("slots must be positive")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise TypeError(
+                f"faults must be a FaultPlan, got {type(self.faults).__name__}"
+            )
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResiliencePolicy
+        ):
+            raise TypeError(
+                f"resilience must be a ResiliencePolicy, "
+                f"got {type(self.resilience).__name__}"
+            )
         if self.backend is not None and self.backend not in ("scalar", "vectorized"):
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.workload is not None:

@@ -13,6 +13,13 @@ States and legal transitions follow Fig. 5:
 ``DONE → WORK``      host loads the next query (slot reuse)
 ``DONE → QUIT``      slot retires (drain/shutdown)
 ``NONE → QUIT``      unused slot retires immediately
+
+Two escape hatches sit deliberately *outside* Fig. 5, for the resilience
+layer (docs/robustness.md): :meth:`Slot.force_retire` is the watchdog's
+recovery path (the host revokes a wedged slot from *any* state), and
+:meth:`Slot.corrupt_cta` models a GPU-side fault writing an
+out-of-protocol state word — both are observable via the transition
+observer so chaos runs stay accountable.
 """
 
 from __future__ import annotations
@@ -127,6 +134,21 @@ class Slot:
         """DONE/NONE → QUIT."""
         self.host_set(SlotState.QUIT)
 
+    def force_retire(self) -> None:
+        """Watchdog recovery: revoke the slot from *any* state.
+
+        Unlike :meth:`retire` this bypasses the Fig. 5 transition table —
+        a hung or corrupted slot is by definition stuck in a state the
+        protocol cannot leave.  The persistent kernel treats QUIT as
+        terminal, so the slot's CTA contexts are permanently lost (the
+        engine serves on with the survivors).
+        """
+        old = self.state
+        self.cta_states = [SlotState.QUIT] * self.n_ctas
+        self.query_id = None
+        if self.observer is not None:
+            self.observer(self.slot_id, old, SlotState.QUIT)
+
     # ----------------------------------------------------------- GPU side
     def advance_cta(self, cta: int) -> None:
         """GPU-side transition WORK → FINISH for one CTA."""
@@ -140,3 +162,18 @@ class Slot:
         self.cta_states[cta] = SlotState.FINISH
         if self.observer is not None:
             self.observer(self.slot_id, cur, SlotState.FINISH)
+
+    def corrupt_cta(self, cta: int) -> None:
+        """Fault-injection hook: the CTA writes an out-of-protocol word.
+
+        Models a GPU-side corruption of the state handshake — instead of
+        FINISH the state word regresses to NONE, a transition no side may
+        legally make.  The slot can then never aggregate to FINISH, which
+        is exactly the no-progress signature the engine watchdog detects.
+        """
+        if not 0 <= cta < self.n_ctas:
+            raise IndexError("cta index out of range")
+        old = self.cta_states[cta]
+        self.cta_states[cta] = SlotState.NONE
+        if self.observer is not None:
+            self.observer(self.slot_id, old, SlotState.NONE)

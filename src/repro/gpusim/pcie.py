@@ -26,6 +26,8 @@ class PCIeStats:
     busy_us: float = 0.0
     #: transactions broken out by tag ("query", "result", "state", ...)
     by_tag: dict = field(default_factory=dict)
+    #: time transactions spent waiting out injected stall windows (µs).
+    stall_us: float = 0.0
 
     def utilization(self, horizon_us: float) -> float:
         """Fraction of the horizon the link was occupied."""
@@ -53,6 +55,10 @@ class PCIeLink:
         self.tx_overhead_us = tx_overhead_us
         self.busy_until = 0.0
         self.stats = PCIeStats()
+        #: fault-injection hook: sorted (start, end) windows during which
+        #: the link admits no new transactions (set by the resilience
+        #: layer; empty for a healthy link).
+        self.stall_windows: tuple[tuple[float, float], ...] = ()
 
     #: bus occupancy of a posted MMIO store (a single small TLP) — far
     #: cheaper than a DMA transaction, which pays engine-setup overhead.
@@ -79,6 +85,10 @@ class PCIeLink:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         start = max(now, self.busy_until)
+        for w_start, w_end in self.stall_windows:
+            if w_start <= start < w_end:
+                self.stats.stall_us += w_end - start
+                start = w_end
         occ = self.occupancy_us(nbytes, overhead_us)
         self.busy_until = start + occ
         self.stats.transactions += 1

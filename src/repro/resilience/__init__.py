@@ -1,0 +1,58 @@
+"""Fault injection and resilience for the ALGAS serving stack.
+
+The subsystem has three parts (docs/robustness.md):
+
+* :mod:`repro.resilience.faults` — deterministic, seeded fault plans
+  (slot hangs/corruption, CTA stragglers, PCIe stalls, shard kills) and
+  the injector that fires them inside the dynamic batcher;
+* :mod:`repro.resilience.policy` — the defense knobs (watchdog, retries,
+  hedging, shard quorum, overload degradation) and their accounting;
+* :mod:`repro.resilience.chaos` — a chaos-experiment runner: serve a
+  workload under a named plan and summarize survival (the CLI ``chaos``
+  subcommand and the CI chaos smoke target drive it).
+
+Quick tour::
+
+    from repro import ALGASSystem, ServeConfig
+    from repro.resilience import FaultPlan, SlotFault, ResiliencePolicy
+
+    plan = FaultPlan(slot_faults=(SlotFault(0, "hang"),))
+    cfg = ServeConfig(faults=plan, resilience=ResiliencePolicy(
+        watchdog_budget_us=500.0))
+    report = system.serve(queries, cfg)
+    print(report.serve.meta["resilience"])   # kills / retries / ...
+"""
+
+from .chaos import ChaosResult, load_plan, run_chaos
+from .faults import (
+    NAMED_PLANS,
+    FaultInjector,
+    FaultPlan,
+    PCIeStall,
+    ShardFault,
+    SlotFault,
+    named_plan,
+)
+from .policy import (
+    DEFAULT_POLICY,
+    ResiliencePolicy,
+    ResilienceStats,
+    merge_resilience_meta,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "SlotFault",
+    "PCIeStall",
+    "ShardFault",
+    "named_plan",
+    "NAMED_PLANS",
+    "ResiliencePolicy",
+    "DEFAULT_POLICY",
+    "ResilienceStats",
+    "merge_resilience_meta",
+    "ChaosResult",
+    "run_chaos",
+    "load_plan",
+]

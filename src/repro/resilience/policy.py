@@ -1,0 +1,165 @@
+"""Resilience policy knobs and defense accounting.
+
+:class:`ResiliencePolicy` configures every defense the serving stack
+mounts against a :class:`~repro.resilience.faults.FaultPlan` (or against a
+plain hostile workload — the policy works with no faults injected at all):
+
+* **watchdog** — the dynamic batcher force-retires a slot that made no
+  progress for ``watchdog_budget_us`` and re-dispatches its query with
+  capped exponential backoff, up to ``max_retries`` attempts;
+* **hedging** — :class:`~repro.core.cluster.ReplicatedServer` sends a
+  second copy of a slow query to a backup replica after ``hedge_delay_us``
+  (or the ``hedge_percentile`` of observed primary latencies); the first
+  answer wins;
+* **quorum** — :class:`~repro.core.cluster.ShardedServer` answers from the
+  ``quorum_k``-of-N shards that reported within ``straggler_budget_us`` of
+  the first shard's answer, flagging the record ``partial``;
+* **degradation** — under overload (ready queue ≥ ``degrade_queue_depth``)
+  the engine dispatches shrunken work (durations × ``degrade_factor``,
+  modelling a narrower beam / scalar fallback) until the queue drains to
+  ``restore_queue_depth``.
+
+:class:`ResilienceStats` is the mutable ledger each defense reports into;
+it lands in ``ServeReport.meta["resilience"]`` so chaos runs are
+measurable, and mirrors the telemetry counters (docs/robustness.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ResiliencePolicy",
+    "DEFAULT_POLICY",
+    "ResilienceStats",
+    "merge_resilience_meta",
+]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Tuning knobs for every serving-stack defense (see module docstring)."""
+
+    #: no-progress budget before the watchdog force-retires a slot (µs).
+    watchdog_budget_us: float = 2000.0
+    #: re-dispatch attempts after watchdog kills before giving up.
+    max_retries: int = 2
+    #: base of the capped exponential re-dispatch backoff (µs).
+    retry_backoff_us: float = 50.0
+    retry_backoff_cap_us: float = 800.0
+    #: fixed hedge trigger delay; None derives it from ``hedge_percentile``
+    #: of the primary replicas' observed service latencies.
+    hedge_delay_us: float | None = None
+    hedge_percentile: float = 95.0
+    #: how long past the first shard answer to wait for stragglers (µs).
+    straggler_budget_us: float = 2000.0
+    #: shards required for an answer; None = N-1 (tolerate one shard down).
+    quorum_k: int | None = None
+    #: ready-queue depth that enters degraded mode; None disables.
+    degrade_queue_depth: int | None = None
+    #: queue depth at which degraded mode is exited.
+    restore_queue_depth: int = 0
+    #: CTA-duration multiplier while degraded (< 1: smaller beam).
+    degrade_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.watchdog_budget_us <= 0:
+            raise ValueError("watchdog_budget_us must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_us < 0 or self.retry_backoff_cap_us < self.retry_backoff_us:
+            raise ValueError("need 0 <= retry_backoff_us <= retry_backoff_cap_us")
+        if self.hedge_delay_us is not None and self.hedge_delay_us < 0:
+            raise ValueError("hedge_delay_us must be >= 0")
+        if not 0.0 < self.hedge_percentile <= 100.0:
+            raise ValueError("hedge_percentile must be in (0, 100]")
+        if self.straggler_budget_us < 0:
+            raise ValueError("straggler_budget_us must be >= 0")
+        if self.quorum_k is not None and self.quorum_k < 1:
+            raise ValueError("quorum_k must be >= 1")
+        if self.degrade_queue_depth is not None and self.degrade_queue_depth < 1:
+            raise ValueError("degrade_queue_depth must be >= 1")
+        if self.restore_queue_depth < 0:
+            raise ValueError("restore_queue_depth must be >= 0")
+        if not 0.0 < self.degrade_factor <= 1.0:
+            raise ValueError("degrade_factor must be in (0, 1]")
+
+    def quorum(self, n_shards: int) -> int:
+        """Effective K for an N-shard fan-out (default: tolerate one)."""
+        if self.quorum_k is not None:
+            return min(self.quorum_k, n_shards)
+        return max(1, n_shards - 1)
+
+    def backoff_us(self, attempt: int) -> float:
+        """Capped exponential backoff before re-dispatch ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(
+            self.retry_backoff_cap_us,
+            self.retry_backoff_us * (2.0 ** (attempt - 1)),
+        )
+
+
+#: policy used when faults are injected but no policy was configured.
+DEFAULT_POLICY = ResiliencePolicy()
+
+
+@dataclass
+class ResilienceStats:
+    """Mutable defense ledger, exported as ``ServeReport.meta["resilience"]``."""
+
+    watchdog_kills: int = 0
+    retries: int = 0
+    retry_failures: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    hedge_losses: int = 0
+    partial_answers: int = 0
+    degraded_dispatches: int = 0
+    degraded_windows: int = 0
+    degraded_us: float = 0.0
+    faults_injected: dict = field(default_factory=dict)
+    failed_ids: list = field(default_factory=list)
+
+    def note_fault(self, kind: str) -> None:
+        self.faults_injected[kind] = self.faults_injected.get(kind, 0) + 1
+
+    def to_meta(self) -> dict:
+        """Plain-dict form stored in report meta (JSON-safe)."""
+        return {
+            "watchdog_kills": self.watchdog_kills,
+            "retries": self.retries,
+            "retry_failures": self.retry_failures,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "hedge_losses": self.hedge_losses,
+            "partial_answers": self.partial_answers,
+            "degraded_dispatches": self.degraded_dispatches,
+            "degraded_windows": self.degraded_windows,
+            "degraded_us": self.degraded_us,
+            "faults_injected": dict(self.faults_injected),
+            "failed_ids": sorted(self.failed_ids),
+        }
+
+
+def merge_resilience_meta(parts: list[dict | None]) -> dict | None:
+    """Aggregate per-engine ``meta["resilience"]`` dicts (None parts skipped)."""
+    live = [p for p in parts if p]
+    if not live:
+        return None
+    out = ResilienceStats()
+    for p in live:
+        out.watchdog_kills += p.get("watchdog_kills", 0)
+        out.retries += p.get("retries", 0)
+        out.retry_failures += p.get("retry_failures", 0)
+        out.hedges += p.get("hedges", 0)
+        out.hedge_wins += p.get("hedge_wins", 0)
+        out.hedge_losses += p.get("hedge_losses", 0)
+        out.partial_answers += p.get("partial_answers", 0)
+        out.degraded_dispatches += p.get("degraded_dispatches", 0)
+        out.degraded_windows += p.get("degraded_windows", 0)
+        out.degraded_us += p.get("degraded_us", 0.0)
+        for kind, n in p.get("faults_injected", {}).items():
+            out.faults_injected[kind] = out.faults_injected.get(kind, 0) + n
+        out.failed_ids.extend(p.get("failed_ids", []))
+    return out.to_meta()

@@ -56,6 +56,23 @@ _CATALOG: tuple[tuple[str, str, str, tuple | None], ...] = (
     ("histogram", "algas_bubble_us",
      "per-query idle time between own GPU finish and return (us)",
      Buckets.LATENCY_US),
+    # ---- resilience layer (docs/robustness.md) -------------------------
+    ("counter", "algas_watchdog_kills_total",
+     "slots force-retired by the no-progress watchdog", None),
+    ("counter", "algas_query_retries_total",
+     "queries re-dispatched after a watchdog kill", None),
+    ("counter", "algas_retry_exhausted_total",
+     "queries failed after exhausting their retry budget", None),
+    ("counter", "algas_hedges_total",
+     "hedge requests sent to a backup replica", None),
+    ("counter", "algas_hedge_wins_total",
+     "hedges that answered before (or instead of) the primary", None),
+    ("counter", "algas_partial_answers_total",
+     "queries answered from a shard quorum subset", None),
+    ("counter", "algas_degraded_dispatches_total",
+     "queries dispatched with degraded (shrunken) work under overload", None),
+    ("counter", "algas_degraded_windows_total",
+     "overload degradation windows entered", None),
 )
 
 
@@ -164,6 +181,50 @@ class Telemetry:
     def merge_observed(self, n_lists: int, cpu_us: float) -> None:
         self.registry.histogram("algas_host_merge_us", **self.labels).observe(cpu_us)
 
+    # ----------------------------------------------------------- resilience
+    def watchdog_kill(self, slot_id: int, query_id: int, now_us: float) -> None:
+        """The watchdog force-retired ``slot_id`` holding ``query_id``."""
+        self.registry.counter("algas_watchdog_kills_total", **self.labels).inc()
+        self.spans.record("watchdog-kill", now_us, now_us, query_id=query_id,
+                          slot_id=slot_id, **self.labels)
+
+    def query_retried(self, query_id: int, attempt: int, now_us: float) -> None:
+        self.registry.counter("algas_query_retries_total", **self.labels).inc()
+        self.spans.record("retry", now_us, now_us, query_id=query_id,
+                          attempt=str(attempt), **self.labels)
+
+    def retry_exhausted(self, query_id: int) -> None:
+        self.registry.counter("algas_retry_exhausted_total", **self.labels).inc()
+
+    def hedge_fired(self, query_id: int, fire_us: float) -> None:
+        self.registry.counter("algas_hedges_total", **self.labels).inc()
+        self.spans.record("hedge", fire_us, fire_us, query_id=query_id,
+                          **self.labels)
+
+    def hedge_won(self, query_id: int) -> None:
+        self.registry.counter("algas_hedge_wins_total", **self.labels).inc()
+
+    def partial_answer(self, query_id: int, n_included: int, n_total: int) -> None:
+        self.registry.counter("algas_partial_answers_total", **self.labels).inc()
+
+    def degraded_dispatch(self, query_id: int) -> None:
+        self.registry.counter(
+            "algas_degraded_dispatches_total", **self.labels
+        ).inc()
+
+    def degraded_window_entered(self, now_us: float, depth: int) -> None:
+        self.registry.counter("algas_degraded_windows_total", **self.labels).inc()
+
+    def degraded_window_exited(self, start_us: float, end_us: float) -> None:
+        self.spans.record("degraded", start_us, end_us, **self.labels)
+
+    def fault_injected(self, kind: str) -> None:
+        """One injected fault fired (labelled by kind, like transitions)."""
+        self.registry.counter(
+            "algas_faults_injected_total", "injected faults fired, by kind",
+            kind=kind, **self.labels,
+        ).inc()
+
     # ------------------------------------------------------- generic spans
     def span(self, name: str, start_us: float, end_us: float,
              query_id: int | None = None, slot_id: int | None = None,
@@ -258,6 +319,36 @@ class NullTelemetry(Telemetry):
         pass
 
     def merge_observed(self, n_lists, cpu_us) -> None:
+        pass
+
+    def watchdog_kill(self, slot_id, query_id, now_us) -> None:
+        pass
+
+    def query_retried(self, query_id, attempt, now_us) -> None:
+        pass
+
+    def retry_exhausted(self, query_id) -> None:
+        pass
+
+    def hedge_fired(self, query_id, fire_us) -> None:
+        pass
+
+    def hedge_won(self, query_id) -> None:
+        pass
+
+    def partial_answer(self, query_id, n_included, n_total) -> None:
+        pass
+
+    def degraded_dispatch(self, query_id) -> None:
+        pass
+
+    def degraded_window_entered(self, now_us, depth) -> None:
+        pass
+
+    def degraded_window_exited(self, start_us, end_us) -> None:
+        pass
+
+    def fault_injected(self, kind) -> None:
         pass
 
     def span(self, name, start_us, end_us, query_id=None, slot_id=None, **attrs) -> None:

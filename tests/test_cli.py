@@ -99,3 +99,31 @@ def test_figure_unknown():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_chaos_command(capsys):
+    rc = main([
+        "chaos", "--plan", "slot-hangs", "--mode", "single", "--n", "1200",
+        "--queries", "24", "--batch", "4", "--k", "8", "--degree", "8",
+        "--watchdog-us", "200",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "verdict       = PASS" in out
+    assert "watchdog      = 2 kills" in out
+
+
+def test_chaos_command_metrics_out(tmp_path, capsys):
+    mpath = tmp_path / "chaos.prom"
+    rc = main([
+        "chaos", "--plan", "slot-hangs", "--mode", "single", "--n", "1200",
+        "--queries", "16", "--batch", "4", "--k", "8", "--degree", "8",
+        "--watchdog-us", "200", "--metrics-out", str(mpath),
+    ])
+    assert rc == 0
+    assert "algas_watchdog_kills_total" in mpath.read_text()
+    assert str(mpath) in capsys.readouterr().out
+
+
+def test_chaos_unknown_plan():
+    assert main(["chaos", "--plan", "nope"]) == 2

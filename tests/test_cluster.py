@@ -58,3 +58,24 @@ def test_validation(ds, graph):
         ReplicatedServer(ds.base, graph, n_gpus=0)
     with pytest.raises(ValueError):
         ShardedServer(ds.base[:3], lambda p: None, n_gpus=2)
+
+
+def test_merged_report_aggregates_dropped_meta():
+    """The fan-in used to lose per-part dropped counts entirely."""
+    from repro.core.cluster import _merged_report
+    from repro.core.serving import ServeReport
+
+    def part(dropped, ids):
+        return ServeReport(
+            records=[], makespan_us=10.0, gpu_cta_busy_us=1.0, n_cta_slots=4,
+            pcie=None, host_busy_us=1.0,
+            meta={"dropped": dropped, "dropped_ids": ids},
+        )
+
+    rep = _merged_report(
+        [part(2, [3, 7]), part(1, [5])], n_cta_slots=8,
+        meta={"mode": "replicated"},
+    )
+    assert rep.meta["dropped"] == 3
+    assert rep.meta["dropped_ids"] == [3, 5, 7]
+    assert "resilience" not in rep.meta  # healthy runs stay resilience-free

@@ -69,3 +69,95 @@ def test_cta_index_bounds():
 def test_n_ctas_validation():
     with pytest.raises(ValueError):
         Slot(0, 0)
+
+
+def test_force_retire_from_any_state():
+    for prep in (
+        lambda s: None,                       # NONE
+        lambda s: s.dispatch(1),              # WORK
+        lambda s: (s.dispatch(1), s.advance_cta(0), s.advance_cta(1)),  # FINISH
+    ):
+        s = Slot(0, 2)
+        prep(s)
+        s.force_retire()
+        assert s.state is SlotState.QUIT and s.query_id is None
+        with pytest.raises(StateTransitionError):
+            s.dispatch(2)  # QUIT is terminal even after forced recovery
+
+
+def test_corrupt_cta_blocks_finish():
+    s = Slot(0, 2)
+    s.dispatch(1)
+    s.corrupt_cta(0)  # out-of-protocol regression to NONE
+    s.advance_cta(1)
+    assert not s.all_finished
+    with pytest.raises(StateTransitionError):
+        s.collect()
+    s.force_retire()  # the watchdog's way out
+    assert s.state is SlotState.QUIT
+
+
+def test_random_interleavings_never_corrupt_state():
+    """Property-style check: any interleaving of host/GPU/watchdog ops
+    either succeeds with the expected post-state or raises
+    StateTransitionError leaving the slot untouched."""
+    import random
+
+    legal = {
+        "dispatch": lambda pre: all(
+            c in (SlotState.NONE, SlotState.DONE) for c in pre
+        ),
+        "advance": lambda pre, cta: pre[cta] is SlotState.WORK,
+        "collect": lambda pre: all(c is SlotState.FINISH for c in pre),
+        "retire": lambda pre: all(
+            c in (SlotState.NONE, SlotState.DONE) for c in pre
+        ),
+    }
+    for trial in range(100):
+        rng = random.Random(trial)
+        n_ctas = rng.randint(1, 3)
+        s = Slot(0, n_ctas)
+        qid = 0
+        for _ in range(50):
+            op = rng.choices(
+                ["dispatch", "advance", "collect", "retire", "force"],
+                weights=[30, 35, 15, 10, 10],
+            )[0]
+            pre = list(s.cta_states)
+            pre_qid, pre_served = s.query_id, s.queries_served
+            cta = rng.randrange(n_ctas)
+            try:
+                if op == "dispatch":
+                    qid += 1
+                    s.dispatch(qid)
+                    assert legal["dispatch"](pre)
+                    assert s.state is SlotState.WORK and s.query_id == qid
+                elif op == "advance":
+                    s.advance_cta(cta)
+                    assert legal["advance"](pre, cta)
+                    assert s.cta_states[cta] is SlotState.FINISH
+                elif op == "collect":
+                    got = s.collect()
+                    assert legal["collect"](pre)
+                    assert got == pre_qid and s.query_id is None
+                    assert s.queries_served == pre_served + 1
+                elif op == "retire":
+                    s.retire()
+                    assert legal["retire"](pre)
+                    assert s.state is SlotState.QUIT
+                else:
+                    s.force_retire()  # always legal
+                    assert s.state is SlotState.QUIT and s.query_id is None
+            except StateTransitionError:
+                # the op must have been illegal, and must not have mutated
+                assert op != "force"
+                if op == "advance":
+                    assert not legal[op](pre, cta)
+                else:
+                    assert not legal[op](pre)
+                assert s.cta_states == pre
+                assert s.query_id == pre_qid
+                assert s.queries_served == pre_served
+            # global invariant: the aggregate state is always well-defined
+            assert s.state in SlotState
+            assert s.queries_served >= pre_served
