@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Micro-harness: scalar oracle vs vectorized graph-construction backend.
+
+Times full index builds for both values of ``build_backend`` and verifies
+the quality gate while it is at it: searching a vectorized-built graph
+must reach recall@10 within 0.01 of the scalar-built graph at identical
+search settings.  Results go to ``BENCH_build.json`` at the repo root.
+
+Two sections:
+
+* ``headline`` — SIFT-mini at n=20000 for NSW / HNSW / CAGRA (the
+  acceptance gate is >= 5x for the NSW family), plus NSG at n=4000
+  (its scalar build runs every medoid-rooted search one vertex at a
+  time, far too slow at 20k).
+* ``parity`` — recall@10 of scalar-built vs vectorized-built graphs on
+  all four mini corpora for the NSW family and CAGRA.
+
+CAGRA's ratio is reported honestly: its scalar build was already
+GEMM-vectorized end to end before this backend existed (exact kNN via
+blocked ``pairwise_distances`` panels plus the chunked detour prune are
+shared by both backends), so only the thin Python assembly loops go
+away and the ratio hovers near 1x on a single-core host.  The NSW
+family is where construction was genuinely loop-bound.
+
+Usage:
+    PYTHONPATH=src python benchmarks/perf/bench_build.py [out.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import load_dataset
+from repro.graphs import build_cagra, build_hnsw, build_nsg, build_nsw
+from repro.search import batched_intra_cta_search
+
+#: (dataset, headline n, parity n) — GIST parity runs smaller because its
+#: 960-d scalar builds are distance-bound.
+CORPORA = [
+    ("sift1m-mini", 20_000, 4_000),
+    ("gist1m-mini", None, 2_500),
+    ("glove200-mini", None, 4_000),
+    ("nytimes-mini", None, 4_000),
+]
+N_QUERIES = 64
+K = 10
+SEARCH_L = 64
+RECALL_TOL = 0.01
+
+#: builder name -> (factory, headline kwargs, parity kwargs)
+BUILDERS = {
+    "nsw": (build_nsw, dict(m=8, ef_construction=32), dict(m=8, ef_construction=32)),
+    "hnsw": (build_hnsw, dict(m=8, ef_construction=32), dict(m=8, ef_construction=32)),
+    "cagra": (build_cagra, dict(graph_degree=16), dict(graph_degree=16)),
+}
+
+
+def _recall_at_k(ds, graph) -> float:
+    """recall@K searching ``graph`` with the fixed evaluation settings."""
+    gt = ds.gt_at(K)
+    entries = [np.array([0], dtype=np.int64)] * len(ds.queries)
+    res = batched_intra_cta_search(
+        ds.base, graph, ds.queries, K, SEARCH_L, entries,
+        metric=ds.metric, record_trace=False,
+    )
+    hits = sum(
+        len(set(r.ids.tolist()) & set(gt[i].tolist())) for i, r in enumerate(res)
+    )
+    return hits / (K * len(res))
+
+
+def _timed_pair(factory, ds, **kwargs) -> dict:
+    """Build with both backends, time each, and evaluate recall parity."""
+    t0 = time.perf_counter()
+    g_scalar = factory(ds.base, metric=ds.metric, build_backend="scalar", **kwargs)
+    t_scalar = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    g_vec = factory(ds.base, metric=ds.metric, build_backend="vectorized", **kwargs)
+    t_vec = time.perf_counter() - t0
+    r_scalar = _recall_at_k(ds, g_scalar)
+    r_vec = _recall_at_k(ds, g_vec)
+    return {
+        "scalar_s": round(t_scalar, 4),
+        "vectorized_s": round(t_vec, 4),
+        "speedup": round(t_scalar / t_vec, 2),
+        "recall_scalar": round(r_scalar, 4),
+        "recall_vectorized": round(r_vec, 4),
+        "recall_delta": round(r_vec - r_scalar, 4),
+    }
+
+
+def main(argv: list[str]) -> int:
+    out_path = Path(argv[1]) if len(argv) > 1 else (
+        Path(__file__).resolve().parents[2] / "BENCH_build.json"
+    )
+
+    # --- headline: SIFT-mini at n=20k ------------------------------------
+    headline = []
+    name, n_head, _ = CORPORA[0]
+    ds = load_dataset(name, n=n_head, n_queries=N_QUERIES, gt_k=K, seed=7)
+    for builder, (factory, head_kw, _kw) in BUILDERS.items():
+        row = {"builder": builder, "dataset": name, "n_base": ds.n, **head_kw}
+        row.update(_timed_pair(factory, ds, **head_kw))
+        headline.append(row)
+        print(
+            f"{builder:>6s} @ {ds.n}: scalar {row['scalar_s']:6.1f}s  "
+            f"vectorized {row['vectorized_s']:6.1f}s  {row['speedup']:5.2f}x  "
+            f"recall {row['recall_scalar']:.4f} -> {row['recall_vectorized']:.4f}"
+        )
+    # NSG at reduced scale: the scalar build is one full beam search per
+    # vertex in Python — quadratic-feeling at 20k.
+    ds_nsg = load_dataset(name, n=4_000, n_queries=N_QUERIES, gt_k=K, seed=7)
+    row = {"builder": "nsg", "dataset": name, "n_base": ds_nsg.n, "out_degree": 16}
+    row.update(_timed_pair(build_nsg, ds_nsg, out_degree=16))
+    headline.append(row)
+    print(
+        f"{'nsg':>6s} @ {ds_nsg.n}: scalar {row['scalar_s']:6.1f}s  "
+        f"vectorized {row['vectorized_s']:6.1f}s  {row['speedup']:5.2f}x  "
+        f"recall {row['recall_scalar']:.4f} -> {row['recall_vectorized']:.4f}"
+    )
+
+    # --- recall parity on all four corpora -------------------------------
+    parity = []
+    for name, _, n_par in CORPORA:
+        ds = load_dataset(name, n=n_par, n_queries=N_QUERIES, gt_k=K, seed=7)
+        for builder, (factory, _kw, par_kw) in BUILDERS.items():
+            row = {"builder": builder, "dataset": name, "n_base": ds.n}
+            row.update(_timed_pair(factory, ds, **par_kw))
+            parity.append(row)
+            print(
+                f"parity {name:>14s} {builder:>6s}: "
+                f"recall {row['recall_scalar']:.4f} -> {row['recall_vectorized']:.4f} "
+                f"(delta {row['recall_delta']:+.4f})  {row['speedup']:5.2f}x"
+            )
+
+    report = {
+        "benchmark": "build backend: scalar oracle vs vectorized lockstep waves",
+        "config": {
+            "n_queries": N_QUERIES, "k": K, "search_l": SEARCH_L,
+            "recall_tolerance": RECALL_TOL,
+            "timing": "single build per backend (builds are deterministic)",
+        },
+        "headline": headline,
+        "parity": parity,
+        "notes": {
+            "cagra": (
+                "CAGRA's scalar build was already GEMM-vectorized (blocked "
+                "exact kNN + chunked detour prune, shared by both backends); "
+                "the vectorized backend only removes the thin Python assembly "
+                "loops and is bit-identical, so its ratio is ~1x on this "
+                "single-core host. The >=5x construction gate is carried by "
+                "the NSW family, whose scalar build is genuinely loop-bound."
+            ),
+        },
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    ok = True
+    nsw_family = [r for r in headline if r["builder"] in ("nsw", "hnsw")]
+    if max(r["speedup"] for r in nsw_family) < 5.0:
+        print("WARNING: NSW-family build speedup below 5x at n=20k")
+        ok = False
+    for row in headline + parity:
+        if row["recall_delta"] < -RECALL_TOL:
+            print(
+                f"WARNING: recall gate violated for {row['builder']} on "
+                f"{row['dataset']} (delta {row['recall_delta']:+.4f})"
+            )
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,8 +1,9 @@
 """Extension — graph construction time: GPU batched vs CPU incremental.
 
 GANNS's construction claim, priced by the analytic build model at the
-paper's 1M scale, plus an empirical sanity anchor: our actual
-``build_nsw_fast`` (batched) must beat ``build_nsw`` (incremental) in real
+paper's 1M scale, plus empirical sanity anchors: ``build_nsw_fast``
+(seed-batched) and ``build_nsw(build_backend="vectorized")`` (lockstep
+wave builds) must both beat the scalar incremental ``build_nsw`` in real
 wall-clock at test scale.
 """
 
@@ -33,7 +34,8 @@ def test_ext_build_time(benchmark, show):
     assert modelled["nsw-batch"] < modelled["nsw-incremental"] / 5
     assert modelled["cagra"] < modelled["nsw-incremental"]
 
-    # Empirical anchor at small scale: batched beats incremental for real.
+    # Empirical anchors at small scale: both batched builds beat the
+    # scalar incremental one for real.
     pts = latent_mixture(1200, 32, intrinsic_dim=10, seed=0)
     t0 = time.perf_counter()
     build_nsw(pts, m=6, ef_construction=24, seed=0)
@@ -41,6 +43,10 @@ def test_ext_build_time(benchmark, show):
     t0 = time.perf_counter()
     build_nsw_fast(pts, m=6, seed=0)
     batched_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    build_nsw(pts, m=6, ef_construction=24, seed=0, build_backend="vectorized")
+    vectorized_s = time.perf_counter() - t0
     assert batched_s < incremental_s
+    assert vectorized_s < incremental_s
 
-    benchmark(build_nsw_fast, pts, 6)
+    benchmark(build_nsw, pts, 6, build_backend="vectorized")

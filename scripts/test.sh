@@ -3,8 +3,11 @@
 #
 #   scripts/test.sh            # everything
 #   scripts/test.sh --tier1    # lint + unit/integration/property tests
-#   scripts/test.sh --perf     # perf smoke only (~2 s; fails if the
-#                              # vectorized backend loses to the scalar one)
+#   scripts/test.sh --perf     # perf smoke only: search gate (~2 s; fails
+#                              # if the vectorized backend loses to the
+#                              # scalar one) + build gate (~40 s; vectorized
+#                              # NSW build must beat scalar by >=3x at n=20k
+#                              # and hold recall@10 within 0.01)
 #   scripts/test.sh --chaos    # chaos smoke only: serve under the fixed
 #                              # "smoke" fault plan (1 of 4 shards killed,
 #                              # slots hung/corrupted, PCIe stalled) and

@@ -31,9 +31,16 @@ def build_parser() -> argparse.ArgumentParser:
     b = sub.add_parser("build", help="build a graph index and save it")
     b.add_argument("--dataset", default="sift1m-mini")
     b.add_argument("--n", type=int, default=None, help="base vectors (default: spec)")
-    b.add_argument("--graph", choices=("cagra", "nsw", "nsw-fast", "hnsw", "knn"),
+    b.add_argument("--graph",
+                   choices=("cagra", "nsw", "nsw-fast", "hnsw", "nsg", "knn"),
                    default="cagra")
     b.add_argument("--degree", type=int, default=16)
+    b.add_argument("--build-backend", choices=("scalar", "vectorized"),
+                   default="vectorized",
+                   help="graph construction backend: 'vectorized' batches "
+                        "insertion searches through the lockstep engine "
+                        "(docs/performance.md); 'scalar' is the one-vertex-"
+                        "at-a-time oracle")
     b.add_argument("--seed", type=int, default=0)
     b.add_argument("-o", "--output", required=True, help="output .npz path")
 
@@ -43,6 +50,10 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--queries", type=int, default=64)
     s.add_argument("--graph", choices=("cagra", "nsw"), default="cagra")
     s.add_argument("--degree", type=int, default=16)
+    s.add_argument("--build-backend", choices=("scalar", "vectorized"),
+                   default="vectorized",
+                   help="graph construction backend (recorded with the "
+                        "build wall-time in ServeReport.meta['build'])")
     s.add_argument("--system", choices=("algas", "cagra", "ganns", "ivf"),
                    default="algas")
     s.add_argument("--k", type=int, default=16)
@@ -117,30 +128,51 @@ def _cmd_datasets(_args) -> int:
 
 
 def _cmd_build(args) -> int:
+    import time
+
     from .data import load_dataset
-    from .graphs import build_cagra, build_hnsw, build_nsw, build_nsw_fast, exact_knn_graph
+    from .graphs import (
+        build_cagra,
+        build_hnsw,
+        build_nsg,
+        build_nsw,
+        build_nsw_fast,
+        exact_knn_graph,
+    )
 
     ds = load_dataset(args.dataset, n=args.n, seed=args.seed)
+    bb = args.build_backend
+    t0 = time.perf_counter()
     if args.graph == "cagra":
-        g = build_cagra(ds.base, graph_degree=args.degree, metric=ds.metric)
+        g = build_cagra(ds.base, graph_degree=args.degree, metric=ds.metric,
+                        build_backend=bb)
     elif args.graph == "nsw":
-        g = build_nsw(ds.base, m=args.degree // 2, metric=ds.metric, seed=args.seed)
+        g = build_nsw(ds.base, m=args.degree // 2, metric=ds.metric,
+                      seed=args.seed, build_backend=bb)
     elif args.graph == "nsw-fast":
         g = build_nsw_fast(ds.base, m=args.degree // 2, metric=ds.metric, seed=args.seed)
     elif args.graph == "hnsw":
-        g = build_hnsw(ds.base, m=args.degree // 2, metric=ds.metric, seed=args.seed)
+        g = build_hnsw(ds.base, m=args.degree // 2, metric=ds.metric,
+                       seed=args.seed, build_backend=bb)
+    elif args.graph == "nsg":
+        g = build_nsg(ds.base, out_degree=args.degree, metric=ds.metric,
+                      seed=args.seed, build_backend=bb)
     else:
         g = exact_knn_graph(ds.base, args.degree, metric=ds.metric)
+    dt = time.perf_counter() - t0
     g.save(args.output)
-    print(f"saved {g} -> {args.output}")
+    print(f"saved {g} -> {args.output} "
+          f"(build_backend={bb}, {dt:.2f}s)")
     return 0
 
 
 def _cmd_serve(args) -> int:
+    import time
+
     from .baselines import CAGRASystem, GANNSSystem, IVFSystem
     from .core import ALGASSystem, ServeConfig
     from .data import load_dataset, recall
-    from .graphs import build_cagra, build_nsw_fast
+    from .graphs import build_cagra, build_nsw
     from .telemetry import Telemetry, write_metrics
 
     ds = load_dataset(args.dataset, n=args.n, n_queries=args.queries,
@@ -151,28 +183,45 @@ def _cmd_serve(args) -> int:
             metric=ds.metric, k=args.k, batch_size=args.batch, seed=args.seed,
         )
     else:
+        bb = args.build_backend
+        t0 = time.perf_counter()
         if args.graph == "cagra":
-            g = build_cagra(ds.base, graph_degree=args.degree, metric=ds.metric)
+            g = build_cagra(ds.base, graph_degree=args.degree, metric=ds.metric,
+                            build_backend=bb)
         else:
-            g = build_nsw_fast(ds.base, m=args.degree // 2, metric=ds.metric)
+            g = build_nsw(ds.base, m=args.degree // 2, metric=ds.metric,
+                          seed=args.seed, build_backend=bb)
+        build_info = {
+            "graph": args.graph,
+            "build_backend": bb,
+            "build_seconds": round(time.perf_counter() - t0, 4),
+        }
         common = dict(metric=ds.metric, k=args.k, l_total=args.l_total,
                       batch_size=args.batch, seed=args.seed)
         if args.system == "algas":
             ht = args.host_threads
             system = ALGASSystem(
                 ds.base, g, host_threads=ht if ht == "auto" else int(ht),
-                state_mode=args.state_mode, beam=not args.no_beam, **common,
+                state_mode=args.state_mode, beam=not args.no_beam,
+                build_info=build_info, **common,
             )
         elif args.system == "cagra":
             system = CAGRASystem(ds.base, g, **common)
+            system.build_info = build_info
         else:
             system = GANNSSystem(ds.base, g, **common)
+            system.build_info = build_info
     tel = Telemetry() if (args.metrics_out or args.slot_timeline) else None
     rep = system.serve(ds.queries, ServeConfig(telemetry=tel))
     rec = recall(rep.ids, ds.gt_at(args.k))
     s = rep.serve.summary()
     print(f"system={args.system} dataset={args.dataset} n={ds.n} "
           f"batch={args.batch} k={args.k}")
+    build_meta = rep.serve.meta.get("build")
+    if build_meta:
+        print(f"graph build   = {build_meta['graph']} "
+              f"backend={build_meta['build_backend']} "
+              f"({build_meta['build_seconds']:.2f}s)")
     print(f"recall@{args.k} = {rec:.4f}")
     print(f"mean latency  = {s['mean_latency_us']:.1f} us "
           f"(p50 {s['p50_latency_us']:.1f}, p99 {s['p99_latency_us']:.1f})")

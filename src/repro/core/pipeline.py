@@ -77,6 +77,7 @@ class BaseGraphSystem:
         entries_per_cta: int = 2,
         seed: int = 0,
         backend: str = "vectorized",
+        build_info: dict | None = None,
     ):
         if k <= 0 or l_total < k:
             raise ValueError("need 0 < k <= l_total")
@@ -85,6 +86,10 @@ class BaseGraphSystem:
         if backend not in ("scalar", "vectorized"):
             raise ValueError(f"unknown backend {backend!r}")
         self.backend = backend
+        #: graph-construction provenance (e.g. ``{"build_backend": ...,
+        #: "build_seconds": ...}``) merged into ``ServeReport.meta["build"]``
+        #: on every serve — mirrors the ``search_backend`` meta key.
+        self.build_info = dict(build_info) if build_info else None
         self.base = np.asarray(base, dtype=np.float32)
         self.graph = graph
         self.device = device
@@ -259,6 +264,8 @@ class BaseGraphSystem:
             faults=cfg.faults, resilience=cfg.resilience,
         )
         report = engine.serve(jobs)
+        if self.build_info:
+            report.meta.setdefault("build", {}).update(self.build_info)
         return SystemReport(ids=ids, dists=dists, serve=report, traces=traces)
 
 
@@ -287,6 +294,7 @@ class ALGASSystem(BaseGraphSystem):
         entries_per_cta: int = 2,
         seed: int = 0,
         backend: str = "vectorized",
+        build_info: dict | None = None,
     ):
         if beam is True:
             # Default two-phase split per §IV-C: diffuse once the selected
@@ -299,7 +307,7 @@ class ALGASSystem(BaseGraphSystem):
         super().__init__(
             base, graph, device, metric, k, l_total, batch_size,
             n_parallel, max_parallel, beam, cost_params, entries_per_cta, seed,
-            backend,
+            backend, build_info,
         )
         if host_threads == "auto":
             # §V-B: one host thread struggles above ~16-32 slots; scale the

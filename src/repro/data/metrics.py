@@ -84,7 +84,13 @@ def query_distances(query: np.ndarray, points: np.ndarray, metric: str = "l2") -
     return (1.0 - points @ query).astype(np.float32)
 
 
-def pair_distances(a: np.ndarray, b: np.ndarray, metric: str = "l2") -> np.ndarray:
+def pair_distances(
+    a: np.ndarray,
+    b: np.ndarray,
+    metric: str = "l2",
+    a_norms: np.ndarray | None = None,
+    b_norms: np.ndarray | None = None,
+) -> np.ndarray:
     """Row-wise distances between matching rows of ``a`` and ``b``.
 
     This is the shared distance kernel of the scalar and vectorized search
@@ -95,6 +101,14 @@ def pair_distances(a: np.ndarray, b: np.ndarray, metric: str = "l2") -> np.ndarr
     identical no matter how rows are batched (the parity suite relies on
     this for byte-identical results across backends).
 
+    When either ``a_norms`` or ``b_norms`` (per-row squared L2 norms) is
+    given, the L2 branch switches to the ``|a|^2 + |b|^2 - 2ab`` expansion
+    with the missing side computed in-call — one fewer full-width pass
+    than the diff form, and callers that hold fixed point sets amortize
+    the norms across calls.  Both search backends pass norms, so their
+    distances stay byte-identical to each other (expansion bits differ
+    from diff-form bits; clamped at zero against cancellation).
+
     As everywhere in this module, cosine inputs are assumed normalized, so
     the cosine distance is ``1 - dot``.
     """
@@ -104,6 +118,11 @@ def pair_distances(a: np.ndarray, b: np.ndarray, metric: str = "l2") -> np.ndarr
     if a.shape != b.shape or a.ndim != 2:
         raise ValueError("a and b must be matching 2-D arrays")
     if metric == "l2":
+        if a_norms is not None or b_norms is not None:
+            an = a_norms if a_norms is not None else np.einsum("ij,ij->i", a, a)
+            bn = b_norms if b_norms is not None else np.einsum("ij,ij->i", b, b)
+            d = an + bn - 2.0 * np.einsum("ij,ij->i", a, b)
+            return np.maximum(d, 0.0).astype(np.float32)
         diff = a - b
         return np.einsum("ij,ij->i", diff, diff).astype(np.float32)
     return (1.0 - np.einsum("ij,ij->i", a, b)).astype(np.float32)

@@ -142,6 +142,18 @@ class GraphIndex:
             self.__dict__["_nbr_cache"] = cache
         return cache
 
+    def invalidate_cache(self) -> None:
+        """Drop the cached padded neighbour matrix.
+
+        ``__setattr__`` invalidation only catches *reassignment* of
+        ``indptr``/``indices``; in-place writes (``graph.indices[...] = x``)
+        bypass it and would leave :meth:`neighbor_matrix` serving stale
+        edges.  Call this after any in-place CSR mutation.  (The cached
+        arrays themselves are returned read-only, so writes *through* the
+        cache raise rather than silently diverging.)
+        """
+        self.__dict__.pop("_nbr_cache", None)
+
     # -------------------------------------------------------------- storage
     def save(self, path: str | os.PathLike) -> None:
         """Persist as compressed npz."""

@@ -1,0 +1,908 @@
+"""Vectorized lockstep graph-construction backends.
+
+Every scalar builder in this package (``build_nsw``, ``build_hnsw``,
+``build_nsg``, ``build_cagra``) advances one vertex at a time in pure
+Python; at tens of thousands of points the numpy dispatch overhead of
+those sub-microsecond kernels dominates build wall-clock the same way it
+dominated search before the lockstep engine (docs/performance.md).  This
+module is the construction-side counterpart: insertion-time beam searches
+run batched through :class:`~repro.search.batched.LockstepEngine` against
+the *growing* graph (a padded adjacency matrix + degree vector, with an
+``n_visible`` prefix mask instead of a per-wave CSR rebuild), and all
+linking, degree-capping, and pruning becomes row-parallel array kernels.
+
+Construction semantics per family:
+
+``build_nsw_batched``
+    Points insert in doubling waves.  Each wave's insertion searches
+    advance in lockstep against the frozen prefix; links are the top-``m``
+    discoveries, reverse edges are accumulated with a bucketed scatter and
+    trimmed to the degree cap (keep closest) in one padded argsort.  A
+    final *refinement pass* re-searches every point against the finished
+    graph and merges the fresh top-``m`` links in, recovering the
+    candidate quality an incremental build gets from inserting into an
+    ever-denser graph.
+
+``build_hnsw_batched``
+    Same wave machinery over the flat layer-0 graph (the only layer
+    :func:`~repro.graphs.hnsw.build_hnsw` exports), with HNSW's
+    diversifying neighbour selection replaced by the batched
+    triangle-inequality occlusion prune (:func:`occlusion_prune_mask`) —
+    the parallel form of Algorithm 4's heuristic, as used by CAGRA.
+    Level draws decide wave entry points (the highest-level vertex of the
+    inserted prefix), mirroring the hierarchical descent's role.
+
+``build_nsg_batched``
+    All medoid-rooted candidate searches run through the batched engine
+    over the kNN substrate; the sequential MRNG occlusion test becomes
+    the same chunked triangle-inequality prune; the BFS connectivity
+    repair stays on raw adjacency arrays.
+
+``build_cagra_batched``
+    Bit-identical to the scalar ``build_cagra`` (asserted by the test
+    suite): forward-rank selection, reverse-edge bucketing, and the
+    seen-set dedup assembly are expressed as pure array ops
+    (stable-argsort first-occurrence masks), so the produced CSR matches
+    the scalar oracle byte for byte while the Python per-vertex loops
+    disappear.
+
+Scalar builders remain the auditable oracles; each vectorized builder is
+reached via the ``build_backend="vectorized"`` switch on the public
+``build_*`` functions and is deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..data.metrics import pair_distances, pairwise_distances
+from .base import GraphIndex
+from .knn import exact_knn_matrix, nn_descent_matrix
+from .utils import medoid
+
+__all__ = [
+    "occlusion_prune_mask",
+    "build_nsw_batched",
+    "build_hnsw_batched",
+    "build_nsg_batched",
+    "build_cagra_batched",
+]
+
+#: Lockstep rows per engine instance: bounds the packed visited bitmap at
+#: ``_MAX_ROWS * ceil(n/8)`` bytes while keeping waves fully batched.
+_MAX_ROWS = 8192
+
+
+# --------------------------------------------------------------------------
+# row-parallel primitives
+# --------------------------------------------------------------------------
+
+def _first_occurrence_mask(ids: np.ndarray, valid: np.ndarray) -> np.ndarray:
+    """Mask of the first occurrence of each valid id per row (order kept).
+
+    The vectorized form of a per-row ``seen``-set walk: a stable argsort
+    groups equal ids, group heads are first occurrences, and a scatter
+    puts the mask back in original column order.
+    """
+    masked = np.where(valid, ids, -1)
+    order = np.argsort(masked, axis=1, kind="stable")
+    s = np.take_along_axis(masked, order, axis=1)
+    first = np.empty(s.shape, dtype=bool)
+    first[:, 0] = True
+    first[:, 1:] = s[:, 1:] != s[:, :-1]
+    first &= s >= 0
+    keep = np.zeros(s.shape, dtype=bool)
+    np.put_along_axis(keep, order, first, axis=1)
+    return keep
+
+
+def _compact_rows(
+    ids: np.ndarray,
+    keep: np.ndarray,
+    out_k: int,
+    extra: np.ndarray | None = None,
+    extra_fill: float = np.inf,
+) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
+    """Left-compact up to ``out_k`` kept entries per row, preserving order.
+
+    Returns ``(compacted_ids, compacted_extra, counts)``; ids are -1
+    padded past each row's count.
+    """
+    rank = np.cumsum(keep, axis=1)
+    sel = keep & (rank <= out_k)
+    rows, cols = np.nonzero(sel)
+    pos = rank[rows, cols] - 1
+    out = np.full((ids.shape[0], out_k), -1, dtype=ids.dtype)
+    out[rows, pos] = ids[rows, cols]
+    out_extra = None
+    if extra is not None:
+        out_extra = np.full((ids.shape[0], out_k), extra_fill, dtype=extra.dtype)
+        out_extra[rows, pos] = extra[rows, cols]
+    counts = sel.sum(axis=1).astype(np.int64)
+    return out, out_extra, counts
+
+
+def occlusion_prune_mask(
+    points: np.ndarray,
+    pool_ids: np.ndarray,
+    pool_d: np.ndarray,
+    metric: str = "l2",
+    chunk: int = 256,
+    rule: str = "mrng",
+) -> np.ndarray:
+    """Chunked triangle-inequality occlusion prune over candidate pools.
+
+    ``pool_ids``/``pool_d`` are ``(B, K)`` candidate lists sorted by
+    ascending distance to their row's query vertex, -1 / inf padded.  One
+    batched Gram tensor per chunk gives all intra-pool distances at once.
+
+    ``rule="mrng"`` is the exact MRNG / HNSW-Algorithm-4 rule: candidate
+    ``c`` (rank j) is occluded when some *kept* earlier candidate ``w``
+    satisfies ``d(w, c) < d(q, c)``.  The kept-set dependency makes the
+    scan sequential in rank but it stays vectorized across all ``B`` rows
+    (K passes over (B, j) slices of the precomputed distance tensor).
+    ``rule="detour"`` is CAGRA's relaxation — occlude against *all*
+    earlier-ranked candidates, kept or not — which needs no scan but
+    prunes strictly more.  Rank 0 is always kept; padding never is.
+    """
+    points = np.asarray(points, dtype=np.float32)
+    pool_ids = np.asarray(pool_ids)
+    B, K = pool_ids.shape
+    keep = np.zeros((B, K), dtype=bool)
+    tri = np.tril(np.ones((K, K), dtype=bool))  # w >= j: only earlier ranks occlude
+    for lo in range(0, B, chunk):
+        hi = min(lo + chunk, B)
+        ids = pool_ids[lo:hi]
+        invalid = ids < 0
+        g = points[np.maximum(ids, 0)]  # (c, K, dim); padded rows are garbage, masked below
+        if metric == "l2":
+            sq = np.einsum("ckd,ckd->ck", g, g)
+            gram = np.einsum("ckd,cjd->ckj", g, g)
+            pair = sq[:, :, None] + sq[:, None, :] - 2.0 * gram
+            np.maximum(pair, 0.0, out=pair)
+        else:
+            pair = 1.0 - np.einsum("ckd,cjd->ckj", g, g)
+        # pair[c, w, j] = d(w_rank_w, c_rank_j); inf where w >= j or w padded.
+        pair = np.where(tri[None, :, :] | invalid[:, :, None], np.inf, pair)
+        if rule == "mrng":
+            kc = np.zeros((hi - lo, K), dtype=bool)
+            kc[:, 0] = ~invalid[:, 0]
+            for j in range(1, K):
+                occ = (
+                    (pair[:, :j, j] < pool_d[lo:hi, j][:, None]) & kc[:, :j]
+                ).any(axis=1)
+                kc[:, j] = ~invalid[:, j] & ~occ
+            keep[lo:hi] = kc
+        else:
+            best_detour = pair.min(axis=1)  # (c, K): cheapest earlier-ranked detour
+            keep[lo:hi] = (best_detour >= pool_d[lo:hi]) & ~invalid
+            keep[lo:hi, 0] = ~invalid[:, 0]
+    return keep
+
+
+# --------------------------------------------------------------------------
+# growing-graph machinery (shared by the NSW-family wave builders)
+# --------------------------------------------------------------------------
+
+def _prefix_search(
+    points: np.ndarray,
+    q_lo: int,
+    q_hi: int,
+    visible: int,
+    adj: np.ndarray,
+    counts: np.ndarray,
+    entry: int,
+    ef: int,
+    metric: str,
+    row_entries: np.ndarray | None = None,
+    collect_expansions: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lockstep beam searches of vertices ``[q_lo, q_hi)`` against the
+    inserted prefix ``[0, visible)``; returns (W, ef) pools sorted by
+    ascending distance (-1 / inf padded).
+
+    ``row_entries`` optionally gives each row its own ``(W, e)`` entry
+    ids (duplicates allowed) instead of the shared ``entry`` — refinement
+    sweeps enter at a vertex's existing neighbours, which start the beam
+    near convergence.
+
+    With ``collect_expansions`` the returned pools are instead each row's
+    *expansion log* (every vertex expanded en route, in expansion order,
+    ragged width) — the NSG candidate pool, which needs the search path's
+    long-range vertices, not just the final beam.
+    """
+    from ..search.batched import LockstepEngine
+
+    W = q_hi - q_lo
+    out_ids = np.full((W, ef), -1, dtype=np.int64)
+    out_d = np.full((W, ef), np.inf, dtype=np.float32)
+    chunks: list[tuple[int, np.ndarray, np.ndarray]] = []
+    for clo in range(0, W, _MAX_ROWS):
+        chi = min(W, clo + _MAX_ROWS)
+        B = chi - clo
+        if row_entries is None:
+            ents = np.full((B, 1), entry, dtype=np.int64)
+        else:
+            ents = row_entries[clo:chi]
+        eng = LockstepEngine(
+            points,
+            (adj, counts),
+            points[q_lo + clo : q_lo + chi],
+            np.arange(B, dtype=np.int64),
+            ents,
+            ef,
+            metric=metric,
+            record_trace=False,
+            n_visible=visible,
+            record_expansions=collect_expansions,
+        )
+        eng.run(100 * ef + 100, what="batched insertion search")
+        if collect_expansions:
+            chunks.append((clo, *eng.expansion_pools()))
+        else:
+            ids, dists, _sizes = eng.pools()
+            out_ids[clo:chi] = ids
+            out_d[clo:chi] = dists
+    if collect_expansions:
+        width = max(c[1].shape[1] for c in chunks)
+        out_ids = np.full((W, width), -1, dtype=np.int64)
+        out_d = np.full((W, width), np.inf, dtype=np.float32)
+        for clo, ids, dists in chunks:
+            out_ids[clo : clo + ids.shape[0], : ids.shape[1]] = ids
+            out_d[clo : clo + ids.shape[0], : ids.shape[1]] = dists
+    return out_ids, out_d
+
+
+def _select_links(
+    points: np.ndarray,
+    pool_ids: np.ndarray,
+    pool_d: np.ndarray,
+    m: int,
+    metric: str,
+    select: str,
+    exclude: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-row link selection from sorted candidate pools.
+
+    ``select="closest"`` keeps the ``m`` nearest (NSW); ``"occlusion"``
+    keeps the first ``m`` survivors of the triangle-inequality prune
+    (HNSW's diversifying heuristic).  ``exclude`` drops one id per row
+    (the row's own vertex, for full-graph refinement searches).
+    """
+    valid = pool_ids >= 0
+    if exclude is not None:
+        valid &= pool_ids != exclude[:, None]
+    if select == "occlusion":
+        ids, d, _ = _compact_rows(pool_ids, valid, pool_ids.shape[1], extra=pool_d)
+        occ = occlusion_prune_mask(points, ids, d, metric)
+        links, _, _ = _compact_rows(ids, occ, m)
+        return links
+    links, _, _ = _compact_rows(pool_ids, valid, m)
+    return links
+
+
+def _add_links(
+    points: np.ndarray,
+    adj: np.ndarray,
+    counts: np.ndarray,
+    targets: np.ndarray,
+    srcs: np.ndarray,
+    cap: int,
+    metric: str,
+    trim: str,
+    dedup: bool = False,
+) -> None:
+    """Append directed edges ``target → src`` in bulk, then degree-cap.
+
+    The vectorized form of the scalar append-then-trim loop: edges are
+    bucketed per target with one stable argsort, appended after the
+    existing neighbours, optionally deduplicated (first occurrence wins,
+    matching a ``seen``-set walk), and rows over ``cap`` are trimmed —
+    ``trim="closest"`` keeps the ``cap`` nearest (NSW semantics),
+    ``trim="occlusion"`` re-runs the diversifying prune over the
+    distance-sorted list (HNSW's shrink).
+    """
+    if targets.size == 0:
+        return
+    order = np.argsort(targets, kind="stable")
+    tv, sv = targets[order], srcs[order]
+    uniq, start, cnt_new = np.unique(tv, return_index=True, return_counts=True)
+    old_cnt = counts[uniq]
+    total = old_cnt + cnt_new
+    width = int(total.max())
+    U = uniq.size
+    ids = np.full((U, width), -1, dtype=np.int64)
+    col = np.arange(width)
+    w_old = int(old_cnt.max()) if U else 0
+    if w_old:
+        sub = adj[uniq][:, :w_old]
+        m_old = col[:w_old][None, :] < old_cnt[:, None]
+        ids[:, :w_old][m_old] = sub[m_old]
+    rowi = np.repeat(np.arange(U), cnt_new)
+    coli = np.repeat(old_cnt, cnt_new) + (np.arange(tv.size) - np.repeat(start, cnt_new))
+    ids[rowi, coli] = sv
+
+    if dedup:
+        keep = _first_occurrence_mask(ids, ids >= 0)
+        ids, _, total = _compact_rows(ids, keep, width)
+
+    out = np.full((U, cap), -1, dtype=np.int64)
+    new_counts = np.minimum(total, cap)
+    ovr = total > cap
+    nv = ~ovr
+    w2 = min(width, cap)
+    out[nv, :w2] = ids[nv, :w2]
+    if ovr.any():
+        ids_o = ids[ovr]
+        v_o = uniq[ovr]
+        valid_o = ids_o >= 0
+        fr, fc = np.nonzero(valid_o)
+        d = pair_distances(points[v_o[fr]], points[ids_o[fr, fc]], metric)
+        dm = np.full(ids_o.shape, np.inf, dtype=np.float32)
+        dm[fr, fc] = d
+        osort = np.argsort(dm, axis=1, kind="stable")
+        s_ids = np.take_along_axis(ids_o, osort, axis=1)
+        if trim == "occlusion":
+            s_d = np.take_along_axis(dm, osort, axis=1)
+            occ = occlusion_prune_mask(points, s_ids, s_d, metric)
+            kept, _, kcnt = _compact_rows(s_ids, occ, cap)
+            out[ovr] = kept
+            new_counts[ovr] = kcnt
+        else:
+            out[ovr] = s_ids[:, :cap]
+            new_counts[ovr] = cap
+    adj[uniq] = out
+    counts[uniq] = new_counts
+
+
+def _seed_block(
+    points: np.ndarray,
+    w0: int,
+    m: int,
+    cap: int,
+    metric: str,
+    select: str,
+    adj: np.ndarray,
+    counts: np.ndarray,
+    entry: int = 0,
+) -> None:
+    """Exact mutual-kNN linking of the first ``w0`` points (the seed wave a
+    beam search cannot serve because the graph is still empty).
+
+    The mutual-kNN seed graph is then *bridged to connectivity* from
+    ``entry``: a kNN graph has no connectivity guarantee (in high
+    dimension it readily splinters), and every later wave's insertion
+    searches can only discover vertices reachable from the entry — a
+    fragmented seed silently caps the whole build's recall at the size
+    of the entry's component.
+    """
+    if w0 <= 1:
+        return
+    d = pairwise_distances(points[:w0], points[:w0], metric)
+    np.fill_diagonal(d, np.inf)
+    p0 = min(2 * m if select == "occlusion" else m, w0 - 1)
+    part = np.argpartition(d, p0 - 1, axis=1)[:, :p0]
+    pd = np.take_along_axis(d, part, axis=1)
+    o = np.argsort(pd, axis=1, kind="stable")
+    pool_ids = np.take_along_axis(part, o, axis=1).astype(np.int64)
+    pool_d = np.take_along_axis(pd, o, axis=1).astype(np.float32)
+    links = _select_links(points, pool_ids, pool_d, m, metric, select)
+    lcnt = (links >= 0).sum(axis=1)
+    srcs = np.repeat(np.arange(w0, dtype=np.int64), lcnt)
+    tgts = links[links >= 0]
+    # Mutual linking: u gains its own links and every vertex that chose it.
+    _add_links(
+        points, adj, counts,
+        np.concatenate([srcs, tgts]), np.concatenate([tgts, srcs]),
+        cap, metric, trim="occlusion" if select == "occlusion" else "closest",
+        dedup=True,
+    )
+    _bridge_components(d, adj, counts, cap, entry)
+
+
+def _bridge_components(
+    d: np.ndarray,
+    adj: np.ndarray,
+    counts: np.ndarray,
+    cap: int,
+    entry: int,
+) -> None:
+    """Bidirectionally link components of ``adj[:w0]`` until every vertex
+    is reachable from ``entry``, always through the closest
+    (unreached, reached) pair.  ``d`` is the seed block's full pairwise
+    distance matrix (inf diagonal).  Each bridge may evict a farthest
+    link when a side is at capacity; the outer loop re-runs the BFS, so
+    an eviction that splits something off is itself repaired."""
+    w0 = d.shape[0]
+    ids = np.arange(w0)
+    while True:
+        # Frontier BFS over the padded adjacency restricted to the seed.
+        reached = np.zeros(w0, dtype=bool)
+        reached[entry] = True
+        frontier = np.array([entry], dtype=np.int64)
+        while frontier.size:
+            nb = adj[frontier]
+            valid = np.arange(adj.shape[1])[None, :] < counts[frontier, None]
+            valid &= nb < w0
+            nxt = np.unique(nb[valid])
+            nxt = nxt[~reached[nxt]]
+            reached[nxt] = True
+            frontier = nxt
+        if reached.all():
+            return
+        un, re = ids[~reached], ids[reached]
+        sub = d[np.ix_(un, re)]
+        flat = int(np.argmin(sub))
+        u = int(un[flat // re.size])
+        v = int(re[flat % re.size])
+        for a, b in ((u, v), (v, u)):
+            row = adj[a, : counts[a]]
+            if b in row:
+                continue
+            if counts[a] < cap:
+                adj[a, counts[a]] = b
+                counts[a] += 1
+            else:
+                worst = int(np.argmax(d[a, row]))
+                adj[a, worst] = b
+
+
+def _wave_build(
+    points: np.ndarray,
+    m: int,
+    ef: int,
+    cap: int,
+    metric: str,
+    select: str,
+    entry_fn,
+    first_wave: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Doubling-wave batched insertion; returns (adj (n, cap), counts)."""
+    n = points.shape[0]
+    adj = np.full((n, cap), -1, dtype=np.int64)
+    counts = np.zeros(n, dtype=np.int64)
+    w0 = min(max(first_wave, m + 1), n)
+    _seed_block(points, w0, m, cap, metric, select, adj, counts,
+                entry=entry_fn(w0))
+    trim = "occlusion" if select == "occlusion" else "closest"
+    lo = w0
+    while lo < n:
+        hi = min(n, 2 * lo)
+        pool_ids, pool_d = _prefix_search(
+            points, lo, hi, lo, adj, counts, entry_fn(lo), ef, metric
+        )
+        links = _select_links(points, pool_ids, pool_d, m, metric, select)
+        lcnt = (links >= 0).sum(axis=1)
+        adj[lo:hi, : links.shape[1]] = links
+        counts[lo:hi] = lcnt
+        srcs = np.repeat(np.arange(lo, hi, dtype=np.int64), lcnt)
+        _add_links(points, adj, counts, links[links >= 0], srcs, cap, metric, trim)
+        lo = hi
+    return adj, counts
+
+
+def _repair_connectivity(
+    points: np.ndarray,
+    adj: np.ndarray,
+    counts: np.ndarray,
+    cap: int,
+    metric: str,
+    entry: int,
+    max_rounds: int = 10,
+) -> None:
+    """Make every vertex reachable from ``entry`` (padded-adjacency form
+    of the NSG repair).  Wave insertion keeps new points connected to the
+    prefix, but the keep-closest degree trim evicts links wholesale when
+    late waves bombard the prefix with reverse edges — on the high-dim
+    corpora a few percent of vertices end up unreachable, a hard recall
+    cap for any search entering at ``entry``.  Each round BFSes from the
+    entry, then attaches every unreached vertex to its nearest reached
+    vertex (append when there is spare capacity, else replace that
+    anchor's farthest link); attachment-induced evictions are repaired by
+    the next round."""
+    n = counts.size
+    col = np.arange(adj.shape[1])
+    for _ in range(max_rounds):
+        reached = np.zeros(n, dtype=bool)
+        reached[entry] = True
+        frontier = np.array([entry], dtype=np.int64)
+        while frontier.size:
+            nb = adj[frontier]
+            nxt = np.unique(nb[col[None, :] < counts[frontier, None]])
+            nxt = nxt[~reached[nxt]]
+            reached[nxt] = True
+            frontier = nxt
+        un = np.flatnonzero(~reached)
+        if un.size == 0:
+            return
+        re = np.flatnonzero(reached)
+        # Nearest reached anchor per unreached vertex — one blocked GEMM.
+        anchors = np.empty(un.size, dtype=np.int64)
+        for lo in range(0, un.size, 1024):
+            hi = min(un.size, lo + 1024)
+            d = pairwise_distances(points[un[lo:hi]], points[re], metric)
+            anchors[lo:hi] = re[np.argmin(d, axis=1)]
+        for v, a in zip(un.tolist(), anchors.tolist()):
+            row = adj[a, : counts[a]]
+            if v in row:
+                continue
+            if counts[a] < cap:
+                adj[a, counts[a]] = v
+                counts[a] += 1
+            else:
+                dd = pair_distances(
+                    np.broadcast_to(points[a], (int(counts[a]), points.shape[1])),
+                    points[row], metric,
+                )
+                adj[a, int(np.argmax(dd))] = v
+
+
+def _refine_pass(
+    points: np.ndarray,
+    adj: np.ndarray,
+    counts: np.ndarray,
+    m: int,
+    ef: int,
+    cap: int,
+    metric: str,
+    entry: int,
+    select: str,
+    frac: float = 1.0,
+) -> None:
+    """Re-insertion sweep: re-search vertices against the finished graph
+    and merge the fresh top-``m`` links (plus their reverses) into the
+    adjacency, keep-closest capped.  Recovers the link quality incremental
+    builds get from late insertions seeing a dense graph.  Each vertex's
+    sweep enters at its own current neighbours (the beam starts adjacent
+    to its target instead of walking in from a global entry), which cuts
+    the lockstep step count by more than half.  ``frac < 1`` refines only
+    the earliest-inserted prefix — the vertices whose insertion searches
+    saw the sparsest graph and so have the weakest links."""
+    n = points.shape[0]
+    W = n if frac >= 1.0 else max(int(n * frac), 1)
+    e1 = np.where(counts[:W] > 0, adj[:W, 0], entry)
+    e2 = np.where(counts[:W] > 1, adj[:W, 1], e1)
+    row_entries = np.stack([e1, e2], axis=1)
+    pool_ids, pool_d = _prefix_search(
+        points, 0, W, n, adj, counts, entry, ef, metric, row_entries=row_entries
+    )
+    links = _select_links(
+        points, pool_ids, pool_d, m, metric, select,
+        exclude=np.arange(W, dtype=np.int64),
+    )
+    lcnt = (links >= 0).sum(axis=1)
+    srcs = np.repeat(np.arange(W, dtype=np.int64), lcnt)
+    tgts = links[links >= 0]
+    trim = "occlusion" if select == "occlusion" else "closest"
+    _add_links(
+        points, adj, counts,
+        np.concatenate([srcs, tgts]), np.concatenate([tgts, srcs]),
+        cap, metric, trim, dedup=True,
+    )
+
+
+def _csr_from_padded(
+    adj: np.ndarray, counts: np.ndarray, kind: str, remap: np.ndarray | None = None
+) -> GraphIndex:
+    """Assemble the CSR directly from the padded adjacency (no per-vertex
+    Python loop).  ``remap`` maps build-order ids back to original ids."""
+    n = adj.shape[0]
+    if remap is None:
+        rows = adj
+        cnt = counts
+        ids_of = None
+    else:
+        inv = np.empty(n, dtype=np.int64)
+        inv[remap] = np.arange(n)
+        rows = adj[inv]
+        cnt = counts[inv]
+        ids_of = remap
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(cnt, out=indptr[1:])
+    mask = np.arange(adj.shape[1])[None, :] < cnt[:, None]
+    flat = rows[mask]
+    indices = (ids_of[flat] if ids_of is not None else flat).astype(np.int32)
+    return GraphIndex(indptr, indices, kind=kind)
+
+
+# --------------------------------------------------------------------------
+# NSW
+# --------------------------------------------------------------------------
+
+def build_nsw_batched(
+    points: np.ndarray,
+    m: int = 16,
+    ef_construction: int = 64,
+    metric: str = "l2",
+    max_degree: int | None = None,
+    seed: int = 0,
+    first_wave: int = 256,
+    refine_passes: int = 1,
+    refine_frac: float | None = None,
+) -> GraphIndex:
+    """Wave-batched NSW build (vectorized backend of ``build_nsw``).
+
+    Budget policy: the per-wave insertion searches run at a reduced beam
+    (``5/8·ef_construction``) and the saved budget funds a refinement
+    sweep at the full ``ef_construction`` over the earliest-inserted
+    ``refine_frac`` of the vertices — the ones whose insertion searches
+    saw the sparsest prefix.  ``refine_frac=None`` resolves adaptively:
+    small builds (``n <= 8192``) refine everything (the sweep is cheap
+    and wave searches saw at best a half-built graph), large builds
+    refine the earliest half.  On the mini corpora this lands above the
+    scalar build's recall at a fraction of its wall-clock.
+    """
+    points = np.asarray(points, dtype=np.float32)
+    n = points.shape[0]
+    cap = max_degree or 2 * m
+    if refine_frac is None:
+        refine_frac = 1.0 if n <= _MAX_ROWS else 0.5
+    wave_ef = max(m + 2, (5 * ef_construction) // 8)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)  # same insertion order as the scalar build
+    shuffled = np.ascontiguousarray(points[order])
+    adj, counts = _wave_build(
+        shuffled, m, wave_ef, cap, metric, "closest",
+        entry_fn=lambda lo: 0, first_wave=first_wave,
+    )
+    _repair_connectivity(shuffled, adj, counts, cap, metric, 0)
+    for _ in range(max(refine_passes, 0)):
+        _refine_pass(shuffled, adj, counts, m, ef_construction, cap, metric, 0,
+                     "closest", frac=refine_frac)
+    _repair_connectivity(shuffled, adj, counts, cap, metric, 0)
+    return _csr_from_padded(adj, counts, "nsw", remap=order)
+
+
+# --------------------------------------------------------------------------
+# HNSW (flat layer-0 export)
+# --------------------------------------------------------------------------
+
+def build_hnsw_batched(
+    points: np.ndarray,
+    m: int = 12,
+    ef_construction: int = 64,
+    metric: str = "l2",
+    ml: float | None = None,
+    seed: int = 0,
+    first_wave: int = 256,
+    refine_passes: int = 1,
+    refine_frac: float | None = None,
+) -> GraphIndex:
+    """Wave-batched flat HNSW layer-0 build (vectorized ``build_hnsw``).
+
+    ``build_hnsw`` exports only layer 0 (every point lives there); the
+    upper layers' sole effect on that export is routing insertion
+    searches.  The batched build reproduces that role with level draws:
+    each wave's searches enter at the highest-level vertex of the
+    inserted prefix.  Neighbour selection and the shrink-on-overflow both
+    use the batched occlusion prune (the parallel Algorithm-4 heuristic).
+    The beam budget is gentler than NSW's: occlusion-pruned graphs keep
+    far fewer links per insertion, so starving the waves (NSW's 5/8 cut)
+    visibly costs recall — HNSW waves run at ``7/8·ef_construction``
+    once the build is large enough to amortize it (``n > 8192``; small
+    builds keep the full beam), and the full-beam refinement sweep
+    covers the earliest ``refine_frac`` (``None`` = everything for small
+    builds, the earliest 3/4 past ``n=8192``).
+    """
+    points = np.asarray(points, dtype=np.float32)
+    n = points.shape[0]
+    cap = 2 * m  # layer-0 degree cap, per the paper
+    if refine_frac is None:
+        refine_frac = 1.0 if n <= _MAX_ROWS else 0.75
+    wave_ef = ef_construction if n <= _MAX_ROWS else max(
+        m + 2, (7 * ef_construction) // 8
+    )
+    ml = ml if ml is not None else 1.0 / math.log(m)
+    rng = np.random.default_rng(seed)
+    levels = np.floor(
+        -np.log(np.maximum(rng.random(n), 1e-12)) * ml
+    ).astype(np.int64)
+
+    def entry_fn(lo: int) -> int:
+        return int(np.argmax(levels[:lo]))
+
+    adj, counts = _wave_build(
+        points, m, wave_ef, cap, metric, "occlusion",
+        entry_fn=entry_fn, first_wave=first_wave,
+    )
+    _repair_connectivity(points, adj, counts, cap, metric, entry_fn(n))
+    for _ in range(max(refine_passes, 0)):
+        _refine_pass(
+            points, adj, counts, m, ef_construction, cap, metric,
+            entry_fn(n), "occlusion", frac=refine_frac,
+        )
+    _repair_connectivity(points, adj, counts, cap, metric, entry_fn(n))
+    return _csr_from_padded(adj, counts, "hnsw-l0")
+
+
+# --------------------------------------------------------------------------
+# NSG
+# --------------------------------------------------------------------------
+
+def build_nsg_batched(
+    points: np.ndarray,
+    out_degree: int = 16,
+    knn_k: int | None = None,
+    search_l: int = 48,
+    metric: str = "l2",
+    seed: int = 0,
+) -> GraphIndex:
+    """Batched NSG build (vectorized backend of ``build_nsg``)."""
+    points = np.asarray(points, dtype=np.float32)
+    n = points.shape[0]
+    knn_k = knn_k or 2 * out_degree
+    knn_ids, knn_d = exact_knn_matrix(points, min(knn_k, n - 1), metric)
+    nav = medoid(points, metric, seed=seed)
+    substrate = GraphIndex.from_matrix(knn_ids, kind="knn")
+    nbr_mat, degs = substrate.neighbor_matrix()
+    nbr_mat = np.ascontiguousarray(nbr_mat)  # writable view not needed; engine reads
+
+    adj = np.full((n, out_degree), -1, dtype=np.int64)
+    counts = np.zeros(n, dtype=np.int64)
+    rows_all = np.arange(n, dtype=np.int64)
+    for lo in range(0, n, _MAX_ROWS):
+        hi = min(n, lo + _MAX_ROWS)
+        # Pool = kNN row ∪ the search *path* from the navigating node
+        # (every expanded vertex, matching the scalar build) — the path's
+        # long-range vertices are what make NSG navigable from its fixed
+        # entry; the final beam alone is too local and recall collapses.
+        pool_s, pool_sd = _prefix_search(
+            points, lo, hi, n, nbr_mat, degs, nav, search_l, metric,
+            collect_expansions=True,
+        )
+        pool_ids = np.concatenate([knn_ids[lo:hi].astype(np.int64), pool_s], axis=1)
+        pool_d = np.concatenate([knn_d[lo:hi], pool_sd], axis=1)
+        o = np.argsort(pool_d, axis=1, kind="stable")
+        pool_ids = np.take_along_axis(pool_ids, o, axis=1)
+        pool_d = np.take_along_axis(pool_d, o, axis=1)
+        valid = (pool_ids >= 0) & (pool_ids != rows_all[lo:hi, None])
+        valid &= _first_occurrence_mask(pool_ids, valid)
+        cids, cd, _ = _compact_rows(pool_ids, valid, pool_ids.shape[1], extra=pool_d)
+        occ = occlusion_prune_mask(points, cids, cd, metric)
+        links, _, lcnt = _compact_rows(cids, occ, out_degree)
+        adj[lo:hi] = links
+        counts[lo:hi] = lcnt
+
+    _nsg_repair(points, adj, counts, nav, out_degree, metric)
+    return _csr_from_padded(adj, counts, "nsg")
+
+
+def _bfs_seen(adj: np.ndarray, nav: int) -> np.ndarray:
+    """Vectorized BFS over a -1-padded adjacency matrix; returns the
+    reachable-from-``nav`` mask."""
+    n = adj.shape[0]
+    seen = np.zeros(n, dtype=bool)
+    seen[nav] = True
+    frontier = np.array([nav], dtype=np.int64)
+    while frontier.size:
+        nb = adj[frontier]
+        nb = nb[nb >= 0]
+        if nb.size == 0:
+            break
+        nb = np.unique(nb)
+        fresh = nb[~seen[nb]]
+        seen[fresh] = True
+        frontier = fresh
+    return seen
+
+
+def _nsg_repair(
+    points: np.ndarray,
+    adj: np.ndarray,
+    counts: np.ndarray,
+    nav: int,
+    out_degree: int,
+    metric: str,
+) -> None:
+    """BFS connectivity repair from the navigating node, on raw arrays.
+
+    Same semantics as the scalar repair: unreachable vertices attach to
+    their nearest reachable vertex, preferring anchors with spare capacity
+    (append-only attachment cannot disconnect a subtree the way edge
+    replacement can), with the BFS+attach cycle iterated to a fixpoint.
+    """
+    for _ in range(10):
+        seen = _bfs_seen(adj, nav)
+        unreached = np.flatnonzero(~seen)
+        if unreached.size == 0:
+            return
+        reach = np.flatnonzero(seen)
+        for blo in range(0, unreached.size, 1024):
+            bhi = min(unreached.size, blo + 1024)
+            block = unreached[blo:bhi]
+            d = pairwise_distances(points[block], points[reach], metric)
+            order = np.argsort(d, axis=1, kind="stable")
+            for row, v in enumerate(block.tolist()):
+                anchor = None
+                for i in order[row]:
+                    a = int(reach[i])
+                    if counts[a] < out_degree:
+                        anchor = a
+                        break
+                if anchor is not None:
+                    adj[anchor, counts[anchor]] = v
+                    counts[anchor] += 1
+                else:
+                    adj[int(reach[order[row, 0]]), out_degree - 1] = v
+
+
+# --------------------------------------------------------------------------
+# CAGRA (bit-identical to the scalar oracle)
+# --------------------------------------------------------------------------
+
+def build_cagra_batched(
+    points: np.ndarray,
+    graph_degree: int = 32,
+    intermediate_degree: int | None = None,
+    metric: str = "l2",
+    use_nn_descent: bool = False,
+    chunk: int = 256,
+    seed: int = 0,
+) -> GraphIndex:
+    """Array-op CAGRA graph optimization (vectorized ``build_cagra``).
+
+    Produces the *same CSR byte for byte* as the scalar builder: the
+    forward-rank selection, reverse-edge rank ordering, and the seen-set
+    dedup assembly are replayed with stable sorts and first-occurrence
+    masks instead of per-vertex Python loops.
+    """
+    from .cagra import prune_detours
+
+    points = np.asarray(points, dtype=np.float32)
+    n = points.shape[0]
+    inter = intermediate_degree or 2 * graph_degree
+    inter = min(inter, n - 1)
+    if use_nn_descent:
+        cand_ids, cand_d = nn_descent_matrix(
+            points, inter, metric, seed=seed, backend="vectorized"
+        )
+    else:
+        cand_ids, cand_d = exact_knn_matrix(points, inter, metric)
+    cand_ids = cand_ids.astype(np.int64)
+
+    keep_mask = prune_detours(points, cand_ids, cand_d, metric, chunk=chunk)
+
+    # Strong (unpruned) forward edges first, in rank order.
+    d_half = graph_degree // 2
+    t = max(d_half, 1)
+    korder = np.argsort(~keep_mask, axis=1, kind="stable")
+    kept_ids = np.take_along_axis(cand_ids, korder, axis=1)
+    kept_cnt = keep_mask.sum(axis=1).astype(np.int64)
+    tcol = np.arange(t)
+    fwd = np.where(
+        tcol[None, :] < np.minimum(kept_cnt, t)[:, None], kept_ids[:, :t], -1
+    )
+
+    # Reverse edges, bucketed per destination and ordered by (forward
+    # rank, source id) — the scalar ``sorted(rev_lists[u])`` order.
+    src, kcol = np.nonzero(keep_mask)
+    rank = (np.cumsum(keep_mask, axis=1) - 1)[src, kcol]
+    dst = cand_ids[src, kcol]
+    o = np.lexsort((src, rank, dst))
+    dst_s, src_s = dst[o], src[o]
+    cnt_rev = np.bincount(dst_s, minlength=n)
+    maxrev = int(cnt_rev.max()) if dst_s.size else 0
+    rev = np.full((n, maxrev), -1, dtype=np.int64)
+    if dst_s.size:
+        starts = np.zeros(n, dtype=np.int64)
+        np.cumsum(cnt_rev[:-1], out=starts[1:])
+        rev[dst_s, np.arange(dst_s.size) - starts[dst_s]] = src_s
+
+    # Assembly: forward, then reverse, then intermediate-candidate
+    # padding; first occurrence wins (the scalar seen-set), self excluded
+    # exactly where the scalar excludes it.
+    rows_idx = np.arange(n, dtype=np.int64)[:, None]
+    prio = np.concatenate([fwd, rev, cand_ids], axis=1)
+    valid = np.concatenate(
+        [
+            fwd >= 0,
+            (rev >= 0) & (rev != rows_idx),
+            cand_ids != rows_idx,
+        ],
+        axis=1,
+    )
+    keep = _first_occurrence_mask(prio, valid)
+    out, _, _ = _compact_rows(prio, keep, graph_degree)
+    return GraphIndex.from_matrix(out.astype(np.int32), kind="cagra")

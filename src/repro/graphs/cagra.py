@@ -31,14 +31,32 @@ def build_cagra(
     use_nn_descent: bool = False,
     chunk: int = 256,
     seed: int = 0,
+    build_backend: str = "scalar",
 ) -> GraphIndex:
-    """Build a CAGRA graph with out-degree exactly ``graph_degree``."""
+    """Build a CAGRA graph with out-degree exactly ``graph_degree``.
+
+    ``build_backend="vectorized"`` replays this function's forward-rank /
+    reverse-edge / dedup loops as pure array ops
+    (:func:`~repro.graphs.build_batched.build_cagra_batched`) and is
+    **bit-identical** to the scalar output (asserted by the parity suite);
+    with ``use_nn_descent=True`` it also switches the substrate to the
+    vectorized NN-descent dedup kernel, which dominates the speedup.
+    """
     points = np.asarray(points, dtype=np.float32)
     n = points.shape[0]
     if graph_degree <= 0:
         raise ValueError("graph_degree must be positive")
     if n <= graph_degree:
         raise ValueError("need more points than graph_degree")
+    if build_backend not in ("scalar", "vectorized"):
+        raise ValueError(f"unknown build_backend {build_backend!r}")
+    if build_backend == "vectorized":
+        from .build_batched import build_cagra_batched
+
+        return build_cagra_batched(
+            points, graph_degree, intermediate_degree, metric,
+            use_nn_descent, chunk, seed,
+        )
     inter = intermediate_degree or 2 * graph_degree
     inter = min(inter, n - 1)
     if use_nn_descent:

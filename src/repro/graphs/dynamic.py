@@ -50,6 +50,7 @@ class DynamicGraph:
         ]
         self._alive = [True] * graph.n_vertices
         self._n_alive = graph.n_vertices
+        self._frozen: tuple[np.ndarray, GraphIndex, np.ndarray] | None = None
         # Enter at the medoid: an arbitrary vertex may sit in a poorly
         # reachable pocket of the graph.
         self._entry = medoid(points, metric) if graph.n_vertices else None
@@ -108,6 +109,7 @@ class DynamicGraph:
         """Insert a point; returns its new vertex id."""
         point = np.asarray(point, dtype=np.float32)
         vid = len(self._adj)
+        self._invalidate_frozen()
         if self._n_alive == 0:
             self._points.append(point)
             self._adj.append([])
@@ -132,6 +134,7 @@ class DynamicGraph:
             raise IndexError("vertex id out of range")
         if not self._alive[vid]:
             raise ValueError(f"vertex {vid} already deleted")
+        self._invalidate_frozen()
         self._alive[vid] = False
         self._n_alive -= 1
         out = [u for u in self._adj[vid] if self._alive[u]]
@@ -153,8 +156,14 @@ class DynamicGraph:
         """Compact snapshot: (points, csr_graph, original_ids).
 
         Tombstones are dropped and ids remapped densely; ``original_ids``
-        maps compact ids back to the dynamic ids.
+        maps compact ids back to the dynamic ids.  The snapshot (and with
+        it the GraphIndex's padded neighbour-matrix cache, which the
+        batched search engine gathers from) is cached until the next
+        :meth:`insert`/:meth:`delete`, so repeated searches between
+        updates don't rebuild the CSR.
         """
+        if self._frozen is not None:
+            return self._frozen
         alive_ids = [i for i, a in enumerate(self._alive) if a]
         remap = {old: new for new, old in enumerate(alive_ids)}
         pts = np.stack([self._points[i] for i in alive_ids]) if alive_ids else (
@@ -166,11 +175,20 @@ class DynamicGraph:
             )
             for i in alive_ids
         ]
-        return pts, GraphIndex.from_neighbor_lists(lists, kind="dynamic"), np.array(
-            alive_ids, dtype=np.int64
+        self._frozen = (
+            pts,
+            GraphIndex.from_neighbor_lists(lists, kind="dynamic"),
+            np.array(alive_ids, dtype=np.int64),
         )
+        return self._frozen
 
     # ------------------------------------------------------------ internal
+    def _invalidate_frozen(self) -> None:
+        """Mutation path: drop the cached snapshot and its graph's padded
+        neighbour-matrix cache so stale adjacency can't be served."""
+        if self._frozen is not None:
+            self._frozen[1].invalidate_cache()
+            self._frozen = None
     def _dist(self, query: np.ndarray, ids: list[int]) -> np.ndarray:
         pts = np.stack([self._points[i] for i in ids])
         return query_distances(query, pts, self.metric)

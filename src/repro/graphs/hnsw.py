@@ -214,8 +214,30 @@ def build_hnsw(
     ef_construction: int = 64,
     metric: str = "l2",
     seed: int = 0,
+    build_backend: str = "scalar",
 ) -> GraphIndex:
-    """Build an HNSW index and export its layer-0 graph (GPU-searchable)."""
+    """Build an HNSW index and export its layer-0 graph (GPU-searchable).
+
+    ``build_backend="vectorized"`` builds the layer-0 export directly in
+    doubling waves through the lockstep engine
+    (:func:`~repro.graphs.build_batched.build_hnsw_batched`), with the
+    heuristic neighbour selection replaced by the batched occlusion
+    prune.  The scalar path (full :class:`HNSWIndex`) stays the oracle;
+    use it when the hierarchical CPU index itself is needed.
+    """
+    if build_backend not in ("scalar", "vectorized"):
+        raise ValueError(f"unknown build_backend {build_backend!r}")
+    if build_backend == "vectorized":
+        points = np.asarray(points, dtype=np.float32)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("points must be a non-empty (n, dim) array")
+        if m <= 0 or ef_construction < m:
+            raise ValueError("need 0 < m <= ef_construction")
+        from .build_batched import build_hnsw_batched
+
+        return build_hnsw_batched(
+            points, m=m, ef_construction=ef_construction, metric=metric, seed=seed
+        )
     return HNSWIndex(
         points, m=m, ef_construction=ef_construction, metric=metric, seed=seed
     ).to_graph_index()

@@ -33,6 +33,7 @@ def build_nsg(
     search_l: int = 48,
     metric: str = "l2",
     seed: int = 0,
+    build_backend: str = "scalar",
 ) -> GraphIndex:
     """Build an NSG over ``points`` with out-degree at most ``out_degree``.
 
@@ -43,6 +44,12 @@ def build_nsg(
     search_l:
         candidate-list length of the construction-time search from the
         navigating node (larger = better edge candidates, slower build).
+    build_backend:
+        ``"scalar"`` runs the per-vertex searches and the sequential MRNG
+        occlusion test below; ``"vectorized"`` batches all medoid-rooted
+        searches through the lockstep engine and uses the chunked
+        triangle-inequality prune
+        (:func:`~repro.graphs.build_batched.build_nsg_batched`).
     """
     points = np.asarray(points, dtype=np.float32)
     n = points.shape[0]
@@ -50,6 +57,12 @@ def build_nsg(
         raise ValueError("out_degree must be positive")
     if n <= out_degree:
         raise ValueError("need more points than out_degree")
+    if build_backend not in ("scalar", "vectorized"):
+        raise ValueError(f"unknown build_backend {build_backend!r}")
+    if build_backend == "vectorized":
+        from .build_batched import build_nsg_batched
+
+        return build_nsg_batched(points, out_degree, knn_k, search_l, metric, seed)
     knn_k = knn_k or 2 * out_degree
     knn_ids, knn_d = exact_knn_matrix(points, min(knn_k, n - 1), metric)
     nav = medoid(points, metric, seed=seed)
@@ -69,18 +82,30 @@ def build_nsg(
 
     # Phase 2: connectivity repair — BFS tree from the navigating node,
     # attaching unreachable vertices to their nearest reachable neighbour.
-    reachable = _bfs_reachable(adj, nav, n)
-    unreached = np.flatnonzero(~reachable)
-    if unreached.size:
+    # Anchors with spare capacity are preferred (append-only attachment
+    # cannot disconnect an existing subtree the way edge replacement can),
+    # and the BFS+attach cycle iterates to a fixpoint so replacement-induced
+    # disconnections are themselves repaired.
+    for _ in range(10):
+        reachable = _bfs_reachable(adj, nav, n)
+        unreached = np.flatnonzero(~reachable)
+        if unreached.size == 0:
+            break
         reach_ids = np.flatnonzero(reachable)
         for v in unreached:
             d = query_distances(points[v], points[reach_ids], metric)
-            anchor = int(reach_ids[int(d.argmin())])
-            if adj[anchor].size < out_degree:
+            order = np.argsort(d, kind="stable")
+            anchor = None
+            for i in order:
+                a = int(reach_ids[i])
+                if adj[a].size < out_degree:
+                    anchor = a
+                    break
+            if anchor is not None:
                 adj[anchor] = np.append(adj[anchor], v)
             else:
+                anchor = int(reach_ids[int(order[0])])
                 adj[anchor] = np.append(adj[anchor][:-1], v)
-            reachable[v] = True
 
     lists = [a.astype(np.int32) for a in adj]
     return GraphIndex.from_neighbor_lists(lists, kind="nsg")

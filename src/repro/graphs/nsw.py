@@ -33,6 +33,7 @@ def build_nsw(
     metric: str = "l2",
     max_degree: int | None = None,
     seed: int = 0,
+    build_backend: str = "scalar",
 ) -> GraphIndex:
     """Incremental NSW build.
 
@@ -45,6 +46,12 @@ def build_nsw(
     max_degree:
         degree cap after reverse-link insertion (default ``2 m``); when a
         vertex overflows, its farthest links are dropped (NSW keeps closest).
+    build_backend:
+        ``"scalar"`` inserts one point at a time (this function's loop —
+        the auditable oracle); ``"vectorized"`` inserts in doubling waves
+        through the lockstep engine
+        (:func:`~repro.graphs.build_batched.build_nsw_batched`), same
+        linking semantics, order-of-magnitude faster at n≳10k.
     """
     points = np.asarray(points, dtype=np.float32)
     n = points.shape[0]
@@ -52,6 +59,14 @@ def build_nsw(
         raise ValueError("cannot build a graph over zero points")
     if m <= 0 or ef_construction < m:
         raise ValueError("need 0 < m <= ef_construction")
+    if build_backend not in ("scalar", "vectorized"):
+        raise ValueError(f"unknown build_backend {build_backend!r}")
+    if build_backend == "vectorized":
+        from .build_batched import build_nsw_batched
+
+        return build_nsw_batched(
+            points, m, ef_construction, metric, max_degree, seed
+        )
     cap = max_degree or 2 * m
     rng = np.random.default_rng(seed)
     order = rng.permutation(n)

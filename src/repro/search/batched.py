@@ -101,12 +101,21 @@ class LockstepEngine:
     Row ``r`` models one CTA serving query ``row_query[r]``; rows of the
     same query must be contiguous and in CTA order (that order is the
     scalar round-robin schedule the visited tie-breaking reproduces).
+
+    Besides a frozen :class:`~repro.graphs.base.GraphIndex`, ``graph`` may
+    be a raw ``(nbr_mat, degrees)`` pair — a padded neighbour matrix plus
+    per-vertex counts, the representation the vectorized *construction*
+    backends (:mod:`repro.graphs.build_batched`) mutate between insertion
+    waves.  ``n_visible`` optionally masks expansion to the vertex-id
+    prefix ``[0, n_visible)``: insertion-time searches against a growing
+    graph only ever traverse the already-inserted prefix, without the
+    builder having to re-materialize a CSR per wave.
     """
 
     def __init__(
         self,
         points: np.ndarray,
-        graph: GraphIndex,
+        graph: GraphIndex | tuple[np.ndarray, np.ndarray],
         queries: np.ndarray,
         row_query: np.ndarray,
         row_entries: list[np.ndarray],
@@ -114,6 +123,8 @@ class LockstepEngine:
         metric: str = "l2",
         beam: BeamConfig | None = None,
         record_trace: bool = True,
+        n_visible: int | None = None,
+        record_expansions: bool = False,
     ):
         if cand_capacity <= 0:
             raise ValueError("cand_capacity must be positive")
@@ -127,11 +138,27 @@ class LockstepEngine:
             raise ValueError("need one entry array per row")
         self.metric = metric
         self.beam = beam
-        self.nbr_mat, self.degrees = graph.neighbor_matrix()
+        if isinstance(graph, GraphIndex):
+            self.nbr_mat, self.degrees = graph.neighbor_matrix()
+        else:
+            self.nbr_mat, self.degrees = graph
+            if self.nbr_mat.ndim != 2 or self.degrees.ndim != 1:
+                raise ValueError("adjacency pair must be (2-D matrix, 1-D degrees)")
+        if n_visible is not None and n_visible <= 0:
+            raise ValueError("n_visible must be positive")
+        self.n_visible = n_visible
         self.dim = int(self.points.shape[1])
         R = self.row_query.size
         L = cand_capacity
         self.R, self.L = R, L
+        if metric == "l2":
+            # Cached squared norms turn every per-step distance batch into
+            # the norms expansion (one fewer full-width pass than the diff
+            # form; see pair_distances).
+            self._pnorm = np.einsum("ij,ij->i", self.points, self.points)
+            self._qnorm = np.einsum("ij,ij->i", self.queries, self.queries)
+        else:
+            self._pnorm = self._qnorm = None
         self.cand_ids = np.full((R, L), -1, dtype=np.int64)
         self.cand_d = np.full((R, L), np.inf, dtype=np.float32)
         self.cand_checked = np.zeros((R, L), dtype=bool)
@@ -141,21 +168,43 @@ class LockstepEngine:
         self.traces: list[CTATrace] | None = (
             [CTATrace() for _ in range(R)] if record_trace else None
         )
+        # Optional expansion log: per step, the (row, id, dist) triples of
+        # the vertices expanded that cycle.  NSG construction consumes this
+        # — its per-vertex candidate pool is the *search path* (everything
+        # expanded en route from the navigating node), not the final
+        # candidate list.
+        self.expansions: list[tuple[np.ndarray, np.ndarray, np.ndarray]] | None = (
+            [] if record_expansions else None
+        )
         self._col = np.arange(L)
         self._seed(row_entries)
 
     # ------------------------------------------------------------- seeding
-    def _seed(self, row_entries: list[np.ndarray]) -> None:
+    def _seed(self, row_entries: list[np.ndarray] | np.ndarray) -> None:
         R = self.R
         if R == 0:
             return
-        ents = [np.unique(np.asarray(e, dtype=np.int64)) for e in row_entries]
-        for e in ents:
-            if e.size == 0:
+        if isinstance(row_entries, np.ndarray) and row_entries.ndim == 2:
+            # Fixed-width entry matrix: one row-wise sort + shift-compare
+            # replays the per-row np.unique walk (sorted, duplicates
+            # dropped) without 2R small-array calls.
+            if row_entries.shape[1] == 0:
                 raise ValueError("need at least one entry point")
-        counts = np.array([e.size for e in ents], dtype=np.int64)
-        rows = np.repeat(np.arange(R, dtype=np.int64), counts)
-        ids = np.concatenate(ents)
+            mat = np.sort(row_entries.astype(np.int64, copy=False), axis=1)
+            keep = np.ones(mat.shape, dtype=bool)
+            keep[:, 1:] = mat[:, 1:] != mat[:, :-1]
+            counts = keep.sum(axis=1)
+            rr, cc = np.nonzero(keep)
+            rows = rr.astype(np.int64)
+            ids = mat[rr, cc]
+        else:
+            ents = [np.unique(np.asarray(e, dtype=np.int64)) for e in row_entries]
+            for e in ents:
+                if e.size == 0:
+                    raise ValueError("need at least one entry point")
+            counts = np.array([e.size for e in ents], dtype=np.int64)
+            rows = np.repeat(np.arange(R, dtype=np.int64), counts)
+            ids = np.concatenate(ents)
         fresh = self.visited.test_and_set(self.row_query[rows], ids)
         new_counts = self._score_and_merge(rows[fresh], ids[fresh])
         self.active[:] = self.sizes > 0
@@ -190,9 +239,27 @@ class LockstepEngine:
         counts = np.bincount(rows, minlength=self.R).astype(np.int64)
         if ids.size == 0:
             return counts
+        qrows = self.row_query[rows]
         dists = pair_distances(
-            self.queries[self.row_query[rows]], self.points[ids], self.metric
+            self.queries[qrows], self.points[ids], self.metric,
+            a_norms=None if self._qnorm is None else self._qnorm[qrows],
+            b_norms=None if self._pnorm is None else self._pnorm[ids],
         )
+        if self.traces is None:
+            # Bound filter: a pair at or beyond its row's current worst slot
+            # can never survive the stable merge truncation (old entries win
+            # ties), so dropping it up front is bit-identical while shrinking
+            # the merge width — pools not yet full have an inf sentinel there,
+            # which keeps every pair.  Trace mode skips this so the recorded
+            # sort sizes match the scalar cost model.
+            keep = dists < self.cand_d[rows, self.L - 1]
+            if not keep.all():
+                rows = rows[keep]
+                ids = ids[keep]
+                dists = dists[keep]
+                counts = np.bincount(rows, minlength=self.R).astype(np.int64)
+                if ids.size == 0:
+                    return counts
         mrows = np.flatnonzero(counts)
         maxc = int(counts[mrows].max())
         # Scatter the ragged per-row pairs into an inf-padded (Bm, maxc)
@@ -250,6 +317,12 @@ class LockstepEngine:
         pick_ids = self.cand_ids[pick_rows, sel_cols]
         selected_dist = self.cand_d[act, off]
         self.cand_checked[pick_rows, sel_cols] = True
+        if self.expansions is not None:
+            # pick_rows/pick_ids are fresh gathers and cand_d is gathered
+            # below before any merge mutates it, so the log stays valid.
+            self.expansions.append(
+                (pick_rows, pick_ids, self.cand_d[pick_rows, sel_cols])
+            )
 
         # Neighbour expansion: one gather, flattened row-major so the global
         # pair order is (row asc, pick order, storage order) — the scalar
@@ -257,6 +330,11 @@ class LockstepEngine:
         deg = self.degrees[pick_ids]
         nb = self.nbr_mat[pick_ids]
         valid = np.arange(nb.shape[1])[None, :] < deg[:, None]
+        if self.n_visible is not None:
+            # Construction-time prefix mask: edges into not-yet-inserted
+            # vertices are invisible to this wave's searches.
+            valid &= nb < self.n_visible
+            deg = valid.sum(axis=1)
         nbr_flat = nb[valid].astype(np.int64)
         pair_rows = np.repeat(pick_rows, deg)
         nfetch = np.bincount(pick_rows, weights=deg, minlength=self.R).astype(np.int64)
@@ -295,6 +373,49 @@ class LockstepEngine:
                 )
 
     # ------------------------------------------------------------- results
+    def pools(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Raw candidate pools: ``(ids, dists, sizes)`` SoA views.
+
+        ``ids``/``dists`` are ``(R, L)`` (-1 / inf padded past each row's
+        size), sorted ascending by distance.  The construction backends
+        read whole pools instead of per-row top-k results.
+        """
+        return self.cand_ids, self.cand_d, self.sizes
+
+    def expansion_pools(self) -> tuple[np.ndarray, np.ndarray]:
+        """Padded per-row expansion logs: ``(ids, dists)``, ``(R, W)``.
+
+        ``W`` is the largest per-row expansion count; rows are in
+        expansion order, -1 / inf padded past each row's count.  Requires
+        ``record_expansions=True``.  This is the lockstep equivalent of
+        the scalar search's "every expanded vertex" path — each row only
+        ever expands a vertex once (the checked flag), so the log is
+        duplicate-free per row.
+        """
+        if self.expansions is None:
+            raise RuntimeError("engine built without record_expansions")
+        if not self.expansions:
+            return (
+                np.full((self.R, 0), -1, dtype=np.int64),
+                np.full((self.R, 0), np.inf, dtype=np.float32),
+            )
+        rows = np.concatenate([e[0] for e in self.expansions])
+        ids = np.concatenate([e[1] for e in self.expansions])
+        dists = np.concatenate([e[2] for e in self.expansions])
+        # Stable sort by row keeps within-row expansion order.
+        order = np.argsort(rows, kind="stable")
+        rows, ids, dists = rows[order], ids[order], dists[order]
+        counts = np.bincount(rows, minlength=self.R).astype(np.int64)
+        W = int(counts.max())
+        offsets = np.zeros(self.R, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        pos = np.arange(rows.size, dtype=np.int64) - offsets[rows]
+        out_ids = np.full((self.R, W), -1, dtype=np.int64)
+        out_d = np.full((self.R, W), np.inf, dtype=np.float32)
+        out_ids[rows, pos] = ids
+        out_d[rows, pos] = dists
+        return out_ids, out_d
+
     def results_row(self, r: int, k: int) -> tuple[np.ndarray, np.ndarray]:
         m = int(min(k, self.sizes[r]))
         ids = self.cand_ids[r, :m].copy()

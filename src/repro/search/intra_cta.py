@@ -90,6 +90,14 @@ class CTASearcher:
         self.trace = CTATrace() if record_trace else None
         self.finished = False
         self.dim = int(points.shape[1])
+        # Squared query norm, computed with the same row-wise einsum the
+        # lockstep engine uses, so both backends hit the identical norms
+        # expansion in pair_distances (byte-parity across backends).
+        if metric == "l2":
+            q2d = self.query[None, :]
+            self._qnorm = np.einsum("ij,ij->i", q2d, q2d)
+        else:
+            self._qnorm = None
 
         entries = np.unique(np.asarray(entries, dtype=np.int64))
         if entries.size == 0:
@@ -122,11 +130,13 @@ class CTASearcher:
     def _distances(self, pts: np.ndarray) -> np.ndarray:
         """Distances from the query to ``pts`` via the shared pair kernel.
 
-        Both backends route through :func:`pair_distances` so the scalar
-        oracle and the lockstep engine produce bit-identical distances.
+        Both backends route through :func:`pair_distances` with a cached
+        query norm (the norms expansion), so the scalar oracle and the
+        lockstep engine produce bit-identical distances.
         """
         return pair_distances(
-            np.broadcast_to(self.query, pts.shape), pts, self.metric
+            np.broadcast_to(self.query, pts.shape), pts, self.metric,
+            a_norms=self._qnorm,
         )
 
     def step(self) -> bool:

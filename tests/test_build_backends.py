@@ -1,0 +1,148 @@
+"""Structural-invariant + parity suite for the graph-construction backends.
+
+Every builder × backend must produce a structurally sound graph (valid CSR,
+degree caps respected, no self-loops, no duplicate neighbours), be
+deterministic under a fixed seed (same seed ⇒ bit-identical CSR), and —
+for the vectorized backends — stay within the recall-parity gate of the
+scalar oracle.  CAGRA's vectorized backend is additionally required to be
+*bit-identical* to the scalar build (it replays the same algorithm as
+array ops), as is the vectorized NN-descent dedup kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.metrics import pairwise_distances
+from repro.graphs import (
+    build_cagra,
+    build_hnsw,
+    build_nsg,
+    build_nsw,
+    nn_descent_matrix,
+)
+from repro.graphs.utils import medoid
+from repro.search.batched import batched_intra_cta_search
+
+N, DIM = 800, 24
+BACKENDS = ("scalar", "vectorized")
+
+BUILDERS = {
+    # name -> (fn, kwargs, degree cap)
+    "nsw": (build_nsw, dict(m=6, ef_construction=24), 12),
+    "hnsw": (build_hnsw, dict(m=6, ef_construction=24), 12),
+    "nsg": (build_nsg, dict(out_degree=10, search_l=24), 10),
+    "cagra": (build_cagra, dict(graph_degree=12), 12),
+}
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(7)
+    return rng.standard_normal((N, DIM)).astype(np.float32)
+
+
+def _build(points, name, backend, seed=0):
+    fn, kw, _cap = BUILDERS[name]
+    return fn(points, **kw, seed=seed, build_backend=backend)
+
+
+# ----------------------------------------------------------- invariants
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_structural_invariants(points, name, backend):
+    fn, kw, cap = BUILDERS[name]
+    g = _build(points, name, backend)
+    # valid CSR
+    assert g.indptr[0] == 0 and g.indptr[-1] == g.indices.size
+    assert np.all(np.diff(g.indptr) >= 0)
+    assert g.n_vertices == N
+    assert g.indices.min() >= 0 and g.indices.max() < N
+    # degree cap
+    assert g.max_degree <= cap
+    # no self-loops, no duplicate neighbours
+    for v in range(N):
+        nb = g.neighbors(v)
+        assert not (nb == v).any(), f"self-loop at {v}"
+        assert np.unique(nb).size == nb.size, f"duplicate neighbour at {v}"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_same_seed_is_bit_identical(points, name, backend):
+    g1 = _build(points, name, backend, seed=3)
+    g2 = _build(points, name, backend, seed=3)
+    assert np.array_equal(g1.indptr, g2.indptr)
+    assert np.array_equal(g1.indices, g2.indices)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_nsg_connected_from_medoid(points, backend):
+    g = _build(points, "nsg", backend)
+    nav = medoid(points, "l2")
+    seen = np.zeros(N, dtype=bool)
+    seen[nav] = True
+    frontier = [nav]
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for u in g.neighbors(v):
+                if not seen[u]:
+                    seen[u] = True
+                    nxt.append(int(u))
+        frontier = nxt
+    assert seen.all(), f"{(~seen).sum()} vertices unreachable from the medoid"
+
+
+# -------------------------------------------------------------- parity
+def test_cagra_vectorized_is_bit_identical(points):
+    for kw in (dict(graph_degree=12), dict(graph_degree=12, use_nn_descent=True)):
+        gs = build_cagra(points, **kw, build_backend="scalar")
+        gv = build_cagra(points, **kw, build_backend="vectorized")
+        assert np.array_equal(gs.indptr, gv.indptr)
+        assert np.array_equal(gs.indices, gv.indices)
+
+
+def test_nn_descent_vectorized_dedup_is_bit_identical(points):
+    a_ids, a_d = nn_descent_matrix(points, 16, seed=5)
+    b_ids, b_d = nn_descent_matrix(points, 16, seed=5, backend="vectorized")
+    assert np.array_equal(a_ids, b_ids)
+    assert np.array_equal(a_d, b_d)
+
+
+def _recall(points, graph, queries, gt, ef=48):
+    entries = [np.array([0], dtype=np.int64)] * queries.shape[0]
+    res = batched_intra_cta_search(
+        points, graph, queries, 10, ef, entries, record_trace=False
+    )
+    hits = [
+        len(set(r.ids.tolist()) & set(gt[i].tolist())) / 10
+        for i, r in enumerate(res)
+    ]
+    return float(np.mean(hits))
+
+
+@pytest.mark.parametrize("name", ("nsw", "hnsw", "nsg"))
+def test_recall_parity_vectorized_vs_scalar(points, name):
+    """Searching a vectorized-built graph must not trail the scalar-built
+    graph by more than the quality gate at identical search settings."""
+    rng = np.random.default_rng(11)
+    queries = rng.standard_normal((64, DIM)).astype(np.float32)
+    gt = np.argsort(pairwise_distances(queries, points, "l2"), axis=1,
+                    kind="stable")[:, :10]
+    rs = _recall(points, _build(points, name, "scalar"), queries, gt)
+    rv = _recall(points, _build(points, name, "vectorized"), queries, gt)
+    assert rv >= rs - 0.05, f"{name}: vectorized {rv:.4f} vs scalar {rs:.4f}"
+
+
+@pytest.mark.parametrize(
+    "name,fn", [("nsw", build_nsw), ("hnsw", build_hnsw), ("nsg", build_nsg),
+                ("cagra", build_cagra)]
+)
+def test_unknown_backend_rejected(points, name, fn):
+    with pytest.raises(ValueError, match="build_backend"):
+        fn(points[:64], build_backend="gpu")
+
+
+def test_nn_descent_unknown_backend_rejected(points):
+    with pytest.raises(ValueError, match="backend"):
+        nn_descent_matrix(points[:64], 8, backend="gpu")

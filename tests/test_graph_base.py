@@ -59,3 +59,56 @@ def test_neighbors_is_view():
     g = small_graph()
     nb = g.neighbors(0)
     assert nb.base is g.indices
+
+
+# ----------------------------------------------------- neighbor-matrix cache
+def test_neighbor_matrix_cache_is_read_only():
+    g = small_graph()
+    mat, deg = g.neighbor_matrix()
+    with pytest.raises(ValueError):
+        mat[0, 0] = 7
+    with pytest.raises(ValueError):
+        deg[0] = 7
+
+
+def test_neighbor_matrix_cache_invalidated_on_reassign():
+    g = small_graph()
+    mat, _ = g.neighbor_matrix()
+    assert mat[1, 0] == 0
+    g.indices = np.array([1, 2, 2, 0, 1], dtype=np.int32)  # vertex 1 -> [2]
+    mat2, _ = g.neighbor_matrix()
+    assert mat2[1, 0] == 2
+
+
+def test_invalidate_cache_after_inplace_write():
+    g = small_graph()
+    mat, _ = g.neighbor_matrix()
+    assert mat[1, 0] == 0
+    # In-place CSR writes bypass __setattr__: the cache goes stale ...
+    g.indices[2] = 2
+    stale, _ = g.neighbor_matrix()
+    assert stale is mat  # same (stale) cached object
+    # ... until invalidate_cache() drops it.
+    g.invalidate_cache()
+    fresh, _ = g.neighbor_matrix()
+    assert fresh[1, 0] == 2
+
+
+def test_dynamic_graph_freeze_cache_invalidation():
+    from repro.graphs.dynamic import DynamicGraph
+
+    rng = np.random.default_rng(0)
+    pts = rng.standard_normal((32, 8)).astype(np.float32)
+    from repro.graphs.knn import exact_knn_graph
+
+    dg = DynamicGraph(pts, exact_knn_graph(pts, 4), max_degree=6)
+    _, g1, ids1 = dg.freeze()
+    _, g1b, _ = dg.freeze()
+    assert g1 is g1b  # cached between mutations
+    g1.neighbor_matrix()  # populate the padded-matrix cache
+    dg.insert(rng.standard_normal(8).astype(np.float32))
+    _, g2, ids2 = dg.freeze()
+    assert g2 is not g1 and ids2.size == ids1.size + 1
+    dg.delete(0)
+    _, g3, ids3 = dg.freeze()
+    assert g3 is not g2 and ids3.size == ids2.size - 1
