@@ -1,0 +1,99 @@
+"""Perf smoke gate for quantized traversal (docs/performance.md).
+
+Marker-gated (``-m perf_smoke``) like the search/build gates.  On a small
+dim=960 corpus the int8 substrate must be >= 1.5x faster than float32 on
+the simulated-GPU latency axis (the cost model pricing each run's own
+traces — the quantity the serve stack reports) while holding recall@16
+within 0.02.  Wall clock is reported via telemetry but only gated loosely
+(int8 must not *lose* badly): at smoke scale the numpy engine's distance
+stage is a minority of wall time, so the wall ratio understates the
+substrate swap; BENCH_quantized.json reports both axes at full bench
+scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.data.groundtruth import recall
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import RTX_A6000
+from repro.graphs import build_cagra
+from repro.search import make_codec, make_entries
+from repro.search.batched import batched_multi_cta_search
+from repro.telemetry import MetricsRegistry, to_prometheus_text
+
+pytestmark = pytest.mark.perf_smoke
+
+MIN_SIM_SPEEDUP = 1.5
+MAX_RECALL_DELTA = 0.02
+
+
+@pytest.mark.perf_smoke
+def test_int8_traversal_beats_float32_on_simulated_latency():
+    ds = load_dataset("gist1m-mini", n=3000, n_queries=24, gt_k=16, seed=7)
+    graph = build_cagra(ds.base, graph_degree=12, metric=ds.metric)
+    gt = ds.gt_at(16)
+    cm = CostModel(RTX_A6000)
+    entries = [
+        make_entries(ds.n, 4, 2, np.random.default_rng(100 + i))
+        for i in range(len(ds.queries))
+    ]
+    codec = make_codec("int8", ds.base, metric=ds.metric)
+
+    def run(codec, record_trace):
+        return batched_multi_cta_search(
+            ds.base, graph, ds.queries, 16, 64, 4, metric=ds.metric,
+            entries=entries, record_trace=record_trace, codec=codec,
+        )
+
+    run(None, False), run(codec, False)  # warm both paths
+
+    t0 = time.perf_counter()
+    res_f32 = run(None, True)
+    t_f32 = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    res_i8 = run(codec, True)
+    t_i8 = time.perf_counter() - t0
+
+    sim_f32 = float(np.mean([cm.query_gpu_time_us(r.trace) for r in res_f32]))
+    sim_i8 = float(np.mean([cm.query_gpu_time_us(r.trace) for r in res_i8]))
+    rec_f32 = recall(np.stack([r.ids for r in res_f32]), gt)
+    rec_i8 = recall(np.stack([r.ids for r in res_i8]), gt)
+
+    reg = MetricsRegistry()
+    reg.gauge("algas_quantized_smoke_sim_latency_us",
+              "simulated per-query GPU latency",
+              precision="float32").set(sim_f32)
+    reg.gauge("algas_quantized_smoke_sim_latency_us",
+              precision="int8").set(sim_i8)
+    reg.gauge("algas_quantized_smoke_wall_seconds",
+              "engine wall clock", precision="float32").set(t_f32)
+    reg.gauge("algas_quantized_smoke_wall_seconds",
+              precision="int8").set(t_i8)
+    reg.gauge("algas_quantized_smoke_recall_at_16",
+              "recall@16", precision="float32").set(rec_f32)
+    reg.gauge("algas_quantized_smoke_recall_at_16",
+              precision="int8").set(rec_i8)
+    reg.gauge("algas_quantized_smoke_sim_speedup",
+              "float32 / int8 simulated latency").set(sim_f32 / sim_i8)
+    print()
+    print(to_prometheus_text(reg), end="")
+
+    assert sim_f32 / sim_i8 >= MIN_SIM_SPEEDUP, (
+        f"int8 simulated speedup {sim_f32 / sim_i8:.2f}x "
+        f"below the {MIN_SIM_SPEEDUP}x gate "
+        f"({sim_f32:.1f}us -> {sim_i8:.1f}us)"
+    )
+    assert abs(rec_i8 - rec_f32) <= MAX_RECALL_DELTA, (
+        f"int8 recall@16 {rec_i8:.4f} drifts more than {MAX_RECALL_DELTA} "
+        f"from float32 {rec_f32:.4f}"
+    )
+    # Wall clock: loose "never loses badly" guard, not the headline gate.
+    assert t_i8 < 1.5 * t_f32, (
+        f"int8 wall clock {t_i8:.3f}s much slower than float32 {t_f32:.3f}s"
+    )

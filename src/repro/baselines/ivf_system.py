@@ -103,6 +103,12 @@ class IVFSystem:
         events: list[QueryEvent] | None = None,
     ) -> SystemReport:
         cfg = as_serve_config(config, events, owner=f"{type(self).__name__}.serve")
+        if cfg.precision is not None or cfg.rerank_mult is not None:
+            raise ValueError(
+                "precision/rerank_mult select the graph-traversal distance "
+                "substrate; the IVF baselines have no graph traversal "
+                "(use IVFPQSystem for a compressed IVF scan)"
+            )
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]

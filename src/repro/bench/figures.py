@@ -16,9 +16,16 @@ from ..analysis.stats import (
     sort_time_fraction,
     step_statistics,
 )
-from .runner import BENCH_DATASETS, SCALE, cached_search, make_system
+from .runner import BENCH_DATASETS, SCALE, cached_search, get_dataset, get_graph, make_system
 
-__all__ = ["fig01_data", "fig02_data", "fig03_data", "fig07_data", "default_l"]
+__all__ = [
+    "fig01_data",
+    "fig02_data",
+    "fig03_data",
+    "fig07_data",
+    "precision_frontier_data",
+    "default_l",
+]
 
 
 def default_l() -> int:
@@ -120,3 +127,69 @@ def fig07_data(dataset: str = "sift1m-mini", l_total: int = 128):
         floatfmt=".2f",
     )
     return text, mean_curve
+
+
+def precision_frontier_data(
+    dataset: str = "gist1m-mini",
+    l_values: tuple[int, ...] = (64, 128, 256),
+    k: int = 16,
+    n_ctas: int = 4,
+    rerank_mult: int = 2,
+):
+    """Recall-vs-latency frontier: float32 / int8 / pq at matched ``l_total``.
+
+    All precisions search the same graph from the same entry points at each
+    candidate budget, so every frontier point differs only in the distance
+    substrate (plus the quantized paths' exact re-rank).  Latency is the
+    simulated-GPU per-query time from the cost model — the quantity the
+    serve stack reports — priced from each run's own traces (quantized
+    steps are priced as DP4A / table-lookup work, the re-rank as a float32
+    pass).
+    """
+    from ..data.groundtruth import recall
+    from ..gpusim.costmodel import CostModel
+    from ..gpusim.device import RTX_A6000
+    from ..search.batched import batched_multi_cta_search
+    from ..search.multi_cta import make_entries
+    from ..search.precision import make_codec
+
+    ds = get_dataset(dataset)
+    g = get_graph(dataset, "cagra")
+    gt = ds.gt_at(k)
+    cm = CostModel(RTX_A6000)
+    codecs = {
+        "float32": None,
+        "int8": make_codec("int8", ds.base, metric=ds.metric),
+        "pq": make_codec("pq", ds.base, metric=ds.metric),
+    }
+    rows = []
+    data: dict[str, list[dict]] = {p: [] for p in codecs}
+    for l_total in l_values:
+        rng = np.random.default_rng(11)
+        entries = [
+            make_entries(ds.base.shape[0], n_ctas, 2, rng)
+            for _ in range(ds.queries.shape[0])
+        ]
+        for prec, codec in codecs.items():
+            res = batched_multi_cta_search(
+                ds.base, g, ds.queries, k, l_total, n_ctas,
+                metric=ds.metric, entries=entries,
+                codec=codec, rerank_mult=rerank_mult,
+            )
+            ids = np.stack([r.ids for r in res])
+            rec = recall(ids, gt)
+            lat = float(np.mean([cm.query_gpu_time_us(r.trace) for r in res]))
+            rows.append((prec, l_total, rec, lat))
+            data[prec].append(
+                {"l_total": l_total, "recall": rec, "sim_latency_us": lat}
+            )
+    text = format_table(
+        ["precision", "l_total", f"recall@{k}", "sim latency (us)"],
+        rows,
+        title=(
+            f"Recall-latency frontier — {dataset} "
+            f"(n={ds.n}, dim={ds.dim}, {n_ctas} CTAs, "
+            f"rerank {rerank_mult}x k)"
+        ),
+    )
+    return text, data

@@ -120,6 +120,8 @@ def _search_key(system: BaseGraphSystem, dataset: str, graph_kind: str) -> tuple
         system.entries_per_cta,
         system.seed,
         system.backend,
+        system.precision,
+        system.rerank_mult,
     )
 
 

@@ -60,6 +60,15 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--l", dest="l_total", type=int, default=128)
     s.add_argument("--batch", type=int, default=16)
     s.add_argument("--nprobe", type=int, default=8, help="IVF only")
+    s.add_argument("--precision", choices=("float32", "int8", "pq"),
+                   default="float32",
+                   help="traversal distance substrate: 'int8' walks the "
+                        "graph on SQ8 codes, 'pq' on PQ ADC tables — both "
+                        "finish with an exact float32 re-rank "
+                        "(docs/performance.md); graph systems only")
+    s.add_argument("--rerank-mult", type=int, default=2,
+                   help="exact re-rank pool multiplier: re-score "
+                        "rerank_mult*k survivors (quantized precisions)")
     s.add_argument("--host-threads", default="auto")
     s.add_argument("--state-mode", choices=("gdrcopy", "naive"), default="gdrcopy")
     s.add_argument("--no-beam", action="store_true")
@@ -105,7 +114,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     f = sub.add_parser("figure", help="regenerate a paper figure/table")
     f.add_argument("name", help="fig01|fig02|fig03|fig07|fig10|fig12|fig13|"
-                               "fig14|fig16|fig17|fig18|table1|headline|bubble")
+                               "fig14|fig16|fig17|fig18|table1|headline|"
+                               "bubble|frontier")
     return p
 
 
@@ -178,6 +188,10 @@ def _cmd_serve(args) -> int:
     ds = load_dataset(args.dataset, n=args.n, n_queries=args.queries,
                       gt_k=max(64, args.k), seed=args.seed)
     if args.system == "ivf":
+        if args.precision != "float32":
+            print("--precision selects the graph-traversal substrate; "
+                  "the IVF baseline has no graph traversal", file=sys.stderr)
+            return 2
         system = IVFSystem(
             ds.base, nlist=max(16, int(4 * np.sqrt(ds.n))), nprobe=args.nprobe,
             metric=ds.metric, k=args.k, batch_size=args.batch, seed=args.seed,
@@ -197,7 +211,8 @@ def _cmd_serve(args) -> int:
             "build_seconds": round(time.perf_counter() - t0, 4),
         }
         common = dict(metric=ds.metric, k=args.k, l_total=args.l_total,
-                      batch_size=args.batch, seed=args.seed)
+                      batch_size=args.batch, seed=args.seed,
+                      precision=args.precision, rerank_mult=args.rerank_mult)
         if args.system == "algas":
             ht = args.host_threads
             system = ALGASSystem(
@@ -222,6 +237,14 @@ def _cmd_serve(args) -> int:
         print(f"graph build   = {build_meta['graph']} "
               f"backend={build_meta['build_backend']} "
               f"({build_meta['build_seconds']:.2f}s)")
+    prec_meta = rep.serve.meta.get("precision")
+    if prec_meta and prec_meta["precision"] != "float32":
+        codec = prec_meta["codec"]
+        extra = (f" m={codec.m} ks={codec.ks}"
+                 if getattr(codec, "m", None) else "")
+        print(f"precision     = {prec_meta['precision']} "
+              f"(rerank {prec_meta['rerank_mult']}x k,"
+              f" {codec.bytes_per_vector} B/vec{extra})")
     print(f"recall@{args.k} = {rec:.4f}")
     print(f"mean latency  = {s['mean_latency_us']:.1f} us "
           f"(p50 {s['p50_latency_us']:.1f}, p99 {s['p99_latency_us']:.1f})")
@@ -319,6 +342,7 @@ _FIGURES = {
     "table1": ("experiments", "table1_data"),
     "headline": ("experiments", "headline_data"),
     "bubble": ("experiments", "bubble_data"),
+    "frontier": ("figures", "precision_frontier_data"),
 }
 
 

@@ -29,6 +29,7 @@ from ..graphs.base import GraphIndex
 from ..graphs.utils import medoid
 from ..search.intra_cta import BeamConfig, intra_cta_search
 from ..search.multi_cta import make_entries, multi_cta_search
+from ..search.precision import PRECISIONS, make_codec
 from .dynamic_batcher import DynamicBatchConfig, DynamicBatchEngine
 from .serving import QueryJob, ServeConfig, ServeReport, as_serve_config
 from .static_batcher import StaticBatchConfig, StaticBatchEngine
@@ -78,6 +79,10 @@ class BaseGraphSystem:
         seed: int = 0,
         backend: str = "vectorized",
         build_info: dict | None = None,
+        precision: str = "float32",
+        rerank_mult: int = 2,
+        pq_m: int | None = None,
+        pq_ks: int = 256,
     ):
         if k <= 0 or l_total < k:
             raise ValueError("need 0 < k <= l_total")
@@ -85,7 +90,20 @@ class BaseGraphSystem:
             raise ValueError("batch_size must be positive")
         if backend not in ("scalar", "vectorized"):
             raise ValueError(f"unknown backend {backend!r}")
+        if precision not in PRECISIONS:
+            raise ValueError(
+                f"unknown precision {precision!r}; expected one of {PRECISIONS}"
+            )
+        if rerank_mult < 1:
+            raise ValueError("rerank_mult must be >= 1")
         self.backend = backend
+        #: traversal distance substrate + exact re-rank pool multiplier
+        #: (repro.search.precision); ServeConfig can override per serve.
+        self.precision = precision
+        self.rerank_mult = rerank_mult
+        self.pq_m = pq_m
+        self.pq_ks = pq_ks
+        self._codec_cache: dict[str, object] = {}
         #: graph-construction provenance (e.g. ``{"build_backend": ...,
         #: "build_seconds": ...}``) merged into ``ServeReport.meta["build"]``
         #: on every serve — mirrors the ``search_backend`` meta key.
@@ -130,40 +148,72 @@ class BaseGraphSystem:
             else np.array([self._medoid])
         )
 
+    def traversal_codec(self, precision: str | None = None):
+        """The fitted traversal codec for ``precision`` (None → system's).
+
+        Codecs are fitted lazily on the base vectors and cached per
+        precision — fitting (SQ ranges / PQ codebooks + corpus encode) is
+        a build-time cost paid once, like graph construction.
+        """
+        p = precision or self.precision
+        if p not in PRECISIONS:
+            raise ValueError(f"unknown precision {p!r}; expected one of {PRECISIONS}")
+        if p == "float32":
+            return None
+        if p not in self._codec_cache:
+            self._codec_cache[p] = make_codec(
+                p, self.base, metric=self.metric,
+                pq_m=self.pq_m, pq_ks=self.pq_ks, seed=self.seed,
+            )
+        return self._codec_cache[p]
+
     def search_one(self, query: np.ndarray, rng: np.random.Generator,
-                   backend: str | None = None):
+                   backend: str | None = None, precision: str | None = None,
+                   rerank_mult: int | None = None):
         """Run the system's search for one query; returns a SearchResult."""
         backend = backend or self.backend
+        codec = self.traversal_codec(precision)
+        rm = rerank_mult or self.rerank_mult
         if self.n_parallel == 1:
             return intra_cta_search(
                 self.base, self.graph, query, self.k,
                 self.tuning.per_cta_cand_len, self._single_cta_entries(rng),
                 metric=self.metric, beam=self.beam, backend=backend,
+                codec=codec, rerank_mult=rm,
             )
         return multi_cta_search(
             self.base, self.graph, query, self.k, self.l_total, self.n_parallel,
             metric=self.metric, beam=self.beam,
             entries_per_cta=self.entries_per_cta, rng=rng, backend=backend,
+            codec=codec, rerank_mult=rm,
         )
 
     def search_all(self, queries: np.ndarray, backend: str | None = None,
-                   seed: int | None = None):
+                   seed: int | None = None, precision: str | None = None,
+                   rerank_mult: int | None = None):
         """Search every query; returns padded ids/dists and traces.
 
         With the vectorized backend the whole query set advances in one
         lockstep SoA batch (all queries × all CTAs); entry points are drawn
         from the rng in the same per-query order as the scalar loop, so the
         two backends return byte-identical results and traces.
-        ``backend``/``seed`` override the system's configured values for
-        this call (the :class:`~repro.core.serving.ServeConfig` knobs).
+        ``backend``/``seed``/``precision``/``rerank_mult`` override the
+        system's configured values for this call (the
+        :class:`~repro.core.serving.ServeConfig` knobs).
         """
         backend = backend or self.backend
         rng = np.random.default_rng(self.seed if seed is None else seed)
         nq = queries.shape[0]
         if backend == "vectorized":
-            results = self._search_all_vectorized(queries, rng)
+            results = self._search_all_vectorized(
+                queries, rng, precision=precision, rerank_mult=rerank_mult
+            )
         else:
-            results = (self.search_one(queries[i], rng, backend) for i in range(nq))
+            results = (
+                self.search_one(queries[i], rng, backend,
+                                precision=precision, rerank_mult=rerank_mult)
+                for i in range(nq)
+            )
         ids = np.full((nq, self.k), -1, dtype=np.int64)
         dists = np.full((nq, self.k), np.inf, dtype=np.float32)
         traces: list[QueryTrace] = []
@@ -177,12 +227,16 @@ class BaseGraphSystem:
             traces.append(tr)
         return ids, dists, traces
 
-    def _search_all_vectorized(self, queries: np.ndarray, rng: np.random.Generator):
+    def _search_all_vectorized(self, queries: np.ndarray, rng: np.random.Generator,
+                               precision: str | None = None,
+                               rerank_mult: int | None = None):
         from ..search.batched import (
             batched_intra_cta_search,
             batched_multi_cta_search,
         )
 
+        codec = self.traversal_codec(precision)
+        rm = rerank_mult or self.rerank_mult
         nq = queries.shape[0]
         if self.n_parallel == 1:
             entries = [self._single_cta_entries(rng) for _ in range(nq)]
@@ -190,6 +244,7 @@ class BaseGraphSystem:
                 self.base, self.graph, queries, self.k,
                 self.tuning.per_cta_cand_len, entries,
                 metric=self.metric, beam=self.beam,
+                codec=codec, rerank_mult=rm,
             )
         entries = [
             make_entries(self.base.shape[0], self.n_parallel, self.entries_per_cta, rng)
@@ -198,6 +253,7 @@ class BaseGraphSystem:
         return batched_multi_cta_search(
             self.base, self.graph, queries, self.k, self.l_total, self.n_parallel,
             metric=self.metric, beam=self.beam, entries=entries,
+            codec=codec, rerank_mult=rm,
         )
 
     # -------------------------------------------------------------- pricing
@@ -254,8 +310,11 @@ class BaseGraphSystem:
         if queries.ndim == 1:
             queries = queries[None, :]
         evs = cfg.workload or closed_loop(queries.shape[0])
+        precision = cfg.precision or self.precision
+        rerank_mult = cfg.rerank_mult or self.rerank_mult
         ids, dists, traces = self.search_all(
-            queries, backend=cfg.backend, seed=cfg.seed
+            queries, backend=cfg.backend, seed=cfg.seed,
+            precision=precision, rerank_mult=rerank_mult,
         )
         ordered = sorted(evs, key=lambda e: e.query_id)
         jobs = self.jobs_from_traces(traces, ordered)
@@ -264,6 +323,12 @@ class BaseGraphSystem:
             faults=cfg.faults, resilience=cfg.resilience,
         )
         report = engine.serve(jobs)
+        codec = self.traversal_codec(precision)
+        report.meta["precision"] = {
+            "precision": precision,
+            "rerank_mult": rerank_mult if precision != "float32" else None,
+            "codec": None if codec is None else codec.info(),
+        }
         if self.build_info:
             report.meta.setdefault("build", {}).update(self.build_info)
         return SystemReport(ids=ids, dists=dists, serve=report, traces=traces)
@@ -295,6 +360,10 @@ class ALGASSystem(BaseGraphSystem):
         seed: int = 0,
         backend: str = "vectorized",
         build_info: dict | None = None,
+        precision: str = "float32",
+        rerank_mult: int = 2,
+        pq_m: int | None = None,
+        pq_ks: int = 256,
     ):
         if beam is True:
             # Default two-phase split per §IV-C: diffuse once the selected
@@ -307,7 +376,8 @@ class ALGASSystem(BaseGraphSystem):
         super().__init__(
             base, graph, device, metric, k, l_total, batch_size,
             n_parallel, max_parallel, beam, cost_params, entries_per_cta, seed,
-            backend, build_info,
+            backend, build_info, precision=precision, rerank_mult=rerank_mult,
+            pq_m=pq_m, pq_ks=pq_ks,
         )
         if host_threads == "auto":
             # §V-B: one host thread struggles above ~16-32 slots; scale the

@@ -111,7 +111,12 @@ class ServeConfig:
       (None → healthy run);
     * ``resilience`` — a :class:`~repro.resilience.ResiliencePolicy`
       arming the defenses (None → defaults when faults are injected,
-      otherwise fully off).
+      otherwise fully off);
+    * ``precision`` — traversal distance substrate ("float32"/"int8"/"pq";
+      see :mod:`repro.search.precision`); quantized precisions finish with
+      an exact float32 re-rank of the best candidates;
+    * ``rerank_mult`` — exact re-rank pool multiplier (re-score
+      ``rerank_mult × k`` survivors; ignored for float32).
     """
 
     workload: list[QueryEvent] | None = None
@@ -121,12 +126,22 @@ class ServeConfig:
     telemetry: "Telemetry | None" = None
     faults: "FaultPlan | None" = None
     resilience: "ResiliencePolicy | None" = None
+    precision: str | None = None
+    rerank_mult: int | None = None
 
     def __post_init__(self) -> None:
         from ..resilience import FaultPlan, ResiliencePolicy
+        from ..search.precision import PRECISIONS
 
         if self.slots is not None and self.slots <= 0:
             raise ValueError("slots must be positive")
+        if self.precision is not None and self.precision not in PRECISIONS:
+            raise ValueError(
+                f"unknown precision {self.precision!r}; "
+                f"expected one of {PRECISIONS}"
+            )
+        if self.rerank_mult is not None and self.rerank_mult < 1:
+            raise ValueError("rerank_mult must be >= 1")
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise TypeError(
                 f"faults must be a FaultPlan, got {type(self.faults).__name__}"
@@ -188,7 +203,14 @@ def as_serve_config(config=None, events=None, owner: str = "serve") -> ServeConf
 
 
 def _json_safe(value):
-    """Best-effort JSON conversion: dataclasses → dicts, unknowns → repr."""
+    """Lossless-where-possible JSON conversion.
+
+    Dataclasses (codec/config provenance objects) become plain dicts,
+    numpy scalars/arrays become Python numbers/lists, containers recurse —
+    so nested structures like ``meta["precision"]`` and ``meta["build"]``
+    survive ``to_json``/``from_json`` as data.  Only genuinely opaque
+    objects degrade to ``repr``.
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
             f.name: _json_safe(getattr(value, f.name))
@@ -196,8 +218,12 @@ def _json_safe(value):
         }
     if isinstance(value, dict):
         return {str(k): _json_safe(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
+    if isinstance(value, (list, tuple, set, frozenset)):
         return [_json_safe(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_json_safe(v) for v in value.tolist()]
+    if isinstance(value, np.bool_):
+        return bool(value)
     if isinstance(value, (np.integer,)):
         return int(value)
     if isinstance(value, (np.floating,)):
@@ -293,6 +319,11 @@ class ServeReport:
     @classmethod
     def from_dict(cls, data: dict) -> "ServeReport":
         pcie = data.get("pcie")
+        # meta was serialized through _json_safe, so nested codec/config
+        # provenance (meta["precision"], meta["build"]) arrives as plain
+        # dicts; re-normalizing keeps a loaded report's meta identical to
+        # to_dict() of the original (round-trip stability).
+        meta = _json_safe(data.get("meta") or {})
         return cls(
             records=[QueryRecord(**r) for r in data["records"]],
             makespan_us=data["makespan_us"],
@@ -300,7 +331,7 @@ class ServeReport:
             n_cta_slots=data["n_cta_slots"],
             pcie=None if pcie is None else PCIeStats(**pcie),
             host_busy_us=data.get("host_busy_us", 0.0),
-            meta=data.get("meta") or {},
+            meta=meta,
         )
 
     def to_json(self, path: str | os.PathLike | None = None, indent: int = 2) -> str:

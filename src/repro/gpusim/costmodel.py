@@ -78,6 +78,13 @@ class CostParams:
     #: cycles per element-move group in the GPU divide-and-conquer merge
     #: kernel (global-memory bound — this is why the paper offloads it)
     gpu_merge_elem_cycles: float = 60.0
+    #: int8 MACs packed per lane-cycle in the quantized distance kernel
+    #: (DP4A: one instruction multiply-accumulates 4 int8 pairs)
+    int8_mac_pack: float = 4.0
+    #: cycles per warp-wide PQ ADC table-lookup group (shared-memory gather
+    #: — slower than an FMA group because lookups are bank-conflict prone,
+    #: but each covers a whole subspace instead of one dimension)
+    lut_lookup_cycles: float = 12.0
 
 
 @dataclass(frozen=True)
@@ -165,11 +172,27 @@ class CostModel:
         ) if step.n_visited_checks else 0.0
         distance = 0.0
         if step.n_new_points:
-            iters = _ceil_div(step.n_new_points * step.dim, t)
+            precision = getattr(step, "precision", "float32")
             reduce_steps = step.n_new_points * max(1, int(math.log2(t)))
-            vec_bytes = step.n_new_points * step.dim * 4
+            if precision == "int8":
+                # DP4A packs int8_mac_pack MACs per lane-cycle and streams
+                # 1 byte/dimension instead of 4.
+                pack = max(int(p.int8_mac_pack), 1)
+                iters = _ceil_div(step.n_new_points * step.dim, t * pack)
+                lane_cycles = iters * p.fma_iter_cycles
+                vec_bytes = step.n_new_points * step.dim * 1
+            elif precision == "pq":
+                # ADC: step.dim holds m — one shared-memory table lookup
+                # per subspace per point, 1 byte/code streamed.
+                iters = _ceil_div(step.n_new_points * step.dim, t)
+                lane_cycles = iters * p.lut_lookup_cycles
+                vec_bytes = step.n_new_points * step.dim * 1
+            else:
+                iters = _ceil_div(step.n_new_points * step.dim, t)
+                lane_cycles = iters * p.fma_iter_cycles
+                vec_bytes = step.n_new_points * step.dim * 4
             distance = self._us(
-                iters * p.fma_iter_cycles + reduce_steps * p.shuffle_cycles
+                lane_cycles + reduce_steps * p.shuffle_cycles
             ) + vec_bytes / (self.device.global_mem_bw_gbps * 1e3)
         sort = self.sort_cost_us(step) if step.did_sort else 0.0
         total_fixed = self._us(p.step_fixed_cycles)

@@ -47,6 +47,11 @@ class StepRecord:
     #: best (smallest) distance in the candidate list after the step —
     #: recorded for the Fig. 7 convergence analysis.
     best_dist: float = float("nan")
+    #: distance substrate of this step's scoring kernel: ``"float32"``
+    #: (per-dimension FMAs), ``"int8"`` (DP4A packed MACs over SQ8 codes)
+    #: or ``"pq"`` (``dim`` = m table lookups per point).  The cost model
+    #: prices the distance phase per-substrate.
+    precision: str = "float32"
 
 
 @dataclass

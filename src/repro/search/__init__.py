@@ -15,6 +15,16 @@ from .greedy import ef_search, greedy_search
 from .intra_cta import BeamConfig, CTASearcher, SearchResult, intra_cta_search
 from .ivf import IVFFlatIndex, kmeans
 from .multi_cta import make_entries, multi_cta_search, per_cta_capacity
+from .precision import (
+    DEFAULT_RERANK_MULT,
+    PRECISIONS,
+    CodecInfo,
+    Int8Codec,
+    PQCodec,
+    default_pq_m,
+    exact_rerank,
+    make_codec,
+)
 from .quantization import IVFPQIndex, ProductQuantizer, ScalarQuantizer
 from .topk import heap_merge, merge_sorted_lists, select_topk
 from .visited import VisitedBitmap
@@ -42,6 +52,14 @@ __all__ = [
     "make_entries",
     "multi_cta_search",
     "per_cta_capacity",
+    "DEFAULT_RERANK_MULT",
+    "PRECISIONS",
+    "CodecInfo",
+    "Int8Codec",
+    "PQCodec",
+    "default_pq_m",
+    "exact_rerank",
+    "make_codec",
     "IVFPQIndex",
     "ProductQuantizer",
     "ScalarQuantizer",

@@ -37,6 +37,7 @@ from ..gpusim.trace import CTATrace, QueryTrace, StepRecord
 from ..graphs.base import GraphIndex
 from .intra_cta import BeamConfig, SearchResult
 from .multi_cta import make_entries, per_cta_capacity
+from .precision import DEFAULT_RERANK_MULT, exact_rerank, rerank_step_record
 from .topk import heap_merge
 
 __all__ = [
@@ -125,6 +126,7 @@ class LockstepEngine:
         record_trace: bool = True,
         n_visible: int | None = None,
         record_expansions: bool = False,
+        codec=None,
     ):
         if cand_capacity <= 0:
             raise ValueError("cand_capacity must be positive")
@@ -154,11 +156,26 @@ class LockstepEngine:
         if metric == "l2":
             # Cached squared norms turn every per-step distance batch into
             # the norms expansion (one fewer full-width pass than the diff
-            # form; see pair_distances).
+            # form; see pair_distances).  Kept in codec mode too: the exact
+            # re-rank pass reuses the query norms.
             self._pnorm = np.einsum("ij,ij->i", self.points, self.points)
             self._qnorm = np.einsum("ij,ij->i", self.queries, self.queries)
         else:
             self._pnorm = self._qnorm = None
+        # Quantized traversal substrate (repro.search.precision): when set,
+        # per-hop distances come from the codec's compressed kernel and the
+        # per-query dispatch state (scaled queries / ADC tables) is built
+        # once here.  Trace steps then record the codec's per-point work
+        # width and precision tag so the cost model prices them correctly.
+        self.codec = codec
+        if codec is not None:
+            self._cstate = codec.query_state(self.queries)
+            self._trace_dim = int(codec.trace_dim)
+            self._precision = codec.precision
+        else:
+            self._cstate = None
+            self._trace_dim = self.dim
+            self._precision = "float32"
         self.cand_ids = np.full((R, L), -1, dtype=np.int64)
         self.cand_d = np.full((R, L), np.inf, dtype=np.float32)
         self.cand_checked = np.zeros((R, L), dtype=bool)
@@ -220,11 +237,12 @@ class LockstepEngine:
                         n_neighbors_fetched=0,
                         n_visited_checks=int(counts[r]),
                         n_new_points=n_new,
-                        dim=self.dim,
+                        dim=self._trace_dim,
                         sort_size=n_new,
                         cand_list_len=0,
                         did_sort=n_new > 1,
                         best_dist=float(best[r]) if sizes[r] else float("nan"),
+                        precision=self._precision,
                     )
                 )
 
@@ -240,11 +258,14 @@ class LockstepEngine:
         if ids.size == 0:
             return counts
         qrows = self.row_query[rows]
-        dists = pair_distances(
-            self.queries[qrows], self.points[ids], self.metric,
-            a_norms=None if self._qnorm is None else self._qnorm[qrows],
-            b_norms=None if self._pnorm is None else self._pnorm[ids],
-        )
+        if self.codec is not None:
+            dists = self.codec.distances(self._cstate, qrows, ids)
+        else:
+            dists = pair_distances(
+                self.queries[qrows], self.points[ids], self.metric,
+                a_norms=None if self._qnorm is None else self._qnorm[qrows],
+                b_norms=None if self._pnorm is None else self._pnorm[ids],
+            )
         if self.traces is None:
             # Bound filter: a pair at or beyond its row's current worst slot
             # can never survive the stable merge truncation (old entries win
@@ -353,11 +374,12 @@ class LockstepEngine:
                         n_neighbors_fetched=int(nfetch[r]),
                         n_visited_checks=int(nfetch[r]),
                         n_new_points=n_new,
-                        dim=self.dim,
+                        dim=self._trace_dim,
                         sort_size=int(sizes_before[r]) + n_new if n_new else 0,
                         cand_list_len=int(sizes_before[r]),
                         did_sort=n_new > 0,
                         best_dist=float(selected_dist[i]),
+                        precision=self._precision,
                     )
                 )
         return True
@@ -438,11 +460,18 @@ def batched_intra_cta_search(
     metric: str = "l2",
     beam: BeamConfig | None = None,
     record_trace: bool = True,
+    codec=None,
+    rerank_mult: int = DEFAULT_RERANK_MULT,
 ) -> list[SearchResult]:
     """Single-CTA search of ``B`` queries in lockstep.
 
     ``entries[i]`` seeds query ``i``.  Per-query results and traces are
     bit-identical to ``intra_cta_search`` run query-by-query.
+
+    With a ``codec`` the traversal runs on compressed distances and the
+    top ``rerank_mult × k`` survivors of each row are re-scored exactly
+    (:func:`~repro.search.precision.exact_rerank`); the re-rank pass is
+    appended to the trace as a float32 step so the cost model prices it.
     """
     queries = np.asarray(queries, dtype=np.float32)
     if queries.ndim == 1:
@@ -451,13 +480,31 @@ def batched_intra_cta_search(
     row_entries = [np.atleast_1d(np.asarray(e, dtype=np.int64)) for e in entries]
     eng = LockstepEngine(
         points, graph, queries, np.arange(B), row_entries, cand_capacity,
-        metric=metric, beam=beam, record_trace=record_trace,
+        metric=metric, beam=beam, record_trace=record_trace, codec=codec,
     )
     eng.run(100 * cand_capacity)
     out = []
     for r in range(B):
-        ids, dists = eng.results_row(r, k)
-        out.append(SearchResult(ids=ids, dists=dists, trace=eng.trace_row(r)))
+        if codec is None:
+            ids, dists = eng.results_row(r, k)
+            out.append(SearchResult(ids=ids, dists=dists, trace=eng.trace_row(r)))
+            continue
+        rcap = max(k, rerank_mult * k)
+        approx_ids, _ = eng.results_row(r, rcap)
+        qnorm = None if eng._qnorm is None else eng._qnorm[r]
+        ids, dists = exact_rerank(
+            eng.points, queries[r], metric, approx_ids, k, qnorm=qnorm
+        )
+        trace = eng.trace_row(r)
+        if trace is not None:
+            trace.steps.append(
+                rerank_step_record(
+                    int(approx_ids.size), eng.dim,
+                    float(dists[0]) if dists.size else float("nan"),
+                )
+            )
+            trace.result_len = int(ids.size)
+        out.append(SearchResult(ids=ids, dists=dists, trace=trace))
     return out
 
 
@@ -474,12 +521,18 @@ def batched_multi_cta_search(
     entries_per_cta: int = 2,
     rng: np.random.Generator | None = None,
     record_trace: bool = True,
+    codec=None,
+    rerank_mult: int = DEFAULT_RERANK_MULT,
 ) -> list[SearchResult]:
     """Multi-CTA search of ``B`` queries, all CTA rows in one lockstep batch.
 
     ``entries[q][c]`` seeds CTA ``c`` of query ``q``; when omitted they are
     drawn per query in order from ``rng`` — the same stream of
     :func:`make_entries` calls the scalar driver issues.
+
+    With a ``codec`` the per-CTA lists are merged at ``rerank_mult × k``
+    width and the merged pool is re-scored exactly; the re-rank step is
+    recorded on CTA 0's trace (host hands the pool back to one CTA).
     """
     if n_ctas <= 0:
         raise ValueError("n_ctas must be positive")
@@ -500,14 +553,29 @@ def batched_multi_cta_search(
         row_entries.extend(np.atleast_1d(np.asarray(x, dtype=np.int64)) for x in e)
     eng = LockstepEngine(
         points, graph, queries, row_query, row_entries, l_cta,
-        metric=metric, beam=beam, record_trace=record_trace,
+        metric=metric, beam=beam, record_trace=record_trace, codec=codec,
     )
     eng.run(200 * l_cta * n_ctas + 1000, what="multi-CTA search")
+    rcap = max(k, rerank_mult * k) if codec is not None else k
     out = []
     for q in range(B):
         rows = range(q * n_ctas, (q + 1) * n_ctas)
-        lists = [eng.results_row(r, k) for r in rows]
-        ids, dists = heap_merge(lists, k)
+        lists = [eng.results_row(r, rcap) for r in rows]
+        ids, dists = heap_merge(lists, rcap)
+        if codec is not None:
+            pool = ids
+            qnorm = None if eng._qnorm is None else eng._qnorm[q]
+            ids, dists = exact_rerank(
+                eng.points, queries[q], metric, pool, k, qnorm=qnorm
+            )
+            t0 = eng.trace_row(q * n_ctas)
+            if t0 is not None:
+                t0.steps.append(
+                    rerank_step_record(
+                        int(pool.size), eng.dim,
+                        float(dists[0]) if dists.size else float("nan"),
+                    )
+                )
         trace = None
         if record_trace:
             trace = QueryTrace(

@@ -77,6 +77,8 @@ class CTASearcher:
         metric: str = "l2",
         beam: BeamConfig | None = None,
         record_trace: bool = True,
+        codec=None,
+        codec_state=None,
     ):
         if cand_capacity <= 0:
             raise ValueError("cand_capacity must be positive")
@@ -98,6 +100,23 @@ class CTASearcher:
             self._qnorm = np.einsum("ij,ij->i", q2d, q2d)
         else:
             self._qnorm = None
+        # Quantized traversal substrate (repro.search.precision).  The
+        # dispatch state (scaled query / ADC table) may be shared across
+        # the CTAs of one query via ``codec_state`` — on hardware it is
+        # built once per query, not per CTA.
+        self.codec = codec
+        if codec is not None:
+            self._cstate = (
+                codec_state
+                if codec_state is not None
+                else codec.query_state(self.query[None, :])
+            )
+            self._trace_dim = int(codec.trace_dim)
+            self._precision = codec.precision
+        else:
+            self._cstate = None
+            self._trace_dim = self.dim
+            self._precision = "float32"
 
         entries = np.unique(np.asarray(entries, dtype=np.int64))
         if entries.size == 0:
@@ -105,7 +124,7 @@ class CTASearcher:
         fresh = visited.test_and_set(entries)
         seed_ids = entries[fresh]
         if seed_ids.size:
-            seed_d = self._distances(points[seed_ids])
+            seed_d = self._distances(seed_ids)
             sort_size = self.cand.merge(seed_ids, seed_d)
         else:
             sort_size = 0
@@ -117,23 +136,30 @@ class CTASearcher:
                     n_neighbors_fetched=0,
                     n_visited_checks=int(entries.size),
                     n_new_points=int(seed_ids.size),
-                    dim=self.dim,
+                    dim=self._trace_dim,
                     sort_size=sort_size,
                     cand_list_len=0,
                     did_sort=sort_size > 1,
                     best_dist=float(self.cand.dists[0]) if self.cand.size else float("nan"),
+                    precision=self._precision,
                 )
             )
         if self.cand.size == 0:
             self.finished = True
 
-    def _distances(self, pts: np.ndarray) -> np.ndarray:
-        """Distances from the query to ``pts`` via the shared pair kernel.
+    def _distances(self, ids: np.ndarray) -> np.ndarray:
+        """Distances from the query to the points ``ids`` index.
 
-        Both backends route through :func:`pair_distances` with a cached
-        query norm (the norms expansion), so the scalar oracle and the
-        lockstep engine produce bit-identical distances.
+        Both backends route through the same kernels — the float32 path
+        through :func:`pair_distances` with a cached query norm (the norms
+        expansion), the quantized paths through the codec's row-wise
+        compressed kernel — so the scalar oracle and the lockstep engine
+        produce bit-identical distances for every precision.
         """
+        if self.codec is not None:
+            qrows = np.zeros(ids.shape[0], dtype=np.int64)
+            return self.codec.distances(self._cstate, qrows, ids)
+        pts = self.points[ids]
         return pair_distances(
             np.broadcast_to(self.query, pts.shape), pts, self.metric,
             a_norms=self._qnorm,
@@ -164,7 +190,7 @@ class CTASearcher:
         new_ids = nbrs[fresh]
         cand_len_before = self.cand.size
         if new_ids.size:
-            new_d = self._distances(self.points[new_ids])
+            new_d = self._distances(new_ids)
             sort_size = self.cand.merge(new_ids, new_d)
             did_sort = True
         else:
@@ -178,11 +204,12 @@ class CTASearcher:
                     n_neighbors_fetched=int(nbrs.size),
                     n_visited_checks=int(nbrs.size),
                     n_new_points=int(new_ids.size),
-                    dim=self.dim,
+                    dim=self._trace_dim,
                     sort_size=int(sort_size),
                     cand_list_len=int(cand_len_before),
                     did_sort=did_sort,
                     best_dist=selected_dist,
+                    precision=self._precision,
                 )
             )
         return True
@@ -216,6 +243,8 @@ def intra_cta_search(
     beam: BeamConfig | None = None,
     record_trace: bool = True,
     backend: str = "scalar",
+    codec=None,
+    rerank_mult: int | None = None,
 ) -> SearchResult:
     """Single-CTA search of one query (greedy or beam-extend).
 
@@ -224,9 +253,17 @@ def intra_cta_search(
     ``backend`` selects the stepping engine: ``"scalar"`` is the one-step-
     per-Python-iteration oracle, ``"vectorized"`` the SoA lockstep engine
     (:mod:`repro.search.batched`); both produce bit-identical results.
+
+    A ``codec`` (:func:`~repro.search.precision.make_codec`) runs the
+    traversal on compressed distances and re-scores the ``rerank_mult × k``
+    best survivors exactly — again bit-identical across backends.
     """
     if backend not in ("scalar", "vectorized"):
         raise ValueError(f"unknown backend {backend!r}")
+    from .precision import DEFAULT_RERANK_MULT, exact_rerank, rerank_step_record
+
+    if rerank_mult is None:
+        rerank_mult = DEFAULT_RERANK_MULT
     entries = np.atleast_1d(np.asarray(entries, dtype=np.int64))
     if backend == "vectorized":
         from .batched import batched_intra_cta_search
@@ -235,12 +272,29 @@ def intra_cta_search(
         return batched_intra_cta_search(
             points, graph, query[None, :], k, cand_capacity, [entries],
             metric=metric, beam=beam, record_trace=record_trace,
+            codec=codec, rerank_mult=rerank_mult,
         )[0]
     visited = VisitedBitmap(points.shape[0])
     s = CTASearcher(
         points, graph, query, cand_capacity, entries, visited,
-        metric=metric, beam=beam, record_trace=record_trace,
+        metric=metric, beam=beam, record_trace=record_trace, codec=codec,
     )
     s.run()
-    ids, dists = s.results(k)
+    if codec is None:
+        ids, dists = s.results(k)
+        return SearchResult(ids=ids, dists=dists, trace=s.trace)
+    rcap = max(k, rerank_mult * k)
+    approx_ids, _ = s.results(rcap)
+    ids, dists = exact_rerank(
+        np.asarray(points, dtype=np.float32), s.query, metric, approx_ids, k,
+        qnorm=s._qnorm,
+    )
+    if s.trace is not None:
+        s.trace.steps.append(
+            rerank_step_record(
+                int(approx_ids.size), s.dim,
+                float(dists[0]) if dists.size else float("nan"),
+            )
+        )
+        s.trace.result_len = int(ids.size)
     return SearchResult(ids=ids, dists=dists, trace=s.trace)

@@ -65,6 +65,8 @@ def multi_cta_search(
     rng: np.random.Generator | None = None,
     record_trace: bool = True,
     backend: str = "scalar",
+    codec=None,
+    rerank_mult: int | None = None,
 ) -> SearchResult:
     """Search one query with ``n_ctas`` cooperating CTAs.
 
@@ -75,11 +77,20 @@ def multi_cta_search(
 
     ``backend="vectorized"`` steps all CTAs in one lockstep SoA batch
     (:mod:`repro.search.batched`) with bit-identical results and traces.
+
+    A ``codec`` (:func:`~repro.search.precision.make_codec`) runs every
+    CTA on compressed distances (one shared per-query dispatch state),
+    merges the per-CTA lists at ``rerank_mult × k`` width and re-scores
+    the merged pool exactly — bit-identical across backends.
     """
     if n_ctas <= 0:
         raise ValueError("n_ctas must be positive")
     if backend not in ("scalar", "vectorized"):
         raise ValueError(f"unknown backend {backend!r}")
+    from .precision import DEFAULT_RERANK_MULT, exact_rerank, rerank_step_record
+
+    if rerank_mult is None:
+        rerank_mult = DEFAULT_RERANK_MULT
     rng = rng or np.random.default_rng(0)
     if backend == "vectorized":
         from .batched import batched_multi_cta_search
@@ -89,7 +100,7 @@ def multi_cta_search(
             k, l_total, n_ctas, metric=metric, beam=beam,
             entries=[entries] if entries is not None else None,
             entries_per_cta=entries_per_cta, rng=rng,
-            record_trace=record_trace,
+            record_trace=record_trace, codec=codec, rerank_mult=rerank_mult,
         )[0]
     l_cta = per_cta_capacity(l_total, n_ctas, k)
     if entries is None:
@@ -98,10 +109,16 @@ def multi_cta_search(
         raise ValueError("need one entry array per CTA")
 
     visited = VisitedBitmap(points.shape[0])
+    codec_state = None
+    if codec is not None:
+        codec_state = codec.query_state(
+            np.asarray(query, dtype=np.float32)[None, :]
+        )
     searchers = [
         CTASearcher(
             points, graph, query, l_cta, entries[i], visited,
             metric=metric, beam=beam, record_trace=record_trace,
+            codec=codec, codec_state=codec_state,
         )
         for i in range(n_ctas)
     ]
@@ -117,8 +134,22 @@ def multi_cta_search(
         if guard <= 0:
             raise RuntimeError("multi-CTA search exceeded step budget")
 
-    lists = [s.results(k) for s in searchers]
-    ids, dists = heap_merge(lists, k)
+    rcap = max(k, rerank_mult * k) if codec is not None else k
+    lists = [s.results(rcap) for s in searchers]
+    ids, dists = heap_merge(lists, rcap)
+    if codec is not None:
+        pool = ids
+        ids, dists = exact_rerank(
+            np.asarray(points, dtype=np.float32), searchers[0].query, metric,
+            pool, k, qnorm=searchers[0]._qnorm,
+        )
+        if searchers[0].trace is not None:
+            searchers[0].trace.steps.append(
+                rerank_step_record(
+                    int(pool.size), searchers[0].dim,
+                    float(dists[0]) if dists.size else float("nan"),
+                )
+            )
     trace = None
     if record_trace:
         trace = QueryTrace(

@@ -1,0 +1,342 @@
+"""Quantized-distance traversal substrates for the graph-search hot path.
+
+Per-hop distance evaluation is the dominant cost of graph traversal at
+high dimension: every expansion step is a full ``dim``-wide float32 kernel.
+CAGRA-Q and FAISS cut that cost by walking the graph on a *compressed*
+representation of the base vectors and restoring exactness with a final
+float32 re-rank of the surviving candidates.  This module provides the
+compressed substrates as pluggable codecs shared by both search backends:
+
+* :class:`Int8Codec` — ScalarQuantizer (SQ8) codes.  Distances use the
+  ``|q - x̂|² = (|q|² - 2 q·lo) - 2 (q∘s)·c + |x̂|²`` expansion, so the
+  per-hop kernel reads 1 byte/dimension and the per-query terms
+  (``q∘s``, ``|q|² - 2 q·lo``) are built once at dispatch.  On hardware
+  this is a DP4A dot product (4 int8 MACs per lane-cycle, 4× less
+  memory traffic); the cost model prices it that way.
+* :class:`PQCodec` — ProductQuantizer ADC.  Per-query lookup tables are
+  built once at dispatch; each hop costs ``m`` table lookups per point
+  instead of ``dim`` FMAs (the IVF-PQ scan, moved into the traversal).
+
+Both codecs return float32 *approximate* distances with the same calling
+convention as :func:`repro.data.metrics.pair_distances`, and both are
+bit-deterministic across backends: the scalar oracle and the lockstep
+engine issue the identical per-row einsum / table-gather arithmetic, so
+scalar-vs-vectorized parity holds for every precision (the same argument
+as the float32 norms expansion — see ``pair_distances``).
+
+:func:`exact_rerank` is the shared exactness-restoring pass: the top
+``rerank_mult × k`` survivors of the approximate candidate list are
+re-scored with the full float32 kernel and the TopK is taken over exact
+distances.  Recall therefore degrades only when a true neighbour fell off
+the *candidate list* during the compressed walk, not merely because its
+approximate distance was slightly wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.metrics import pair_distances
+from ..gpusim.trace import StepRecord
+from .quantization import ProductQuantizer, ScalarQuantizer
+
+__all__ = [
+    "PRECISIONS",
+    "DEFAULT_RERANK_MULT",
+    "CodecInfo",
+    "Int8Codec",
+    "PQCodec",
+    "make_codec",
+    "default_pq_m",
+    "exact_rerank",
+    "rerank_step_record",
+]
+
+#: Supported traversal precisions.  ``"float32"`` is the exact baseline
+#: (no codec); the others walk the graph on compressed distances.
+PRECISIONS = ("float32", "int8", "pq")
+
+#: Default exact re-rank pool multiplier: re-score ``rerank_mult × k``.
+DEFAULT_RERANK_MULT = 2
+
+
+@dataclass(frozen=True)
+class CodecInfo:
+    """JSON-able codec provenance (lands in ``ServeReport.meta["precision"]``)."""
+
+    precision: str
+    dim: int
+    bytes_per_vector: int
+    m: int | None = None
+    ks: int | None = None
+    train_seed: int | None = None
+    train_n: int | None = None
+
+
+def default_pq_m(dim: int) -> int:
+    """Default PQ subspace count: ~8 dims per sub-code (CAGRA-Q's ratio)."""
+    for dsub in (8, 4, 2, 1):
+        if dim % dsub == 0:
+            return dim // dsub
+    return dim
+
+
+class Int8Codec:
+    """SQ8 traversal substrate: per-dimension affine uint8 codes.
+
+    ``distances`` mirrors the float32 norms expansion so the scalar and
+    lockstep backends produce bit-identical approximate distances: the
+    per-pair kernel is one row-wise einsum over the decoded-scale query
+    rows and the uint8 code rows (converted in-register on hardware).
+    """
+
+    precision = "int8"
+
+    def __init__(self, metric: str = "l2"):
+        if metric not in ("l2", "cosine"):
+            raise ValueError(f"unknown metric {metric!r}")
+        self.metric = metric
+        self.codes: np.ndarray | None = None
+        self.scale: np.ndarray | None = None
+        self.lo: np.ndarray | None = None
+        self._pnorm_hat: np.ndarray | None = None
+        self.dim = 0
+
+    def fit(self, points: np.ndarray) -> "Int8Codec":
+        points = np.asarray(points, dtype=np.float32)
+        sq = ScalarQuantizer().fit(points)
+        self.codes = sq.encode(points)
+        self.scale = sq.scale.astype(np.float32)
+        self.lo = sq.lo.astype(np.float32)
+        self.dim = int(points.shape[1])
+        if self.metric == "l2":
+            # Squared norms of the *reconstructions* — the |x̂|² term of the
+            # expansion, computed once over the corpus.
+            rec = sq.decode(self.codes)
+            self._pnorm_hat = np.einsum("ij,ij->i", rec, rec)
+        return self
+
+    @property
+    def trace_dim(self) -> int:
+        """Per-point distance work recorded in traces (full width for SQ8)."""
+        return self.dim
+
+    def info(self) -> CodecInfo:
+        return CodecInfo(
+            precision=self.precision, dim=self.dim, bytes_per_vector=self.dim
+        )
+
+    def query_state(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-query dispatch state: scaled query rows + affine constants.
+
+        Every term is computed row-wise (einsum / elementwise), so row
+        ``i`` of a batch state is bit-identical to the single-query state
+        of query ``i`` — the backends' parity relies on this.
+        """
+        q = np.ascontiguousarray(queries, dtype=np.float32)
+        if q.ndim == 1:
+            q = q[None, :]
+        qs = np.ascontiguousarray(q * self.scale[None, :])
+        qlo = np.einsum("ij,j->i", q, self.lo)
+        if self.metric == "l2":
+            qoff = np.einsum("ij,ij->i", q, q) - 2.0 * qlo
+        else:
+            qoff = 1.0 - qlo
+        return qs, qoff.astype(np.float32)
+
+    def distances(
+        self, state: tuple[np.ndarray, np.ndarray], qrows: np.ndarray, ids: np.ndarray
+    ) -> np.ndarray:
+        """Approximate distances for matched (query-row, point-id) pairs."""
+        qs, qoff = state
+        c = self.codes[ids].astype(np.float32)
+        dot = np.einsum("ij,ij->i", np.ascontiguousarray(qs[qrows]), c)
+        if self.metric == "l2":
+            d = qoff[qrows] + self._pnorm_hat[ids] - 2.0 * dot
+            return np.maximum(d, 0.0).astype(np.float32)
+        return (qoff[qrows] - dot).astype(np.float32)
+
+
+class PQCodec:
+    """PQ-ADC traversal substrate: ``m`` sub-codebook lookups per hop.
+
+    Per-query tables are built once at dispatch (``query_state``); the
+    per-hop kernel gathers one table entry per subspace per point — the
+    op the cost model prices as shared-memory lookups instead of FMAs.
+    """
+
+    precision = "pq"
+
+    def __init__(
+        self,
+        metric: str = "l2",
+        m: int | None = None,
+        ks: int = 256,
+        n_iters: int = 8,
+        train_sample: int = 4096,
+        seed: int = 0,
+    ):
+        if metric not in ("l2", "cosine"):
+            raise ValueError(f"unknown metric {metric!r}")
+        self.metric = metric
+        self._m_requested = m
+        self._ks_requested = ks
+        self.n_iters = n_iters
+        self.train_sample = train_sample
+        self.seed = seed
+        self.pq: ProductQuantizer | None = None
+        self.codes: np.ndarray | None = None
+        self.dim = 0
+        self.train_n = 0
+        self._base: np.ndarray | None = None
+
+    def fit(self, points: np.ndarray) -> "PQCodec":
+        points = np.asarray(points, dtype=np.float32)
+        n, dim = points.shape
+        m = self._m_requested or default_pq_m(dim)
+        if dim % m != 0:
+            raise ValueError(f"dim {dim} not divisible by pq m={m}")
+        train = points
+        if n > self.train_sample:
+            rng = np.random.default_rng(self.seed)
+            train = points[rng.choice(n, size=self.train_sample, replace=False)]
+        self.pq = ProductQuantizer(
+            m=m, ks=self._ks_requested, n_iters=self.n_iters, seed=self.seed
+        ).fit(train)
+        self.codes = self.pq.encode(points)
+        self.dim = dim
+        self.train_n = int(train.shape[0])
+        self._base = np.arange(m, dtype=np.int64) * self.pq.ks
+        return self
+
+    @property
+    def m(self) -> int:
+        return self.pq.m
+
+    @property
+    def ks(self) -> int:
+        return self.pq.ks
+
+    @property
+    def trace_dim(self) -> int:
+        """ADC costs ``m`` lookups per point — traces record dim = m."""
+        return self.pq.m
+
+    def info(self) -> CodecInfo:
+        return CodecInfo(
+            precision=self.precision,
+            dim=self.dim,
+            bytes_per_vector=self.pq.m,
+            m=self.pq.m,
+            ks=self.pq.ks,
+            train_seed=self.seed,
+            train_n=self.train_n,
+        )
+
+    def query_state(self, queries: np.ndarray) -> np.ndarray:
+        """Flattened per-query ADC tables, ``(B, m·ks)`` float32.
+
+        L2 tables hold squared sub-distances (``d = Σ lookups``); cosine
+        tables hold negated sub-dot-products (``d = 1 + Σ lookups``).
+        Built subspace-by-subspace with row-wise einsum, so a batch row is
+        bit-identical to the corresponding single-query table.
+        """
+        q = np.ascontiguousarray(queries, dtype=np.float32)
+        if q.ndim == 1:
+            q = q[None, :]
+        pq = self.pq
+        dsub = self.dim // pq.m
+        tables = np.empty((q.shape[0], pq.m, pq.ks), dtype=np.float32)
+        for j in range(pq.m):
+            qs = q[:, j * dsub : (j + 1) * dsub]
+            cb = pq.codebooks[j]
+            if self.metric == "l2":
+                diff = qs[:, None, :] - cb[None, :, :]
+                tables[:, j, :] = np.einsum("bkd,bkd->bk", diff, diff)
+            else:
+                tables[:, j, :] = -np.einsum("bd,kd->bk", qs, cb)
+        return np.ascontiguousarray(tables.reshape(q.shape[0], -1))
+
+    def distances(
+        self, state: np.ndarray, qrows: np.ndarray, ids: np.ndarray
+    ) -> np.ndarray:
+        """ADC distances: one flat gather of ``m`` table entries per pair."""
+        c = self.codes[ids].astype(np.int64)
+        width = state.shape[1]
+        idx = qrows[:, None] * width + self._base[None, :] + c
+        vals = np.take(state.reshape(-1), idx)
+        d = vals.sum(axis=1)
+        if self.metric == "cosine":
+            d = 1.0 + d
+        return d.astype(np.float32)
+
+
+def make_codec(
+    precision: str,
+    points: np.ndarray,
+    metric: str = "l2",
+    *,
+    pq_m: int | None = None,
+    pq_ks: int = 256,
+    seed: int = 0,
+):
+    """Fit the traversal codec for ``precision`` (None for ``"float32"``)."""
+    if precision not in PRECISIONS:
+        raise ValueError(
+            f"unknown precision {precision!r}; expected one of {PRECISIONS}"
+        )
+    if precision == "float32":
+        return None
+    if precision == "int8":
+        return Int8Codec(metric=metric).fit(points)
+    return PQCodec(metric=metric, m=pq_m, ks=pq_ks, seed=seed).fit(points)
+
+
+def exact_rerank(
+    points: np.ndarray,
+    query: np.ndarray,
+    metric: str,
+    ids: np.ndarray,
+    k: int,
+    qnorm: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Re-score approx-ordered candidates exactly; return the exact TopK.
+
+    ``ids`` is the (duplicate-free) re-rank pool in approximate-distance
+    order; ties in the exact sort resolve by that order (stable), so both
+    backends produce identical output for identical pools.  ``qnorm`` is
+    the cached squared query norm (the engines' norms-expansion term),
+    making the exact distances bit-identical to a float32 traversal's.
+    """
+    if ids.size == 0:
+        return ids.copy(), np.empty(0, dtype=np.float32)
+    pts = points[ids]
+    d = pair_distances(
+        np.broadcast_to(query, pts.shape), pts, metric,
+        a_norms=None if qnorm is None else np.broadcast_to(qnorm, ids.shape),
+    )
+    order = np.argsort(d, kind="stable")[: min(k, ids.size)]
+    return ids[order].copy(), d[order].copy()
+
+
+def rerank_step_record(n_scored: int, dim: int, best_dist: float) -> StepRecord:
+    """The float32 re-rank pass as a priced trace step.
+
+    ``n_scored`` full-width exact distances plus one sort of the pool —
+    the same accounting the IVF-PQ baseline uses for its re-rank scan.
+    """
+    return StepRecord(
+        select_offset=0,
+        n_expanded=0,
+        n_neighbors_fetched=0,
+        n_visited_checks=0,
+        n_new_points=n_scored,
+        dim=dim,
+        sort_size=n_scored,
+        cand_list_len=0,
+        did_sort=n_scored > 1,
+        best_dist=best_dist,
+        precision="float32",
+    )

@@ -1,0 +1,344 @@
+"""Quantized traversal substrates: codecs, parity, re-rank, serve plumbing.
+
+The contract under test (docs/performance.md "Quantized traversal"):
+
+* every precision is bit-identical between the scalar oracle and the
+  vectorized lockstep backend (ids, dists, and traces);
+* ``precision="float32"`` is byte-identical to not passing a precision at
+  all — the quantized axis must not perturb the existing path;
+* quantized searches end in an exact float32 re-rank whose output is the
+  exact TopK of the approximate pool;
+* the cost model prices int8/pq distance steps below float32 ones;
+* the serve stack records codec provenance in ``ServeReport.meta`` and it
+  survives JSON round-trips.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import IVFSystem
+from repro.core import ALGASSystem, ServeConfig
+from repro.core.serving import ServeReport
+from repro.data import load_dataset
+from repro.data.metrics import pair_distances
+from repro.graphs import build_cagra
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import RTX_A6000
+from repro.gpusim.trace import StepRecord
+from repro.search import (
+    Int8Codec,
+    PQCodec,
+    default_pq_m,
+    exact_rerank,
+    intra_cta_search,
+    make_codec,
+    make_entries,
+    multi_cta_search,
+)
+from repro.search.batched import (
+    batched_intra_cta_search,
+    batched_multi_cta_search,
+)
+from repro.search.precision import rerank_step_record
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    ds = load_dataset("sift1m-mini", n=1500, n_queries=8, gt_k=16, seed=3)
+    g = build_cagra(ds.base, graph_degree=12, metric=ds.metric)
+    return ds, g
+
+
+@pytest.fixture(scope="module")
+def cos_corpus():
+    ds = load_dataset("glove200-mini", n=1200, n_queries=6, gt_k=16, seed=4)
+    g = build_cagra(ds.base, graph_degree=12, metric=ds.metric)
+    return ds, g
+
+
+def _codec(precision, pts, metric):
+    return make_codec(precision, pts, metric=metric, pq_m=8, pq_ks=32)
+
+
+# ------------------------------------------------------------------- codecs
+def test_int8_codec_matches_decoded_exact_distances(corpus):
+    """The int8 kernel is the exact l2 distance to the SQ8 reconstruction."""
+    ds, _ = corpus
+    codec = Int8Codec("l2").fit(ds.base)
+    state = codec.query_state(ds.queries)
+    ids = np.arange(64, dtype=np.int64)
+    got = codec.distances(state, np.zeros(64, np.int64), ids)
+    dec = codec.lo + codec.codes[ids].astype(np.float32) * codec.scale
+    ref = ((dec - ds.queries[0]) ** 2).sum(axis=1)
+    assert np.allclose(got, ref, rtol=1e-4, atol=1e-3)
+
+
+def test_pq_codec_matches_adc_reference(corpus):
+    ds, _ = corpus
+    codec = PQCodec("l2", m=8, ks=32).fit(ds.base)
+    state = codec.query_state(ds.queries[:2])
+    ids = np.arange(50, dtype=np.int64)
+    got = codec.distances(state, np.ones(50, np.int64), ids)
+    table = codec.pq.adc_table(ds.queries[1])
+    ref = codec.pq.adc_distances(table, codec.codes[ids])
+    assert np.allclose(got, ref, rtol=1e-5, atol=1e-5)
+
+
+def test_codec_info_provenance(corpus):
+    ds, _ = corpus
+    i8 = _codec("int8", ds.base, "l2").info()
+    assert (i8.precision, i8.dim, i8.bytes_per_vector) == ("int8", ds.dim, ds.dim)
+    pq = _codec("pq", ds.base, "l2").info()
+    assert pq.precision == "pq"
+    assert pq.bytes_per_vector == pq.m == 8
+    assert pq.ks == 32
+    assert pq.train_n is not None
+
+
+def test_make_codec_validates(corpus):
+    ds, _ = corpus
+    assert make_codec("float32", ds.base) is None
+    with pytest.raises(ValueError, match="unknown precision"):
+        make_codec("fp16", ds.base)
+
+
+def test_default_pq_m():
+    assert default_pq_m(128) == 16
+    assert default_pq_m(960) == 120
+    assert default_pq_m(200) == 25
+    assert default_pq_m(13) == 13  # prime dim: one dim per sub-code
+
+
+# ----------------------------------------------------- scalar vs vectorized
+def _assert_same_result(a, b):
+    assert np.array_equal(a.ids, b.ids)
+    assert np.asarray(a.dists).tobytes() == np.asarray(b.dists).tobytes()
+
+
+def _assert_same_trace(ta, tb):
+    # intra-CTA searches return a bare CTATrace; multi-CTA a QueryTrace
+    ctas_a = ta.ctas if hasattr(ta, "ctas") else [ta]
+    ctas_b = tb.ctas if hasattr(tb, "ctas") else [tb]
+    assert len(ctas_a) == len(ctas_b)
+    for ca, cb in zip(ctas_a, ctas_b):
+        assert len(ca.steps) == len(cb.steps)
+        for sa, sb in zip(ca.steps, cb.steps):
+            da, db = dataclasses.asdict(sa), dataclasses.asdict(sb)
+            ba, bb = da.pop("best_dist"), db.pop("best_dist")
+            assert da == db
+            assert np.float32(ba).tobytes() == np.float32(bb).tobytes()
+
+
+@pytest.mark.parametrize("precision", ["float32", "int8", "pq"])
+def test_intra_cta_parity(corpus, precision):
+    ds, g = corpus
+    codec = _codec(precision, ds.base, ds.metric)
+    rng = np.random.default_rng(5)
+    entries = [rng.choice(ds.n, size=4, replace=False) for _ in ds.queries]
+    vec = batched_intra_cta_search(
+        ds.base, g, ds.queries, 8, 48, entries, metric=ds.metric, codec=codec
+    )
+    for i, q in enumerate(ds.queries):
+        sc = intra_cta_search(
+            ds.base, g, q, 8, 48, entries[i], metric=ds.metric,
+            backend="scalar", codec=codec,
+        )
+        _assert_same_result(sc, vec[i])
+        _assert_same_trace(sc.trace, vec[i].trace)
+
+
+@pytest.mark.parametrize("precision", ["float32", "int8", "pq"])
+@pytest.mark.parametrize("which", ["l2", "cosine"])
+def test_multi_cta_parity(corpus, cos_corpus, precision, which):
+    ds, g = corpus if which == "l2" else cos_corpus
+    codec = _codec(precision, ds.base, ds.metric)
+    rng = np.random.default_rng(6)
+    entries = [make_entries(ds.n, 4, 2, rng) for _ in ds.queries]
+    vec = batched_multi_cta_search(
+        ds.base, g, ds.queries, 8, 64, 4, metric=ds.metric,
+        entries=entries, codec=codec,
+    )
+    for i, q in enumerate(ds.queries):
+        sc = multi_cta_search(
+            ds.base, g, q, 8, 64, 4, metric=ds.metric, entries=entries[i],
+            backend="scalar", codec=codec,
+        )
+        _assert_same_result(sc, vec[i])
+        _assert_same_trace(sc.trace, vec[i].trace)
+
+
+def test_float32_path_byte_identical_to_no_codec(corpus):
+    """precision="float32" must be a no-op, not a third code path."""
+    ds, g = corpus
+    rng = np.random.default_rng(7)
+    entries = [make_entries(ds.n, 4, 2, rng) for _ in ds.queries]
+    plain = batched_multi_cta_search(
+        ds.base, g, ds.queries, 8, 64, 4, metric=ds.metric, entries=entries
+    )
+    via_codec = batched_multi_cta_search(
+        ds.base, g, ds.queries, 8, 64, 4, metric=ds.metric, entries=entries,
+        codec=make_codec("float32", ds.base), rerank_mult=4,
+    )
+    for a, b in zip(plain, via_codec):
+        _assert_same_result(a, b)
+        _assert_same_trace(a.trace, b.trace)
+
+
+# ------------------------------------------------------------------- rerank
+def test_quantized_dists_are_exact_and_sorted(corpus):
+    """After the re-rank, reported dists are exact float32, ascending."""
+    ds, g = corpus
+    codec = _codec("int8", ds.base, ds.metric)
+    res = intra_cta_search(
+        ds.base, g, ds.queries[0], 8, 48, np.arange(4), metric=ds.metric,
+        backend="scalar", codec=codec,
+    )
+    exact = pair_distances(
+        np.broadcast_to(ds.queries[0], (res.ids.size, ds.dim)),
+        ds.base[res.ids], ds.metric,
+    )
+    assert np.allclose(res.dists, exact, rtol=1e-6, atol=1e-6)
+    assert (np.diff(res.dists) >= 0).all()
+
+
+def test_exact_rerank_returns_exact_topk(corpus):
+    ds, _ = corpus
+    pool = np.random.default_rng(0).choice(ds.n, size=40, replace=False)
+    ids, dists = exact_rerank(ds.base, ds.queries[0], ds.metric, pool, 10)
+    all_d = pair_distances(
+        np.broadcast_to(ds.queries[0], (40, ds.dim)), ds.base[pool], ds.metric
+    )
+    order = np.argsort(all_d, kind="stable")[:10]
+    assert set(ids) == set(pool[order])
+    assert np.allclose(np.sort(dists), np.sort(all_d[order]))
+
+
+def test_rerank_trace_step_recorded(corpus):
+    ds, g = corpus
+    codec = _codec("pq", ds.base, ds.metric)
+    res = multi_cta_search(
+        ds.base, g, ds.queries[0], 8, 64, 4, metric=ds.metric,
+        entries=make_entries(ds.n, 4, 2, np.random.default_rng(8)),
+        backend="scalar", codec=codec, rerank_mult=3,
+    )
+    # traversal steps are priced as PQ lookups (dim = m) ...
+    trav = res.trace.ctas[1].steps
+    assert all(s.precision == "pq" for s in trav)
+    assert all(s.dim == 8 for s in trav if s.n_new_points)
+    # ... and CTA 0 carries the trailing float32 re-rank pass at full width
+    last = res.trace.ctas[0].steps[-1]
+    assert last.precision == "float32"
+    assert last.dim == ds.dim
+    assert 8 <= last.n_new_points <= 3 * 8
+
+
+# --------------------------------------------------------------- cost model
+def _step(dim, n_new, precision):
+    return StepRecord(
+        select_offset=0, n_expanded=1, n_neighbors_fetched=n_new,
+        n_visited_checks=n_new, n_new_points=n_new, dim=dim, sort_size=64,
+        cand_list_len=64, did_sort=True, precision=precision,
+    )
+
+
+def test_cost_model_prices_quantized_steps_cheaper():
+    cm = CostModel(RTX_A6000)
+    f32 = cm.step_cost(_step(960, 32, "float32")).total_us
+    i8 = cm.step_cost(_step(960, 32, "int8")).total_us
+    # pq scores m=120 lookups per point, not 960 FMAs
+    pq = cm.step_cost(_step(120, 32, "pq")).total_us
+    assert i8 < f32
+    assert pq < f32
+    # unknown precision falls back to float32 pricing
+    assert cm.step_cost(_step(960, 32, "exotic")).total_us == pytest.approx(f32)
+
+
+def test_rerank_step_record_shape():
+    rec = rerank_step_record(24, 960, 1.5)
+    assert rec.precision == "float32"
+    assert (rec.n_new_points, rec.dim, rec.sort_size) == (24, 960, 24)
+    assert rec.did_sort
+
+
+# ---------------------------------------------------------- serve plumbing
+def test_serve_config_validates_precision():
+    with pytest.raises(ValueError, match="precision"):
+        ServeConfig(precision="fp16")
+    with pytest.raises(ValueError, match="rerank_mult"):
+        ServeConfig(rerank_mult=0)
+    ServeConfig(precision="int8", rerank_mult=3)  # valid
+
+
+def test_system_serve_records_codec_meta(corpus):
+    ds, g = corpus
+    system = ALGASSystem(
+        ds.base, g, metric=ds.metric, k=8, l_total=64, batch_size=8, seed=0,
+        precision="pq", pq_m=8, pq_ks=32,
+    )
+    report = system.serve(ds.queries).serve
+    meta = report.meta["precision"]
+    assert meta["precision"] == "pq"
+    assert meta["rerank_mult"] == 2
+    assert meta["codec"].m == 8
+
+    # meta survives a JSON round-trip with the codec as a plain dict
+    back = ServeReport.from_json(report.to_json())
+    bm = back.meta["precision"]
+    assert bm["codec"]["precision"] == "pq"
+    assert bm["codec"]["m"] == 8
+    assert back.meta == json.loads(report.to_json())["meta"]
+
+
+def test_serve_config_precision_overrides_system_default(corpus):
+    ds, g = corpus
+    system = ALGASSystem(
+        ds.base, g, metric=ds.metric, k=8, l_total=64, batch_size=8, seed=0
+    )
+    report = system.serve(ds.queries, ServeConfig(precision="int8"))
+    assert report.serve.meta["precision"]["precision"] == "int8"
+    plain = system.serve(ds.queries)
+    assert plain.serve.meta["precision"]["codec"] is None
+    assert np.array_equal(report.ids.shape, plain.ids.shape)
+
+
+def test_float32_serve_unchanged_by_precision_kwarg(corpus):
+    ds, g = corpus
+    kw = dict(metric=ds.metric, k=8, l_total=64, batch_size=8, seed=0)
+    a = ALGASSystem(ds.base, g, **kw).serve(ds.queries)
+    b = ALGASSystem(ds.base, g, precision="float32", **kw).serve(ds.queries)
+    assert np.array_equal(a.ids, b.ids)
+    assert a.dists.tobytes() == b.dists.tobytes()
+
+
+def test_ivf_rejects_precision(corpus):
+    ds, _ = corpus
+    system = IVFSystem(
+        ds.base, nlist=16, nprobe=4, metric=ds.metric, k=8, batch_size=8,
+        seed=0,
+    )
+    with pytest.raises(ValueError, match="graph traversal"):
+        system.serve(ds.queries, ServeConfig(precision="int8"))
+    with pytest.raises(ValueError, match="graph traversal"):
+        system.serve(ds.queries, ServeConfig(rerank_mult=4))
+
+
+def test_system_validates_precision_kwargs(corpus):
+    ds, g = corpus
+    with pytest.raises(ValueError, match="precision"):
+        ALGASSystem(ds.base, g, metric=ds.metric, precision="fp16")
+    with pytest.raises(ValueError, match="rerank_mult"):
+        ALGASSystem(ds.base, g, metric=ds.metric, rerank_mult=0)
+
+
+def test_codec_cache_reused_across_searches(corpus):
+    ds, g = corpus
+    system = ALGASSystem(
+        ds.base, g, metric=ds.metric, k=8, l_total=64, batch_size=8, seed=0
+    )
+    c1 = system.traversal_codec("int8")
+    c2 = system.traversal_codec("int8")
+    assert c1 is c2
+    assert system.traversal_codec("float32") is None

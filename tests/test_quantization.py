@@ -153,3 +153,48 @@ def test_sq8_validates():
         sq.encode(np.ones((2, 4), np.float32))
     with pytest.raises(ValueError):
         sq.fit(np.empty((0, 4), np.float32))
+
+
+# ------------------------------------------------- traversal-substrate ties
+# Direct bounds/ordering coverage backing the quantized traversal path
+# (repro.search.precision builds its kernels on these primitives).
+
+
+def test_pq_roundtrip_error_shrinks_with_codebook_size(pts):
+    """Round-trip error is monotone in ks: more centroids, less loss."""
+    coarse = ProductQuantizer(m=4, ks=8, seed=0).fit(pts)
+    fine = ProductQuantizer(m=4, ks=128, seed=0).fit(pts)
+    assert fine.quantization_error(pts[:300]) < coarse.quantization_error(pts[:300])
+
+
+def test_adc_topk_monotone_vs_exact(pq, pts):
+    """ADC ordering must preserve the exact ordering's head: the exact
+    top-10 of a 300-point pool lands inside the ADC top-60 (the 6x pool a
+    rerank would scan)."""
+    q = pts[7]
+    cand = np.arange(100, 400)
+    approx = pq.adc_distances(pq.adc_table(q), pq.encode(pts[cand]))
+    exact = ((pts[cand] - q) ** 2).sum(1)
+    adc_head = set(cand[np.argsort(approx, kind="stable")[:60]])
+    exact_head = set(cand[np.argsort(exact, kind="stable")[:10]])
+    assert len(exact_head & adc_head) >= 8
+
+
+def test_ivfpq_rerank_returns_exact_sorted_distances(pts):
+    """With rerank, reported distances are exact and ascending."""
+    idx = IVFPQIndex(pts, nlist=16, m=4, ks=64, seed=0)
+    r = idx.search(pts[3], 8, nprobe=8, rerank=64)
+    exact = ((pts[r.ids] - pts[3]) ** 2).sum(1)
+    assert np.allclose(r.dists, exact, rtol=1e-5, atol=1e-5)
+    assert (np.diff(r.dists) >= -1e-7).all()
+
+
+def test_sq8_error_bound_scales_with_span(pts):
+    """SQ8 worst-case round-trip error is span/510 per dimension, so total
+    squared error is bounded by sum((span/510)^2) — check with margin."""
+    from repro.search.quantization import ScalarQuantizer
+
+    sq = ScalarQuantizer().fit(pts)
+    rec = sq.decode(sq.encode(pts[:300]))
+    worst = ((sq.scale / 2) ** 2).sum()
+    assert (((rec - pts[:300]) ** 2).sum(1) <= worst * 1.01 + 1e-6).all()

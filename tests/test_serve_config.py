@@ -112,3 +112,40 @@ def test_as_serve_config_coercion():
         as_serve_config(cfg, events=[])
     with pytest.raises(TypeError, match="expected a ServeConfig"):
         as_serve_config({"slots": 4})
+
+
+# ----------------------------------------------- meta serialization fidelity
+def test_report_meta_survives_json_roundtrip(mini):
+    """meta entries holding dataclasses, tuples, ndarrays and numpy scalars
+    must come back as plain JSON types from to_json/from_json — no repr
+    strings (the codec provenance in meta["precision"] relies on this)."""
+    from repro.core.serving import ServeReport
+    from repro.search import make_codec
+
+    ds, g = mini
+    system = ALGASSystem(ds.base, g, metric=ds.metric, k=8, l_total=64,
+                         batch_size=8, seed=0)
+    report = system.serve(ds.queries).serve
+    report.meta["probe"] = {
+        "tuple": (1, 2), "set": {3}, "arr": np.arange(3),
+        "np_f": np.float32(1.5), "np_b": np.bool_(True),
+        "codec": make_codec("int8", ds.base, metric=ds.metric).info(),
+    }
+    back = ServeReport.from_json(report.to_json())
+    probe = back.meta["probe"]
+    assert probe["tuple"] == [1, 2] and probe["set"] == [3]
+    assert probe["arr"] == [0, 1, 2]
+    assert probe["np_f"] == 1.5 and probe["np_b"] is True
+    assert probe["codec"]["precision"] == "int8"
+    assert probe["codec"]["dim"] == ds.dim
+    # a second round-trip is a fixed point
+    again = ServeReport.from_json(back.to_json())
+    assert again.meta == back.meta
+
+
+def test_serve_config_precision_validation():
+    with pytest.raises(ValueError, match="precision"):
+        ServeConfig(precision="bf16")
+    with pytest.raises(ValueError, match="rerank_mult"):
+        ServeConfig(rerank_mult=-1)
+    assert ServeConfig(precision="pq", rerank_mult=2).precision == "pq"
