@@ -28,6 +28,7 @@ Usage:
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 import time
@@ -35,6 +36,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.bench.profiling import profile_call
 from repro.data import load_dataset
 from repro.graphs import build_cagra, build_hnsw, build_nsg, build_nsw
 from repro.search import batched_intra_cta_search
@@ -95,17 +97,30 @@ def _timed_pair(factory, ds, **kwargs) -> dict:
 
 
 def main(argv: list[str]) -> int:
-    out_path = Path(argv[1]) if len(argv) > 1 else (
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("out", nargs="?", type=Path, default=(
         Path(__file__).resolve().parents[2] / "BENCH_build.json"
-    )
+    ))
+    ap.add_argument("--profile", action="store_true",
+                    help="cProfile the first headline builder pair and "
+                         "print the top-20 cumulative hotspots")
+    args = ap.parse_args(argv[1:])
+    out_path = args.out
 
     # --- headline: SIFT-mini at n=20k ------------------------------------
     headline = []
     name, n_head, _ = CORPORA[0]
     ds = load_dataset(name, n=n_head, n_queries=N_QUERIES, gt_k=K, seed=7)
-    for builder, (factory, head_kw, _kw) in BUILDERS.items():
+    for i, (builder, (factory, head_kw, _kw)) in enumerate(BUILDERS.items()):
         row = {"builder": builder, "dataset": name, "n_base": ds.n, **head_kw}
-        row.update(_timed_pair(factory, ds, **head_kw))
+        if args.profile and i == 0:
+            timed, prof_report = profile_call(_timed_pair, factory, ds,
+                                              **head_kw)
+            print(f"\n--- cProfile ({builder} @ {ds.n}) ---")
+            print(prof_report)
+        else:
+            timed = _timed_pair(factory, ds, **head_kw)
+        row.update(timed)
         headline.append(row)
         print(
             f"{builder:>6s} @ {ds.n}: scalar {row['scalar_s']:6.1f}s  "

@@ -4,11 +4,11 @@ Marker-gated (``-m perf_smoke``) like the search/build gates.  On a small
 dim=960 corpus the int8 substrate must be >= 1.5x faster than float32 on
 the simulated-GPU latency axis (the cost model pricing each run's own
 traces — the quantity the serve stack reports) while holding recall@16
-within 0.02.  Wall clock is reported via telemetry but only gated loosely
-(int8 must not *lose* badly): at smoke scale the numpy engine's distance
-stage is a minority of wall time, so the wall ratio understates the
-substrate swap; BENCH_quantized.json reports both axes at full bench
-scale.
+within 0.02.  Wall clock is a hard gate too: with the fused codec kernels
+(``precision.Int8Kernel``) int8 must not lose to float32 even on the
+host numpy engine (best-of-3, untraced runs) — the same
+``wall_speedup_vs_float32 >= 1.0`` bar BENCH_quantized.json enforces at
+full bench scale.
 """
 
 from __future__ import annotations
@@ -30,7 +30,18 @@ from repro.telemetry import MetricsRegistry, to_prometheus_text
 pytestmark = pytest.mark.perf_smoke
 
 MIN_SIM_SPEEDUP = 1.5
+MIN_WALL_SPEEDUP = 1.0
 MAX_RECALL_DELTA = 0.02
+WALL_REPEATS = 3
+
+
+def _best_of(fn, repeats=WALL_REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 @pytest.mark.perf_smoke
@@ -53,12 +64,13 @@ def test_int8_traversal_beats_float32_on_simulated_latency():
 
     run(None, False), run(codec, False)  # warm both paths
 
-    t0 = time.perf_counter()
+    # Wall clock on untraced runs (trace recording is Python bookkeeping
+    # that would dilute the ratio equally and add noise), best-of-N
+    # against scheduler jitter; the traced runs below feed the sim axis.
+    t_f32 = _best_of(lambda: run(None, False))
+    t_i8 = _best_of(lambda: run(codec, False))
     res_f32 = run(None, True)
-    t_f32 = time.perf_counter() - t0
-    t0 = time.perf_counter()
     res_i8 = run(codec, True)
-    t_i8 = time.perf_counter() - t0
 
     sim_f32 = float(np.mean([cm.query_gpu_time_us(r.trace) for r in res_f32]))
     sim_i8 = float(np.mean([cm.query_gpu_time_us(r.trace) for r in res_i8]))
@@ -81,6 +93,8 @@ def test_int8_traversal_beats_float32_on_simulated_latency():
               precision="int8").set(rec_i8)
     reg.gauge("algas_quantized_smoke_sim_speedup",
               "float32 / int8 simulated latency").set(sim_f32 / sim_i8)
+    reg.gauge("algas_quantized_smoke_wall_speedup",
+              "float32 / int8 wall clock").set(t_f32 / t_i8)
     print()
     print(to_prometheus_text(reg), end="")
 
@@ -93,7 +107,7 @@ def test_int8_traversal_beats_float32_on_simulated_latency():
         f"int8 recall@16 {rec_i8:.4f} drifts more than {MAX_RECALL_DELTA} "
         f"from float32 {rec_f32:.4f}"
     )
-    # Wall clock: loose "never loses badly" guard, not the headline gate.
-    assert t_i8 < 1.5 * t_f32, (
-        f"int8 wall clock {t_i8:.3f}s much slower than float32 {t_f32:.3f}s"
+    assert t_f32 / t_i8 >= MIN_WALL_SPEEDUP, (
+        f"int8 wall-clock speedup {t_f32 / t_i8:.2f}x below the "
+        f"{MIN_WALL_SPEEDUP}x gate ({t_f32:.3f}s -> {t_i8:.3f}s)"
     )

@@ -5,13 +5,14 @@
 #   scripts/test.sh --tier1    # lint + unit/integration/property tests
 #   scripts/test.sh --perf     # perf smoke only: search gate (~2 s; fails
 #                              # if the vectorized backend loses to the
-#                              # scalar one) + build gate (~40 s; vectorized
-#                              # NSW build must beat scalar by >=3x at n=20k
-#                              # and hold recall@10 within 0.01) + quantized
-#                              # gate (~15 s; int8 traversal must beat
-#                              # float32 by >=1.5x simulated GPU latency on
-#                              # a dim=960 corpus with recall@16 within
-#                              # 0.02 — docs/performance.md)
+#                              # scalar one on wall clock) + build gate
+#                              # (~40 s; vectorized NSW build must beat
+#                              # scalar by >=3x at n=20k and hold recall@10
+#                              # within 0.01) + quantized gate (~15 s; int8
+#                              # traversal must beat float32 by >=1.5x
+#                              # simulated GPU latency AND >=1.0x host wall
+#                              # clock on a dim=960 corpus with recall@16
+#                              # within 0.02 — docs/performance.md)
 #   scripts/test.sh --chaos    # chaos smoke only: serve under the fixed
 #                              # "smoke" fault plan (1 of 4 shards killed,
 #                              # slots hung/corrupted, PCIe stalled) and

@@ -1,6 +1,7 @@
 """Benchmark harness: cached runners and per-figure experiment definitions."""
 
 from . import experiments, figures
+from .profiling import profile_call
 from .runner import (
     BENCH_DATASETS,
     SCALE,
@@ -21,6 +22,7 @@ __all__ = [
     "SCALE",
     "BenchScale",
     "cached_search",
+    "profile_call",
     "get_dataset",
     "get_graph",
     "make_system",

@@ -1,0 +1,34 @@
+"""Shared cProfile harness for the CLI and the perf benchmarks.
+
+Perf work should start from data, not guesses: ``repro serve --profile``
+and ``bench_*.py --profile`` route their hot section through
+:func:`profile_call` and print the top cumulative-time functions, so the
+next optimisation PR can see exactly where the wall clock goes (the SoA
+batcher tick and fused codec gathers in this repo both started as entries
+in this listing).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+
+__all__ = ["profile_call", "TOP_DEFAULT"]
+
+#: hotspots printed by default — enough to see past the harness frames.
+TOP_DEFAULT = 20
+
+
+def profile_call(fn, *args, top: int = TOP_DEFAULT, **kwargs):
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, report)`` where ``report`` is the top-``top``
+    cumulative-time listing as text (print it, log it, or drop it).
+    """
+    prof = cProfile.Profile()
+    result = prof.runcall(fn, *args, **kwargs)
+    buf = io.StringIO()
+    stats = pstats.Stats(prof, stream=buf)
+    stats.sort_stats("cumulative").print_stats(top)
+    return result, buf.getvalue()

@@ -69,6 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--rerank-mult", type=int, default=2,
                    help="exact re-rank pool multiplier: re-score "
                         "rerank_mult*k survivors (quantized precisions)")
+    s.add_argument("--backend", choices=("scalar", "vectorized", "compiled"),
+                   default="vectorized",
+                   help="search backend: 'vectorized' lockstep engine "
+                        "(default), 'compiled' its numba inner-round "
+                        "variant (falls back to vectorized without numba), "
+                        "'scalar' the per-step oracle — all bit-identical")
+    s.add_argument("--profile", action="store_true",
+                   help="run the serve under cProfile and print the top-20 "
+                        "cumulative wall-clock hotspots")
     s.add_argument("--host-threads", default="auto")
     s.add_argument("--state-mode", choices=("gdrcopy", "naive"), default="gdrcopy")
     s.add_argument("--no-beam", action="store_true")
@@ -212,7 +221,8 @@ def _cmd_serve(args) -> int:
         }
         common = dict(metric=ds.metric, k=args.k, l_total=args.l_total,
                       batch_size=args.batch, seed=args.seed,
-                      precision=args.precision, rerank_mult=args.rerank_mult)
+                      precision=args.precision, rerank_mult=args.rerank_mult,
+                      backend=args.backend)
         if args.system == "algas":
             ht = args.host_threads
             system = ALGASSystem(
@@ -227,7 +237,17 @@ def _cmd_serve(args) -> int:
             system = GANNSSystem(ds.base, g, **common)
             system.build_info = build_info
     tel = Telemetry() if (args.metrics_out or args.slot_timeline) else None
+    t0 = time.perf_counter()
     rep = system.serve(ds.queries, ServeConfig(telemetry=tel))
+    wall_s = time.perf_counter() - t0
+    prof_report = None
+    if args.profile:
+        # Separate diagnostic pass: profiling inflates the Python-heavy
+        # stages, so the timed serve above stays unprofiled and the
+        # vs-float32 wall ratio stays honest.
+        from .bench.profiling import profile_call
+
+        _, prof_report = profile_call(system.serve, ds.queries, ServeConfig())
     rec = recall(rep.ids, ds.gt_at(args.k))
     s = rep.serve.summary()
     print(f"system={args.system} dataset={args.dataset} n={ds.n} "
@@ -245,6 +265,16 @@ def _cmd_serve(args) -> int:
         print(f"precision     = {prec_meta['precision']} "
               f"(rerank {prec_meta['rerank_mult']}x k,"
               f" {codec.bytes_per_vector} B/vec{extra})")
+        # Both speedup axes vs a float32 reference serve of the same
+        # config (docs/performance.md, "Wall-clock vs simulated speed"):
+        # sim = the cost model's priced GPU latency ratio, wall = the
+        # host-side numpy engine's measured clock ratio.
+        t0 = time.perf_counter()
+        ref = system.serve(ds.queries, ServeConfig(precision="float32"))
+        ref_wall_s = time.perf_counter() - t0
+        ref_lat = ref.serve.summary()["mean_latency_us"]
+        print(f"vs float32    = sim {ref_lat / s['mean_latency_us']:.2f}x, "
+              f"wall {ref_wall_s / wall_s:.2f}x")
     print(f"recall@{args.k} = {rec:.4f}")
     print(f"mean latency  = {s['mean_latency_us']:.1f} us "
           f"(p50 {s['p50_latency_us']:.1f}, p99 {s['p99_latency_us']:.1f})")
@@ -262,6 +292,9 @@ def _cmd_serve(args) -> int:
     if args.metrics_out and tel is not None:
         write_metrics(tel, args.metrics_out)
         print(f"metrics       -> {args.metrics_out}")
+    if prof_report is not None:
+        print("\n--- cProfile: top cumulative hotspots ---")
+        print(prof_report, end="")
     return 0
 
 

@@ -18,6 +18,18 @@ Event-driven model of the ALGAS serving loop:
 The engine consumes priced :class:`~repro.core.serving.QueryJob`s, so one
 set of search traces can be replayed under dynamic and static disciplines.
 
+Slot maintenance runs on structure-of-arrays state (docs/performance.md,
+"Wall-clock vs simulated speed"): CTA state words live in a
+:class:`~repro.core.slots.SlotBank` and the per-slot runtime words
+(ready/dispatch timestamps, dispatch epochs) are parallel numpy arrays, so
+each engine tick finds collectable / dispatchable / wedged slots with a
+few vectorized mask reductions and only touches Python objects for slots
+that actually have work.  ``DynamicBatchConfig.tick_mode`` selects the
+sweep implementation: ``"soa"`` (default) or the ``"loop"`` reference
+per-slot scan — the two are bit-identical (tests/test_soa_tick_parity.py)
+because every effectful operation runs in the same order on the same
+state; only the cost of *finding* actionable slots differs.
+
 Resilience (docs/robustness.md): the engine optionally takes a
 :class:`~repro.resilience.FaultPlan` (slot hangs/corruption, stragglers,
 PCIe stalls are injected at dispatch/finish time) and a
@@ -34,6 +46,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from ..gpusim.costmodel import CostModel
 from ..gpusim.device import DeviceProperties
 from ..gpusim.engine import Simulator
@@ -44,10 +58,13 @@ from ..telemetry import NULL_TELEMETRY
 from .merge import HostMerger
 from .query_manager import ManagedQuery, QueryManager
 from .serving import QueryJob, QueryRecord, ServeReport
-from .slots import Slot, SlotState
+from .slots import SlotBank, SlotState
 from .state_sync import StateChannel
 
 __all__ = ["DynamicBatchConfig", "DynamicBatchEngine"]
+
+#: valid search-backend provenance tags (mirrors repro.search backends).
+_SEARCH_BACKENDS = ("scalar", "vectorized", "compiled")
 
 
 @dataclass(frozen=True)
@@ -73,9 +90,14 @@ class DynamicBatchConfig:
     #: are asynchronous; the host does not block on the copy itself).
     host_submit_us: float = 0.3
     #: which search backend produced the traces this engine replays
-    #: ("scalar" oracle or the "vectorized" lockstep engine) — provenance
-    #: recorded in the serve report; the two are trace-equivalent.
+    #: ("scalar" oracle, the "vectorized" lockstep engine, or its
+    #: "compiled" numba variant) — provenance recorded in the serve
+    #: report; all are trace-equivalent.
     search_backend: str = "scalar"
+    #: slot-maintenance sweep: "soa" (vectorized mask scan over the slot
+    #: bank, the default) or "loop" (per-slot Python reference scan).
+    #: Bit-identical outputs; kept switchable for the parity suite.
+    tick_mode: str = "soa"
 
     def __post_init__(self) -> None:
         if self.n_slots <= 0 or self.n_parallel <= 0 or self.k <= 0:
@@ -84,8 +106,10 @@ class DynamicBatchConfig:
             raise ValueError("host_threads must be positive")
         if self.host_poll_period_us <= 0:
             raise ValueError("host_poll_period_us must be positive")
-        if self.search_backend not in ("scalar", "vectorized"):
+        if self.search_backend not in _SEARCH_BACKENDS:
             raise ValueError(f"unknown search backend {self.search_backend!r}")
+        if self.tick_mode not in ("soa", "loop"):
+            raise ValueError(f"unknown tick_mode {self.tick_mode!r}")
 
 
 class DynamicBatchEngine:
@@ -145,17 +169,20 @@ class DynamicBatchEngine:
         chan = StateChannel(link, cfg.state_mode)
         merger = HostMerger(self.cm, telemetry=tel)
 
-        slots = [Slot(slot_id=i, n_ctas=cfg.n_parallel) for i in range(cfg.n_slots)]
+        bank = SlotBank(cfg.n_slots, cfg.n_parallel)
+        slots = bank.slots
         if tel.enabled:
             for s in slots:
                 s.observer = tel.slot_transition
-        # Per-slot runtime info.
+        # Per-slot runtime state as parallel arrays (SoA): timestamps use
+        # NaN for "empty", epochs guard revoked dispatches.  Only the job
+        # objects stay in a Python list (they are opaque references).
         slot_job: list[QueryJob | None] = [None] * cfg.n_slots
-        slot_ready_at: list[float | None] = [None] * cfg.n_slots  # FINISH visible
-        slot_dispatched_at: list[float | None] = [None] * cfg.n_slots
+        ready_at = np.full(cfg.n_slots, np.nan)  # FINISH visible at this time
+        dispatched_at = np.full(cfg.n_slots, np.nan)
         # Epoch guard: force-retiring a slot bumps its epoch so in-flight
         # CTA-end events of the revoked dispatch become no-ops.
-        slot_epoch: list[int] = [0] * cfg.n_slots
+        slot_epoch = np.zeros(cfg.n_slots, dtype=np.int64)
         attempts: dict[int, int] = {}  # query_id -> watchdog re-dispatches
         records: dict[int, QueryRecord] = {
             j.query_id: QueryRecord(j.query_id, j.arrival_us) for j in jobs
@@ -173,6 +200,7 @@ class DynamicBatchEngine:
         owned: list[list[int]] = [[] for _ in range(cfg.host_threads)]
         for s in range(cfg.n_slots):
             owned[s % cfg.host_threads].append(s)
+        owned_arr = [np.array(o, dtype=np.int64) for o in owned]
 
         # ----------------------------------------------------------- GPU side
         def start_slot(
@@ -223,7 +251,7 @@ class DynamicBatchEngine:
                     chan.publish(sim_.now)
                     return
                 if cfg.merge_on_cpu:
-                    slot_ready_at[slot_id] = chan.publish(sim_.now)
+                    ready_at[slot_id] = chan.publish(sim_.now)
                 else:
                     # GPU-merge ablation: the persistent kernel must yield to
                     # a merge kernel before results are ready (§IV-B); only
@@ -239,7 +267,7 @@ class DynamicBatchEngine:
                             tag="result-push",
                             overhead_us=link.MMIO_OVERHEAD_US,
                         )
-                        slot_ready_at[slot_id] = chan.publish(sim2.now)
+                        ready_at[slot_id] = chan.publish(sim2.now)
 
                     sim_.schedule(merge_done, publish_after_merge)
 
@@ -269,54 +297,163 @@ class DynamicBatchEngine:
                 tel.degraded_window_exited(degraded_since, t)
 
         # ---------------------------------------------------------- watchdog
-        def watchdog_sweep(tid: int, t: float) -> None:
-            """Reap no-progress slots past the budget; re-dispatch or fail."""
+        def reap_slot(s: int, t: float) -> None:
+            """Revoke one wedged slot and re-dispatch or fail its query."""
             nonlocal outstanding
+            job = slot_job[s]
+            # The slot is wedged (hung or corrupted): revoke it.  Its
+            # CTA contexts are lost for the rest of the serve — the
+            # survivors absorb the load.
+            slot_epoch[s] += 1
+            slots[s].force_retire()
+            slot_job[s] = None
+            ready_at[s] = np.nan
+            dispatched_at[s] = np.nan
+            stats.watchdog_kills += 1
+            tel.watchdog_kill(s, job.query_id, t)
+            attempt = attempts.get(job.query_id, 0) + 1
+            attempts[job.query_id] = attempt
+            if attempt > policy.max_retries:
+                stats.retry_failures += 1
+                stats.failed_ids.append(job.query_id)
+                outstanding -= 1
+                tel.retry_exhausted(job.query_id)
+                return
+            backoff = policy.backoff_us(attempt)
+            records[job.query_id].retries = attempt
+            stats.retries += 1
+            tel.query_retried(job.query_id, attempt, t)
+            manager.submit(
+                ManagedQuery(replace(job, arrival_us=t + backoff)),
+                resubmit=True,
+            )
+
+        def watchdog_sweep(tid: int, t: float) -> None:
+            """Reap no-progress slots past the budget; re-dispatch or fail.
+
+            Candidate selection is one vectorized comparison over the
+            thread's slot rows (NaN dispatch stamps — empty slots — compare
+            false); only genuinely over-budget slots reach Python code.
+            """
+            mine = owned_arr[tid]
+            over = mine[t - dispatched_at[mine] >= policy.watchdog_budget_us]
+            if over.size == 0:
+                return
+            finished = bank.all_finished_mask()
+            for s in over.tolist():
+                if not np.isnan(ready_at[s]) and finished[s]:
+                    continue  # finished, just not collected yet
+                reap_slot(s, t)
+
+        def watchdog_sweep_loop(tid: int, t: float) -> None:
+            """Reference per-slot watchdog scan (tick_mode="loop")."""
             for s in owned[tid]:
                 job = slot_job[s]
-                da = slot_dispatched_at[s]
-                if job is None or da is None:
+                da = dispatched_at[s]
+                if job is None or np.isnan(da):
                     continue
                 if t - da < policy.watchdog_budget_us:
                     continue
-                if slot_ready_at[s] is not None and slots[s].all_finished:
+                if not np.isnan(ready_at[s]) and slots[s].all_finished:
                     continue  # finished, just not collected yet
-                # The slot is wedged (hung or corrupted): revoke it.  Its
-                # CTA contexts are lost for the rest of the serve — the
-                # survivors absorb the load.
-                slot_epoch[s] += 1
-                slots[s].force_retire()
-                slot_job[s] = None
-                slot_ready_at[s] = None
-                slot_dispatched_at[s] = None
-                stats.watchdog_kills += 1
-                tel.watchdog_kill(s, job.query_id, t)
-                attempt = attempts.get(job.query_id, 0) + 1
-                attempts[job.query_id] = attempt
-                if attempt > policy.max_retries:
-                    stats.retry_failures += 1
-                    stats.failed_ids.append(job.query_id)
-                    outstanding -= 1
-                    tel.retry_exhausted(job.query_id)
-                    continue
-                backoff = policy.backoff_us(attempt)
-                records[job.query_id].retries = attempt
-                stats.retries += 1
-                tel.query_retried(job.query_id, attempt, t)
-                manager.submit(
-                    ManagedQuery(replace(job, arrival_us=t + backoff)),
-                    resubmit=True,
-                )
+                reap_slot(s, t)
 
         # ---------------------------------------------------------- host side
+        def collect_slot(s: int, t: float) -> float:
+            """Fold one finished slot's results in; returns advanced time."""
+            nonlocal outstanding
+            job = slot_job[s]
+            rec = records[job.query_id]
+            rec.detected_us = t
+            slots[s].collect()
+            ready_at[s] = np.nan
+            slot_job[s] = None
+            dispatched_at[s] = np.nan
+            # The CTAs already pushed their lists into the slot's
+            # contiguous host buffer, so the host merges from local
+            # memory (§IV-B step ❹).
+            if cfg.merge_on_cpu:
+                t += merger.merge_cost_only(cfg.n_parallel, cfg.k)
+            else:
+                t += self.cm.cpu_merge_us(1, cfg.k)  # filter only
+            rec.complete_us = t
+            outstanding -= 1
+            if tel.enabled:
+                tel.slot_occupied(s, rec.dispatch_us, t, job.query_id)
+                tel.query_completed(rec)
+            return t
+
+        def dispatch_slot(s: int, t: float) -> float:
+            """Fill one free slot from the ready queue; returns advanced time."""
+            job = manager.next_ready(t).job
+            rec = records[job.query_id]
+            rec.dispatch_us = t
+            if tel.enabled:
+                tel.query_dispatched(job.query_id, job.arrival_us, t)
+            durations = job.cta_durations_us
+            update_degrade(t)
+            if degraded:
+                # Overload: dispatch shrunken work (narrow beam / scalar
+                # fallback) instead of queueing deeper; recall gives way
+                # to survival.
+                durations = tuple(d * policy.degrade_factor for d in durations)
+                rec.degraded = True
+                stats.degraded_dispatches += 1
+                tel.degraded_dispatch(job.query_id)
+            fault = injector.on_dispatch(s) if injector else None
+            if fault is not None and fault.kind == "straggle":
+                durations = (durations[0] * fault.factor,) + durations[1:]
+                stats.note_fault("straggle")
+                tel.fault_injected("straggle")
+                fault = None  # priced in; nothing else to do
+            elif fault is not None and fault.kind == "hang":
+                stats.note_fault("hang")
+                tel.fault_injected("hang")
+            # Async dispatch (§V-B): the host only pays the stream-
+            # submission cost; the copy and the WORK flag are posted
+            # back-to-back (PCIe orders posted writes, so the flag lands
+            # after the vector).
+            t += cfg.host_submit_us
+            link.transfer(t, job.dim * 4, tag="query")
+            pub = chan.publish(t, n_words=cfg.n_parallel)
+            slots[s].dispatch(job.query_id)
+            slot_job[s] = job
+            dispatched_at[s] = t
+            start_slot(s, job, pub, durations, fault)
+            return t
+
+        def end_of_pass(tid: int, pass_fn, sim_: Simulator, t0: float, t: float) -> None:
+            """Shared pass epilogue: watchdog, drop accounting, re-arm."""
+            nonlocal outstanding, host_busy, drops_seen
+            host_busy += t - t0
+            if policy is not None:
+                if cfg.tick_mode == "soa":
+                    watchdog_sweep(tid, t)
+                else:
+                    watchdog_sweep_loop(tid, t)
+                update_degrade(t)
+            # Deadline drops surfaced by the manager never complete.
+            if len(manager.dropped) > drops_seen:
+                outstanding -= len(manager.dropped) - drops_seen
+                drops_seen = len(manager.dropped)
+            if outstanding > 0:
+                next_wake = max(t, t0 + cfg.host_poll_period_us)
+                if np.isnan(dispatched_at[owned_arr[tid]]).all() and manager:
+                    # Idle thread: sleep until the next arrival it could serve.
+                    nxt = manager.next_arrival_us()
+                    if nxt is not None:
+                        next_wake = max(next_wake, nxt)
+                sim_.schedule(next_wake, pass_fn)
+
         def thread_pass(tid: int):
+            """SoA maintenance tick: vectorized candidate scans, Python only
+            for slots that actually collect or dispatch."""
+            mine = owned_arr[tid]
+
             def pass_fn(sim_: Simulator) -> None:
-                nonlocal outstanding, host_busy, drops_seen
                 t0 = sim_.now
-                active = [
-                    s for s in owned[tid] if slots[s].state is not SlotState.QUIT
-                ]
-                if not active:
+                live = mine[~bank.quit_mask()[mine]]
+                if live.size == 0:
                     # Every owned slot is retired (watchdog kills): this
                     # thread can never dispatch or collect again.  Other
                     # threads' slots serve whatever the manager re-queued.
@@ -329,99 +466,67 @@ class DynamicBatchEngine:
                 progress = True
                 while progress:
                     progress = False
-                    t = chan.poll(t, len(active), cfg.n_parallel)
-                    for s in active:
-                        ready = slot_ready_at[s]
-                        if ready is not None and ready <= t:
-                            if not slots[s].all_finished:
-                                # Published but not actually finished: a
-                                # corrupted state word.  Leave the slot for
-                                # the watchdog rather than trust it.
-                                continue
-                            progress = True
-                            job = slot_job[s]
-                            rec = records[job.query_id]
-                            rec.detected_us = t
-                            slots[s].collect()
-                            slot_ready_at[s] = None
-                            slot_job[s] = None
-                            slot_dispatched_at[s] = None
-                            # The CTAs already pushed their lists into the
-                            # slot's contiguous host buffer, so the host
-                            # merges from local memory (§IV-B step ❹).
-                            if cfg.merge_on_cpu:
-                                t += merger.merge_cost_only(cfg.n_parallel, cfg.k)
-                            else:
-                                t += self.cm.cpu_merge_us(1, cfg.k)  # filter only
-                            rec.complete_us = t
-                            outstanding -= 1
-                            if tel.enabled:
-                                tel.slot_occupied(s, rec.dispatch_us, t,
-                                                  job.query_id)
-                                tel.query_completed(rec)
-                    for s in active:
-                        if slots[s].is_free and manager.peek_ready(t) is not None:
-                            progress = True
-                            job = manager.next_ready(t).job
-                            rec = records[job.query_id]
-                            rec.dispatch_us = t
-                            if tel.enabled:
-                                tel.query_dispatched(job.query_id, job.arrival_us, t)
-                            durations = job.cta_durations_us
-                            update_degrade(t)
-                            if degraded:
-                                # Overload: dispatch shrunken work (narrow
-                                # beam / scalar fallback) instead of queueing
-                                # deeper; recall gives way to survival.
-                                durations = tuple(
-                                    d * policy.degrade_factor for d in durations
-                                )
-                                rec.degraded = True
-                                stats.degraded_dispatches += 1
-                                tel.degraded_dispatch(job.query_id)
-                            fault = injector.on_dispatch(s) if injector else None
-                            if fault is not None and fault.kind == "straggle":
-                                durations = (
-                                    durations[0] * fault.factor,
-                                ) + durations[1:]
-                                stats.note_fault("straggle")
-                                tel.fault_injected("straggle")
-                                fault = None  # priced in; nothing else to do
-                            elif fault is not None and fault.kind == "hang":
-                                stats.note_fault("hang")
-                                tel.fault_injected("hang")
-                            # Async dispatch (§V-B): the host only pays the
-                            # stream-submission cost; the copy and the WORK
-                            # flag are posted back-to-back (PCIe orders posted
-                            # writes, so the flag lands after the vector).
-                            t += cfg.host_submit_us
-                            link.transfer(t, job.dim * 4, tag="query")
-                            pub = chan.publish(t, n_words=cfg.n_parallel)
-                            slots[s].dispatch(job.query_id)
-                            slot_job[s] = job
-                            slot_dispatched_at[s] = t
-                            start_slot(s, job, pub, durations, fault)
-                host_busy += t - t0
-                if policy is not None:
-                    watchdog_sweep(tid, t)
-                    update_degrade(t)
-                # Deadline drops surfaced by the manager never complete.
-                if len(manager.dropped) > drops_seen:
-                    outstanding -= len(manager.dropped) - drops_seen
-                    drops_seen = len(manager.dropped)
-                if outstanding > 0:
-                    next_wake = max(t, t0 + cfg.host_poll_period_us)
-                    if not any(slot_job[s] for s in owned[tid]) and manager:
-                        # Idle thread: sleep until the next arrival it could serve.
-                        nxt = manager.next_arrival_us()
-                        if nxt is not None:
-                            next_wake = max(next_wake, nxt)
-                    sim_.schedule(next_wake, pass_fn)
+                    t = chan.poll(t, int(live.size), cfg.n_parallel)
+                    pending = live[~np.isnan(ready_at[live])]
+                    if pending.size:
+                        finished = bank.all_finished_mask()
+                        for s in pending.tolist():
+                            # Merges advance t, so later pending slots may
+                            # become collectable within this same scan —
+                            # the comparison must stay inside the loop.
+                            if ready_at[s] <= t:
+                                if not finished[s]:
+                                    # Published but not actually finished:
+                                    # a corrupted state word.  Leave the
+                                    # slot for the watchdog.
+                                    continue
+                                progress = True
+                                t = collect_slot(s, t)
+                    free = live[bank.free_mask()[live]]
+                    for s in free.tolist():
+                        if manager.peek_ready(t) is None:
+                            break  # t only advances on dispatch: no later
+                            # slot in this scan can see a ready query
+                        progress = True
+                        t = dispatch_slot(s, t)
+                end_of_pass(tid, pass_fn, sim_, t0, t)
 
             return pass_fn
 
+        def thread_pass_loop(tid: int):
+            """Reference per-slot scan (tick_mode="loop"): the pre-SoA host
+            pass, kept verbatim as the parity baseline."""
+
+            def pass_fn(sim_: Simulator) -> None:
+                t0 = sim_.now
+                active = [
+                    s for s in owned[tid] if slots[s].state is not SlotState.QUIT
+                ]
+                if not active:
+                    return
+                t = t0
+                progress = True
+                while progress:
+                    progress = False
+                    t = chan.poll(t, len(active), cfg.n_parallel)
+                    for s in active:
+                        ready = ready_at[s]
+                        if not np.isnan(ready) and ready <= t:
+                            if not slots[s].all_finished:
+                                continue
+                            progress = True
+                            t = collect_slot(s, t)
+                    for s in active:
+                        if slots[s].is_free and manager.peek_ready(t) is not None:
+                            progress = True
+                            t = dispatch_slot(s, t)
+                end_of_pass(tid, pass_fn, sim_, t0, t)
+
+            return pass_fn
+
+        make_pass = thread_pass if cfg.tick_mode == "soa" else thread_pass_loop
         for tid in range(cfg.host_threads):
-            sim.schedule(0.0, thread_pass(tid))
+            sim.schedule(0.0, make_pass(tid))
         sim.run()
 
         dropped_ids = {m.job.query_id for m in manager.dropped}

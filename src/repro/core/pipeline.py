@@ -88,7 +88,7 @@ class BaseGraphSystem:
             raise ValueError("need 0 < k <= l_total")
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
-        if backend not in ("scalar", "vectorized"):
+        if backend not in ("scalar", "vectorized", "compiled"):
             raise ValueError(f"unknown backend {backend!r}")
         if precision not in PRECISIONS:
             raise ValueError(
@@ -204,9 +204,12 @@ class BaseGraphSystem:
         backend = backend or self.backend
         rng = np.random.default_rng(self.seed if seed is None else seed)
         nq = queries.shape[0]
-        if backend == "vectorized":
+        if backend in ("vectorized", "compiled"):
+            from ..search.compiled import resolve_backend
+
             results = self._search_all_vectorized(
-                queries, rng, precision=precision, rerank_mult=rerank_mult
+                queries, rng, precision=precision, rerank_mult=rerank_mult,
+                compiled=resolve_backend(backend) == "compiled",
             )
         else:
             results = (
@@ -229,7 +232,8 @@ class BaseGraphSystem:
 
     def _search_all_vectorized(self, queries: np.ndarray, rng: np.random.Generator,
                                precision: str | None = None,
-                               rerank_mult: int | None = None):
+                               rerank_mult: int | None = None,
+                               compiled: bool = False):
         from ..search.batched import (
             batched_intra_cta_search,
             batched_multi_cta_search,
@@ -244,7 +248,7 @@ class BaseGraphSystem:
                 self.base, self.graph, queries, self.k,
                 self.tuning.per_cta_cand_len, entries,
                 metric=self.metric, beam=self.beam,
-                codec=codec, rerank_mult=rm,
+                codec=codec, rerank_mult=rm, compiled=compiled,
             )
         entries = [
             make_entries(self.base.shape[0], self.n_parallel, self.entries_per_cta, rng)
@@ -253,7 +257,7 @@ class BaseGraphSystem:
         return batched_multi_cta_search(
             self.base, self.graph, queries, self.k, self.l_total, self.n_parallel,
             metric=self.metric, beam=self.beam, entries=entries,
-            codec=codec, rerank_mult=rm,
+            codec=codec, rerank_mult=rm, compiled=compiled,
         )
 
     # -------------------------------------------------------------- pricing

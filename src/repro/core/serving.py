@@ -103,7 +103,8 @@ class ServeConfig:
 
     * ``workload`` — arrival events (None → closed loop over the queries);
     * ``slots`` — overrides the engine's slot count / batch size;
-    * ``backend`` — overrides the search backend ("scalar"/"vectorized");
+    * ``backend`` — overrides the search backend
+      ("scalar"/"vectorized"/"compiled");
     * ``seed`` — overrides the entry-point RNG seed;
     * ``telemetry`` — a :class:`~repro.telemetry.Telemetry` to instrument
       the run (None → the no-op default; the hot path is unaffected);
@@ -153,7 +154,9 @@ class ServeConfig:
                 f"resilience must be a ResiliencePolicy, "
                 f"got {type(self.resilience).__name__}"
             )
-        if self.backend is not None and self.backend not in ("scalar", "vectorized"):
+        if self.backend is not None and self.backend not in (
+            "scalar", "vectorized", "compiled"
+        ):
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.workload is not None:
             for ev in self.workload:

@@ -57,7 +57,7 @@ class StaticBatchConfig:
             raise ValueError("batch_size, n_parallel, k must be positive")
         if self.host_threads <= 0:
             raise ValueError("host_threads must be positive")
-        if self.search_backend not in ("scalar", "vectorized"):
+        if self.search_backend not in ("scalar", "vectorized", "compiled"):
             raise ValueError(f"unknown search backend {self.search_backend!r}")
 
 

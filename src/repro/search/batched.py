@@ -170,10 +170,16 @@ class LockstepEngine:
         self.codec = codec
         if codec is not None:
             self._cstate = codec.query_state(self.queries)
+            # Fused per-dispatch kernel: codec gathers + distance math into
+            # preallocated scratch, reused across every lockstep round (no
+            # per-step table rebuilds or temporaries).  Bit-identical to
+            # codec.distances — see repro.search.precision.
+            self._ckernel = codec.make_kernel(self._cstate)
             self._trace_dim = int(codec.trace_dim)
             self._precision = codec.precision
         else:
             self._cstate = None
+            self._ckernel = None
             self._trace_dim = self.dim
             self._precision = "float32"
         self.cand_ids = np.full((R, L), -1, dtype=np.int64)
@@ -181,7 +187,7 @@ class LockstepEngine:
         self.cand_checked = np.zeros((R, L), dtype=bool)
         self.sizes = np.zeros(R, dtype=np.int64)
         self.active = np.zeros(R, dtype=bool)
-        self.visited = BatchedVisited(queries.shape[0], self.points.shape[0])
+        self.visited = self._make_visited(queries.shape[0], self.points.shape[0])
         self.traces: list[CTATrace] | None = (
             [CTATrace() for _ in range(R)] if record_trace else None
         )
@@ -195,6 +201,10 @@ class LockstepEngine:
         )
         self._col = np.arange(L)
         self._seed(row_entries)
+
+    def _make_visited(self, n_rows: int, n_points: int) -> BatchedVisited:
+        """Visited-set factory; the compiled backend swaps in its own."""
+        return BatchedVisited(n_rows, n_points)
 
     # ------------------------------------------------------------- seeding
     def _seed(self, row_entries: list[np.ndarray] | np.ndarray) -> None:
@@ -259,7 +269,9 @@ class LockstepEngine:
             return counts
         qrows = self.row_query[rows]
         if self.codec is not None:
-            dists = self.codec.distances(self._cstate, qrows, ids)
+            # Scratch-view return: consumed (filtered / scattered into the
+            # padded merge block) before the kernel runs again.
+            dists = self._ckernel(qrows, ids)
         else:
             dists = pair_distances(
                 self.queries[qrows], self.points[ids], self.metric,
@@ -281,6 +293,22 @@ class LockstepEngine:
                 counts = np.bincount(rows, minlength=self.R).astype(np.int64)
                 if ids.size == 0:
                     return counts
+        self._merge_pairs(rows, ids, dists, counts)
+        return counts
+
+    def _merge_pairs(
+        self,
+        rows: np.ndarray,
+        ids: np.ndarray,
+        dists: np.ndarray,
+        counts: np.ndarray,
+    ) -> None:
+        """Fold scored (row, id, dist) pairs into their candidate lists.
+
+        Overridden by the compiled backend with an njit row-merge; this
+        vectorized form is the reference (both produce the sorted,
+        truncated lists with old-before-new / fetch-order tie resolution).
+        """
         mrows = np.flatnonzero(counts)
         maxc = int(counts[mrows].max())
         # Scatter the ragged per-row pairs into an inf-padded (Bm, maxc)
@@ -307,7 +335,6 @@ class LockstepEngine:
         self.cand_ids[mrows] = np.take_along_axis(concat_ids, order, axis=1)
         self.cand_checked[mrows] = np.take_along_axis(concat_c, order, axis=1)
         self.sizes[mrows] = np.minimum(self.sizes[mrows] + counts[mrows], self.L)
-        return counts
 
     # ------------------------------------------------------------ stepping
     def step_all(self) -> bool:
@@ -450,6 +477,15 @@ class LockstepEngine:
         return self.traces[r] if self.traces is not None else None
 
 
+def _engine_cls(compiled: bool) -> type[LockstepEngine]:
+    """Engine class for the flag (late import avoids a module cycle)."""
+    if not compiled:
+        return LockstepEngine
+    from .compiled import CompiledLockstepEngine
+
+    return CompiledLockstepEngine
+
+
 def batched_intra_cta_search(
     points: np.ndarray,
     graph: GraphIndex,
@@ -462,6 +498,7 @@ def batched_intra_cta_search(
     record_trace: bool = True,
     codec=None,
     rerank_mult: int = DEFAULT_RERANK_MULT,
+    compiled: bool = False,
 ) -> list[SearchResult]:
     """Single-CTA search of ``B`` queries in lockstep.
 
@@ -472,13 +509,17 @@ def batched_intra_cta_search(
     top ``rerank_mult × k`` survivors of each row are re-scored exactly
     (:func:`~repro.search.precision.exact_rerank`); the re-rank pass is
     appended to the trace as a float32 step so the cost model prices it.
+
+    ``compiled=True`` swaps in the njit inner-round kernels
+    (:class:`~repro.search.compiled.CompiledLockstepEngine`) —
+    bit-identical output, numba required.
     """
     queries = np.asarray(queries, dtype=np.float32)
     if queries.ndim == 1:
         queries = queries[None, :]
     B = queries.shape[0]
     row_entries = [np.atleast_1d(np.asarray(e, dtype=np.int64)) for e in entries]
-    eng = LockstepEngine(
+    eng = _engine_cls(compiled)(
         points, graph, queries, np.arange(B), row_entries, cand_capacity,
         metric=metric, beam=beam, record_trace=record_trace, codec=codec,
     )
@@ -523,6 +564,7 @@ def batched_multi_cta_search(
     record_trace: bool = True,
     codec=None,
     rerank_mult: int = DEFAULT_RERANK_MULT,
+    compiled: bool = False,
 ) -> list[SearchResult]:
     """Multi-CTA search of ``B`` queries, all CTA rows in one lockstep batch.
 
@@ -551,7 +593,7 @@ def batched_multi_cta_search(
         if len(e) != n_ctas:
             raise ValueError("need one entry array per CTA")
         row_entries.extend(np.atleast_1d(np.asarray(x, dtype=np.int64)) for x in e)
-    eng = LockstepEngine(
+    eng = _engine_cls(compiled)(
         points, graph, queries, row_query, row_entries, l_cta,
         metric=metric, beam=beam, record_trace=record_trace, codec=codec,
     )

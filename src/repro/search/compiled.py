@@ -1,0 +1,236 @@
+"""Optional compiled (numba) backend for the lockstep inner round.
+
+``backend="compiled"`` replaces the two *control-flow* primitives of the
+lockstep round — the visited-bitmap test-and-set and the stable bounded
+candidate merge — with njit kernels.  Those are the parts the vectorized
+engine pays numpy-dispatch overhead on several times per round (fancy
+scatter, ``np.unique`` dedup, row-wise stable argsort over concatenated
+blocks); a compiled sequential loop does each in one pass with no
+temporaries.
+
+**Distances stay in numpy.**  A naive njit dot-product loop accumulates
+in a different order than numpy's pairwise/SIMD einsum reduction, so it
+cannot be float-bit-identical; the gather/einsum kernels
+(:mod:`repro.search.precision`, :func:`repro.data.metrics.pair_distances`)
+are already batched and BLAS-bound.  By fusing only integer and
+comparison logic — where "same values, same order" is exact — the
+compiled engine is bit-identical to ``backend="vectorized"`` *by
+construction*, and the parity gates in ``tests/test_compiled_backend.py``
+enforce it.
+
+numba is an optional dependency (``pip install 'repro[compiled]'``).
+Without it the kernels below still run as pure Python (the ``njit``
+decorator degrades to a passthrough) — far too slow to serve, but enough
+for the parity suite to exercise identical code — and
+:func:`resolve_backend` degrades ``"compiled"`` requests to
+``"vectorized"`` with a one-time warning, so configs remain portable
+across environments.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from .batched import BatchedVisited, LockstepEngine
+
+__all__ = [
+    "HAVE_NUMBA",
+    "resolve_backend",
+    "CompiledVisited",
+    "CompiledLockstepEngine",
+]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):
+        """Decorator passthrough: kernels run as plain Python."""
+        if args and callable(args[0]):
+            return args[0]
+        return lambda fn: fn
+
+
+_WARNED = False
+
+
+def resolve_backend(backend: str) -> str:
+    """Degrade ``"compiled"`` to ``"vectorized"`` when numba is missing.
+
+    Called by every search entry point, so a config written on a machine
+    with numba keeps working (same results — the backends are
+    bit-identical) on one without it.
+    """
+    global _WARNED
+    if backend == "compiled" and not HAVE_NUMBA:
+        if not _WARNED:
+            warnings.warn(
+                "backend='compiled' requested but numba is not installed; "
+                "falling back to the bit-identical 'vectorized' backend "
+                "(pip install 'repro[compiled]' to enable)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _WARNED = True
+        return "vectorized"
+    return backend
+
+
+@njit(cache=True)
+def _tas_kernel(bits, words_per_row, rows, ids, fresh):
+    """Sequential first-come-wins test-and-set over (row, id) pairs.
+
+    One pass, no dedup step: a duplicate later in the sequence simply
+    observes the bit its predecessor set — exactly the semantics
+    :meth:`BatchedVisited.test_and_set` reconstructs with ``np.unique``.
+    Returns the number of fresh bits set.
+    """
+    sets = 0
+    for i in range(ids.shape[0]):
+        v = ids[i]
+        w = rows[i] * words_per_row + (v >> 3)
+        bit = np.uint8(1 << (v & 7))
+        if bits[w] & bit:
+            fresh[i] = False
+        else:
+            bits[w] = bits[w] | bit
+            fresh[i] = True
+            sets += 1
+    return sets
+
+
+@njit(cache=True)
+def _merge_kernel(
+    cand_ids, cand_d, cand_checked, sizes, L,
+    rows, ids, dists, counts, offsets,
+    ord_buf, tmp_ids, tmp_d, tmp_c,
+):
+    """Stable bounded merge of ragged new pairs into sorted candidate rows.
+
+    Per touched row: stable insertion-argsort of the new segment by
+    distance (ties keep fetch order), then a two-way merge against the
+    row's sorted list with old-entry-wins ties, truncated to ``L``.  Only
+    float *comparisons* — no arithmetic — so the result is bit-identical
+    to the vectorized concatenate-argsort merge.
+    """
+    R = counts.shape[0]
+    for r in range(R):
+        c = counts[r]
+        if c == 0:
+            continue
+        base = offsets[r]
+        # Stable insertion argsort of the segment (segments are small:
+        # bounded by the row's neighbour fetch width).
+        for i in range(c):
+            ord_buf[i] = base + i
+        for i in range(1, c):
+            key = ord_buf[i]
+            kd = dists[key]
+            j = i - 1
+            while j >= 0 and dists[ord_buf[j]] > kd:
+                ord_buf[j + 1] = ord_buf[j]
+                j -= 1
+            ord_buf[j + 1] = key
+        # Two-way merge: old row (sorted, inf-padded past its size) vs the
+        # sorted new segment; <= keeps old entries ahead on ties.
+        oi = 0
+        ni = 0
+        out = 0
+        while out < L and (oi < L or ni < c):
+            if ni >= c or (oi < L and cand_d[r, oi] <= dists[ord_buf[ni]]):
+                tmp_ids[out] = cand_ids[r, oi]
+                tmp_d[out] = cand_d[r, oi]
+                tmp_c[out] = cand_checked[r, oi]
+                oi += 1
+            else:
+                p = ord_buf[ni]
+                tmp_ids[out] = ids[p]
+                tmp_d[out] = dists[p]
+                tmp_c[out] = False
+                ni += 1
+            out += 1
+        for i in range(out):
+            cand_ids[r, i] = tmp_ids[i]
+            cand_d[r, i] = tmp_d[i]
+            cand_checked[r, i] = tmp_c[i]
+        s = sizes[r] + c
+        sizes[r] = s if s < L else L
+
+
+class CompiledVisited(BatchedVisited):
+    """BatchedVisited with the test-and-set loop compiled."""
+
+    def test_and_set(self, rows: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        if ids.size == 0:
+            return np.zeros(0, dtype=bool)
+        if ids.min() < 0 or ids.max() >= self.n:
+            raise IndexError("vertex id out of range")
+        self.probes += int(ids.size)
+        fresh = np.empty(ids.size, dtype=np.bool_)
+        self.sets += int(
+            _tas_kernel(
+                self._bits.reshape(-1),
+                self.words_per_row,
+                np.ascontiguousarray(rows, dtype=np.int64),
+                np.ascontiguousarray(ids, dtype=np.int64),
+                fresh,
+            )
+        )
+        return fresh
+
+
+class CompiledLockstepEngine(LockstepEngine):
+    """LockstepEngine with compiled visited + merge inner-round kernels.
+
+    Instantiate via the ``backend="compiled"`` switch of the search entry
+    points, not directly; construction fails fast when numba is missing
+    unless ``allow_fallback`` (used by the pure-Python parity tests).
+    """
+
+    #: class-level escape hatch for the parity suite: run the same kernel
+    #: code uncompiled instead of raising when numba is absent.
+    allow_python_kernels = False
+
+    def __init__(self, *args, **kwargs):
+        if not HAVE_NUMBA and not self.allow_python_kernels:
+            raise RuntimeError(
+                "backend='compiled' needs numba (pip install 'repro[compiled]'); "
+                "use resolve_backend() for graceful fallback"
+            )
+        self._merge_scratch = None
+        super().__init__(*args, **kwargs)
+
+    def _make_visited(self, n_rows: int, n_points: int) -> BatchedVisited:
+        return CompiledVisited(n_rows, n_points)
+
+    def _merge_pairs(
+        self,
+        rows: np.ndarray,
+        ids: np.ndarray,
+        dists: np.ndarray,
+        counts: np.ndarray,
+    ) -> None:
+        if self._merge_scratch is None or self._merge_scratch[0].shape[0] < rows.size:
+            cap = max(rows.size, 1024)
+            self._merge_scratch = (
+                np.empty(cap, dtype=np.int64),           # ord_buf
+                np.empty(self.L, dtype=np.int64),        # tmp_ids
+                np.empty(self.L, dtype=np.float32),      # tmp_d
+                np.empty(self.L, dtype=np.bool_),        # tmp_c
+            )
+        ord_buf, tmp_ids, tmp_d, tmp_c = self._merge_scratch
+        offsets = np.zeros(self.R, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        _merge_kernel(
+            self.cand_ids, self.cand_d, self.cand_checked, self.sizes, self.L,
+            np.ascontiguousarray(rows, dtype=np.int64),
+            np.ascontiguousarray(ids, dtype=np.int64),
+            np.ascontiguousarray(dists, dtype=np.float32),
+            counts, offsets,
+            ord_buf, tmp_ids, tmp_d, tmp_c,
+        )

@@ -111,10 +111,14 @@ class CTASearcher:
                 if codec_state is not None
                 else codec.query_state(self.query[None, :])
             )
+            # Per-dispatch fused kernel (scratch owned by this CTA; the
+            # dispatch state above may still be shared across CTAs).
+            self._ckernel = codec.make_kernel(self._cstate)
             self._trace_dim = int(codec.trace_dim)
             self._precision = codec.precision
         else:
             self._cstate = None
+            self._ckernel = None
             self._trace_dim = self.dim
             self._precision = "float32"
 
@@ -158,7 +162,7 @@ class CTASearcher:
         """
         if self.codec is not None:
             qrows = np.zeros(ids.shape[0], dtype=np.int64)
-            return self.codec.distances(self._cstate, qrows, ids)
+            return self._ckernel(qrows, ids)
         pts = self.points[ids]
         return pair_distances(
             np.broadcast_to(self.query, pts.shape), pts, self.metric,
@@ -252,27 +256,32 @@ def intra_cta_search(
     random entries are how CAGRA-style searches seed the list).
     ``backend`` selects the stepping engine: ``"scalar"`` is the one-step-
     per-Python-iteration oracle, ``"vectorized"`` the SoA lockstep engine
-    (:mod:`repro.search.batched`); both produce bit-identical results.
+    (:mod:`repro.search.batched`), ``"compiled"`` its njit inner-round
+    variant (:mod:`repro.search.compiled`; needs numba, falls back to
+    vectorized); all produce bit-identical results.
 
     A ``codec`` (:func:`~repro.search.precision.make_codec`) runs the
     traversal on compressed distances and re-scores the ``rerank_mult × k``
     best survivors exactly — again bit-identical across backends.
     """
-    if backend not in ("scalar", "vectorized"):
+    if backend not in ("scalar", "vectorized", "compiled"):
         raise ValueError(f"unknown backend {backend!r}")
     from .precision import DEFAULT_RERANK_MULT, exact_rerank, rerank_step_record
 
     if rerank_mult is None:
         rerank_mult = DEFAULT_RERANK_MULT
     entries = np.atleast_1d(np.asarray(entries, dtype=np.int64))
-    if backend == "vectorized":
+    if backend != "scalar":
         from .batched import batched_intra_cta_search
+        from .compiled import resolve_backend
 
+        backend = resolve_backend(backend)
         query = np.asarray(query, dtype=np.float32)
         return batched_intra_cta_search(
             points, graph, query[None, :], k, cand_capacity, [entries],
             metric=metric, beam=beam, record_trace=record_trace,
             codec=codec, rerank_mult=rerank_mult,
+            compiled=backend == "compiled",
         )[0]
     visited = VisitedBitmap(points.shape[0])
     s = CTASearcher(

@@ -85,22 +85,25 @@ def multi_cta_search(
     """
     if n_ctas <= 0:
         raise ValueError("n_ctas must be positive")
-    if backend not in ("scalar", "vectorized"):
+    if backend not in ("scalar", "vectorized", "compiled"):
         raise ValueError(f"unknown backend {backend!r}")
     from .precision import DEFAULT_RERANK_MULT, exact_rerank, rerank_step_record
 
     if rerank_mult is None:
         rerank_mult = DEFAULT_RERANK_MULT
     rng = rng or np.random.default_rng(0)
-    if backend == "vectorized":
+    if backend != "scalar":
         from .batched import batched_multi_cta_search
+        from .compiled import resolve_backend
 
+        backend = resolve_backend(backend)
         return batched_multi_cta_search(
             points, graph, np.asarray(query, dtype=np.float32)[None, :],
             k, l_total, n_ctas, metric=metric, beam=beam,
             entries=[entries] if entries is not None else None,
             entries_per_cta=entries_per_cta, rng=rng,
             record_trace=record_trace, codec=codec, rerank_mult=rerank_mult,
+            compiled=backend == "compiled",
         )[0]
     l_cta = per_cta_capacity(l_total, n_ctas, k)
     if entries is None:

@@ -48,6 +48,8 @@ __all__ = [
     "CodecInfo",
     "Int8Codec",
     "PQCodec",
+    "Int8Kernel",
+    "PQKernel",
     "make_codec",
     "default_pq_m",
     "exact_rerank",
@@ -149,7 +151,12 @@ class Int8Codec:
     def distances(
         self, state: tuple[np.ndarray, np.ndarray], qrows: np.ndarray, ids: np.ndarray
     ) -> np.ndarray:
-        """Approximate distances for matched (query-row, point-id) pairs."""
+        """Approximate distances for matched (query-row, point-id) pairs.
+
+        Reference (allocating) form of the per-hop kernel; the hot paths
+        dispatch a reusable :class:`Int8Kernel` via :meth:`make_kernel`
+        instead — bit-identical output, zero per-round allocation.
+        """
         qs, qoff = state
         c = self.codes[ids].astype(np.float32)
         dot = np.einsum("ij,ij->i", np.ascontiguousarray(qs[qrows]), c)
@@ -157,6 +164,10 @@ class Int8Codec:
             d = qoff[qrows] + self._pnorm_hat[ids] - 2.0 * dot
             return np.maximum(d, 0.0).astype(np.float32)
         return (qoff[qrows] - dot).astype(np.float32)
+
+    def make_kernel(self, state: tuple[np.ndarray, np.ndarray]) -> "Int8Kernel":
+        """Fused per-dispatch kernel with preallocated scratch (see below)."""
+        return Int8Kernel(self, state)
 
 
 class PQCodec:
@@ -262,7 +273,12 @@ class PQCodec:
     def distances(
         self, state: np.ndarray, qrows: np.ndarray, ids: np.ndarray
     ) -> np.ndarray:
-        """ADC distances: one flat gather of ``m`` table entries per pair."""
+        """ADC distances: one flat gather of ``m`` table entries per pair.
+
+        Reference (allocating) form; the hot paths dispatch a reusable
+        :class:`PQKernel` via :meth:`make_kernel` — bit-identical output,
+        zero per-round allocation.
+        """
         c = self.codes[ids].astype(np.int64)
         width = state.shape[1]
         idx = qrows[:, None] * width + self._base[None, :] + c
@@ -271,6 +287,145 @@ class PQCodec:
         if self.metric == "cosine":
             d = 1.0 + d
         return d.astype(np.float32)
+
+    def make_kernel(self, state: np.ndarray) -> "PQKernel":
+        """Fused per-dispatch kernel with preallocated scratch (see below)."""
+        return PQKernel(self, state)
+
+
+class Int8Kernel:
+    """Reusable SQ8 distance kernel: one dispatch, many lockstep rounds.
+
+    The allocating form (:meth:`Int8Codec.distances`) spends a measurable
+    slice of every round materialising the same temporaries — the gathered
+    code rows, their float32 casts, the gathered query rows, the dot
+    products.  This kernel owns those buffers, grown geometrically on
+    demand and reused across every round of a dispatch, so the per-hop
+    cost collapses to the gathers and the one einsum.
+
+    Bit parity with the reference is by construction: ``np.take(...,
+    out=)`` gathers the same values into contiguous rows, the uint8 →
+    float32 conversion is exact whether materialised (reference) or
+    buffered inside the mixed-dtype einsum (here), and the elementwise
+    chain runs the same ops on the same operand layouts.  The returned
+    array is a view into scratch, valid until the next call — callers
+    consume it (merge / filter / copy) before re-invoking, which every
+    search loop does.
+    """
+
+    __slots__ = ("codes", "pnorm_hat", "qs", "qoff", "l2", "_cap",
+                 "_c8", "_qg", "_dot", "_pn", "_acc")
+
+    def __init__(self, codec: "Int8Codec", state: tuple[np.ndarray, np.ndarray]):
+        self.codes = codec.codes
+        self.pnorm_hat = codec._pnorm_hat
+        self.qs, self.qoff = state
+        self.l2 = codec.metric == "l2"
+        self._cap = 0
+
+    def _grow(self, n: int) -> None:
+        cap = max(n, 2 * self._cap, 512)
+        dim = self.codes.shape[1]
+        self._c8 = np.empty((cap, dim), dtype=self.codes.dtype)
+        self._qg = np.empty((cap, dim), dtype=np.float32)
+        self._dot = np.empty(cap, dtype=np.float32)
+        self._pn = np.empty(cap, dtype=np.float32)
+        self._acc = np.empty(cap, dtype=np.float32)
+        self._cap = cap
+
+    def __call__(self, qrows: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        n = ids.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=np.float32)
+        if n > self._cap:
+            self._grow(n)
+        c8 = self._c8[:n]
+        qg = self._qg[:n]
+        dot = self._dot[:n]
+        acc = self._acc[:n]
+        # mode="clip" keeps np.take on its unbuffered fast path (the
+        # default "raise" mode bounce-buffers when out= is given); ids and
+        # qrows are graph node ids / row indices, always in range, so the
+        # gathered values are identical.
+        np.take(self.codes, ids, axis=0, out=c8, mode="clip")
+        np.take(self.qs, qrows, axis=0, out=qg, mode="clip")
+        # Mixed-dtype einsum: the nditer casts uint8 rows to float32 in
+        # cache-resident buffer chunks, bit-identical to a materialised
+        # cast (exact conversion, same per-row accumulation) while never
+        # writing the 4x-wider float rows back through memory — this is
+        # where SQ8's bandwidth advantage finally shows up on the host.
+        np.einsum("ij,ij->i", qg, c8, out=dot)
+        np.take(self.qoff, qrows, out=acc, mode="clip")
+        if self.l2:
+            # acc = (qoff + pnorm_hat) - 2·dot, the reference's left-to-
+            # right evaluation order, then the same clamp.
+            pn = self._pn[:n]
+            np.take(self.pnorm_hat, ids, out=pn, mode="clip")
+            np.add(acc, pn, out=acc)
+            np.multiply(dot, np.float32(2.0), out=dot)
+            np.subtract(acc, dot, out=acc)
+            np.maximum(acc, np.float32(0.0), out=acc)
+            return acc
+        np.subtract(acc, dot, out=acc)
+        return acc
+
+
+class PQKernel:
+    """Reusable PQ-ADC distance kernel (same contract as :class:`Int8Kernel`).
+
+    Owns the per-dispatch flattened table view plus ``(cap, m)`` code /
+    index / value scratch; a round is one ``np.take`` code gather, an
+    int64 index build, one flat table gather, and a row-wise sum — all
+    into preallocated buffers.  Output is bit-identical to
+    :meth:`PQCodec.distances` (integer index math is order-exact; the
+    float32 row sum runs over the same contiguous ``(n, m)`` layout).
+    """
+
+    __slots__ = ("codes", "base", "flat", "width", "cosine", "_cap",
+                 "_c8", "_idx", "_q64", "_vals", "_acc")
+
+    def __init__(self, codec: "PQCodec", state: np.ndarray):
+        self.codes = codec.codes
+        self.base = codec._base
+        self.flat = state.reshape(-1)
+        self.width = state.shape[1]
+        self.cosine = codec.metric == "cosine"
+        self._cap = 0
+
+    def _grow(self, n: int) -> None:
+        cap = max(n, 2 * self._cap, 512)
+        m = self.codes.shape[1]
+        self._c8 = np.empty((cap, m), dtype=self.codes.dtype)
+        self._idx = np.empty((cap, m), dtype=np.int64)
+        self._q64 = np.empty(cap, dtype=np.int64)
+        self._vals = np.empty((cap, m), dtype=np.float32)
+        self._acc = np.empty(cap, dtype=np.float32)
+        self._cap = cap
+
+    def __call__(self, qrows: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        n = ids.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=np.float32)
+        if n > self._cap:
+            self._grow(n)
+        c8 = self._c8[:n]
+        idx = self._idx[:n]
+        q64 = self._q64[:n]
+        vals = self._vals[:n]
+        acc = self._acc[:n]
+        # mode="clip" for the unbuffered out= fast path; ids are graph
+        # node ids and idx is built from in-range codes/subspace offsets,
+        # so no index ever actually clips.
+        np.take(self.codes, ids, axis=0, out=c8, mode="clip")
+        np.copyto(idx, c8, casting="unsafe")  # uint8 → int64: exact
+        idx += self.base[None, :]
+        np.multiply(qrows, self.width, out=q64)
+        idx += q64[:, None]
+        np.take(self.flat, idx, out=vals, mode="clip")
+        np.sum(vals, axis=1, out=acc)
+        if self.cosine:
+            np.add(acc, np.float32(1.0), out=acc)
+        return acc
 
 
 def make_codec(

@@ -1,0 +1,165 @@
+"""Parity gates for the optional compiled (numba) lockstep backend.
+
+Two tiers:
+
+* **Kernel-parity tests** run everywhere: with numba absent the ``njit``
+  decorator degrades to a passthrough, so the exact code numba would
+  compile runs as pure Python — slow, but bit-for-bit the same logic.
+  These gate the merge/test-and-set algorithms themselves.
+* **Jit tests** (``pytest.importorskip("numba")``) additionally gate the
+  compiled artifacts and the end-to-end ``backend="compiled"`` path; they
+  skip cleanly on machines without numba.
+
+Distances are never reimplemented by the compiled backend (see
+``repro.search.compiled``), so float parity is structural; these suites
+assert it anyway across corpora, precisions, and beam configs.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic_batcher import DynamicBatchConfig
+from repro.core.serving import ServeConfig
+from repro.core.static_batcher import StaticBatchConfig
+from repro.data import load_dataset
+from repro.graphs import build_cagra, build_nsw_fast
+from repro.search import BeamConfig, batched_multi_cta_search, intra_cta_search
+from repro.search.compiled import (
+    HAVE_NUMBA,
+    CompiledLockstepEngine,
+    resolve_backend,
+)
+from repro.search.precision import make_codec
+
+
+@pytest.fixture()
+def python_kernels():
+    """Run compiled-engine kernels uncompiled when numba is missing."""
+    prev = CompiledLockstepEngine.allow_python_kernels
+    CompiledLockstepEngine.allow_python_kernels = True
+    yield
+    CompiledLockstepEngine.allow_python_kernels = prev
+
+
+def _corpus(name):
+    ds = load_dataset(name)
+    return ds.base, ds.queries[:6]
+
+
+@pytest.mark.parametrize("dataset", ["sift1m-mini", "nytimes-mini"])
+@pytest.mark.parametrize("precision", ["float32", "int8", "pq"])
+def test_compiled_matches_vectorized(python_kernels, dataset, precision):
+    """ids, dists, and traces byte-equal between the two batched engines."""
+    pts, qs = _corpus(dataset)
+    metric = "cosine" if dataset == "nytimes-mini" else "l2"
+    graph = build_cagra(pts, graph_degree=16, metric=metric)
+    codec = make_codec(precision, pts, metric=metric)
+    out = []
+    for compiled in (False, True):
+        rng = np.random.default_rng(11)
+        out.append(
+            batched_multi_cta_search(
+                pts, graph, qs, 10, 64, 2, metric=metric, rng=rng,
+                codec=codec, compiled=compiled,
+            )
+        )
+    for ra, rb in zip(*out):
+        assert np.array_equal(ra.ids, rb.ids)
+        assert np.array_equal(ra.dists, rb.dists)
+        for ca, cb in zip(ra.trace.ctas, rb.trace.ctas):
+            assert ca.steps == cb.steps
+
+
+def test_compiled_matches_vectorized_beam(python_kernels):
+    pts, qs = _corpus("glove200-mini")
+    graph = build_nsw_fast(pts, m=8, max_degree=16)
+    beam = BeamConfig(offset_beam=4, beam_width=4)
+    out = []
+    for compiled in (False, True):
+        rng = np.random.default_rng(3)
+        out.append(
+            batched_multi_cta_search(
+                pts, graph, qs, 8, 48, 2, beam=beam, rng=rng, compiled=compiled
+            )
+        )
+    for ra, rb in zip(*out):
+        assert np.array_equal(ra.ids, rb.ids)
+        assert np.array_equal(ra.dists, rb.dists)
+
+
+def test_compiled_backend_requires_numba_or_flag():
+    if HAVE_NUMBA:
+        pytest.skip("numba installed: construction must not raise")
+    pts, _ = _corpus("sift1m-mini")
+    graph = build_cagra(pts, graph_degree=16)
+    with pytest.raises(RuntimeError, match="numba"):
+        CompiledLockstepEngine(
+            pts, graph, pts[:1], np.zeros(1, dtype=np.int64),
+            [np.array([0])], 8,
+        )
+
+
+def test_resolve_backend_fallback_warns_once():
+    if HAVE_NUMBA:
+        assert resolve_backend("compiled") == "compiled"
+        return
+    import repro.search.compiled as mod
+
+    prev = mod._WARNED
+    mod._WARNED = False
+    try:
+        with warnings.catch_warnings(record=True) as w:
+            warnings.simplefilter("always")
+            assert resolve_backend("compiled") == "vectorized"
+            assert resolve_backend("compiled") == "vectorized"
+        assert len(w) == 1  # one-time warning
+        assert resolve_backend("vectorized") == "vectorized"
+        assert resolve_backend("scalar") == "scalar"
+    finally:
+        mod._WARNED = prev
+
+
+def test_compiled_accepted_by_configs():
+    """'compiled' is a valid backend tag at every config layer."""
+    ServeConfig(backend="compiled")
+    DynamicBatchConfig(n_slots=2, n_parallel=2, k=4, search_backend="compiled")
+    StaticBatchConfig(batch_size=2, n_parallel=2, k=4, search_backend="compiled")
+    with pytest.raises(ValueError):
+        ServeConfig(backend="jit")
+
+
+def test_intra_cta_compiled_entry_point(python_kernels):
+    """backend='compiled' through the public single-query entry point."""
+    pts, qs = _corpus("sift1m-mini")
+    graph = build_cagra(pts, graph_degree=16)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        a = intra_cta_search(pts, graph, qs[0], 10, 32, entries=np.array([0, 1]),
+                             backend="vectorized")
+        b = intra_cta_search(pts, graph, qs[0], 10, 32, entries=np.array([0, 1]),
+                             backend="compiled")
+    assert np.array_equal(a.ids, b.ids)
+    assert np.array_equal(a.dists, b.dists)
+
+
+# ---------------------------------------------------------------- jit tier
+def test_jitted_kernels_compile_and_match():
+    """With numba present: the jitted artifacts themselves are exercised."""
+    pytest.importorskip("numba")
+    pts, qs = _corpus("sift1m-mini")
+    graph = build_cagra(pts, graph_degree=16)
+    out = []
+    for compiled in (False, True):
+        rng = np.random.default_rng(5)
+        out.append(
+            batched_multi_cta_search(
+                pts, graph, qs, 10, 64, 2, rng=rng, compiled=compiled
+            )
+        )
+    for ra, rb in zip(*out):
+        assert np.array_equal(ra.ids, rb.ids)
+        assert np.array_equal(ra.dists, rb.dists)
