@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Offered-load benchmark: latency-vs-QPS curves and the sustainable frontier.
+
+Builds a 100k-point corpus through the chunked/memory-mapped loaders
+(``load_big_dataset``), prices a set of searched query templates once, then
+replays them over open-loop Poisson arrival streams at a ladder of offered
+rates — twice: against a fixed 2-replica fleet and against the same fleet
+with the queue-depth autoscaler allowed to grow it.  Per point it records
+p50/p95/p99 end-to-end latency, achieved QPS, and the answered fraction;
+the headline is **max sustainable QPS** (highest offered rate meeting the
+p99 budget while answering >= 99%) for each configuration.
+
+Acceptance gate: the autoscaled fleet must sustain *strictly* higher QPS
+than the fixed fleet at the same p99 budget — elasticity has to buy real
+headroom, not just shift the curve.
+
+Methodology notes: latency percentiles exclude the first quarter of each
+arrival stream (``WARMUP_FRAC``) so every point measures steady state —
+an autoscaled fleet's ramp is *supposed* to lag the first burst, and
+penalizing the fixed fleet for its own cold queue would be equally
+unfair.  The autoscaler runs at fast-control timescales (1 ms sampling,
+5 ms provisioning) sized to the simulated streams, whose whole span is
+tens of milliseconds — the production-flavored defaults (20 ms / 200 ms)
+assume traffic that persists for seconds.  The stream length is chosen
+so the warm-up cut covers the full scale-up ramp (provision delay times
+the number of scale steps) at every swept rate.
+
+Results land in ``BENCH_load.json`` (the ``repro load`` CLI emits the same
+document shape).
+
+Usage:
+    PYTHONPATH=src python benchmarks/perf/bench_load.py [out.json]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ALGASSystem
+from repro.data import load_big_dataset
+from repro.data.workload import Poisson, closed_loop
+from repro.graphs import GraphIndex, build_nsw
+from repro.load import (
+    AutoscalerPolicy,
+    FleetConfig,
+    max_sustainable_qps,
+    sweep_load,
+    write_bench_load,
+)
+
+DATASET = "sift1m-mini"
+N_BASE = 100_000
+N_TEMPLATES = 128
+N_EVENTS = 80_000  # arrivals per offered-load point
+WARMUP_FRAC = 0.25
+K = 16
+L_TOTAL = 128
+GRAPH_M = 8  # NSW half-degree (degree 16)
+
+N_REPLICAS = 2
+SLOTS = 16
+MAX_REPLICAS = 8
+#: capacity multiples swept; >1.0 points are where the fixed fleet
+#: saturates and the autoscaler has to earn its keep.
+RATE_LADDER = (0.5, 0.75, 0.9, 1.1, 1.3, 1.6, 2.0)
+BUDGET_MULT = 20.0  # p99 budget = 20x the unloaded mean service time
+MIN_ANSWERED = 0.99
+SEED = 7
+
+
+def _cached_graph(base, metric) -> tuple[GraphIndex, float]:
+    """Build (or reuse) the NSW graph; the 100k build costs minutes, so it
+    is cached next to the generated corpora."""
+    cache = Path(
+        os.environ.get("REPRO_DATA_CACHE", Path.home() / ".cache" / "repro")
+    ) / "graphs"
+    cache.mkdir(parents=True, exist_ok=True)
+    path = cache / f"{DATASET}-n{N_BASE}-nsw-m{GRAPH_M}-seed{SEED}.npz"
+    if path.exists():
+        return GraphIndex.load(path), 0.0
+    t0 = time.perf_counter()
+    graph = build_nsw(base, m=GRAPH_M, metric=metric, seed=SEED)
+    dt = time.perf_counter() - t0
+    graph.save(path)
+    return graph, dt
+
+
+def main(argv: list[str]) -> int:
+    out_path = (
+        Path(argv[1])
+        if len(argv) > 1
+        else Path(__file__).resolve().parents[2] / "BENCH_load.json"
+    )
+    t_start = time.perf_counter()
+
+    print(f"loading {DATASET} n={N_BASE} (chunked/memmap loaders)...")
+    t0 = time.perf_counter()
+    ds = load_big_dataset(DATASET, n=N_BASE, n_queries=N_TEMPLATES,
+                          gt_k=max(64, K), seed=SEED)
+    t_data = time.perf_counter() - t0
+    print(f"  corpus ready in {t_data:.1f}s (dim={ds.dim})")
+
+    graph, t_build = _cached_graph(ds.base, ds.metric)
+    print(f"  nsw graph ready in {t_build:.1f}s"
+          f"{' (cached)' if t_build == 0.0 else ''}")
+
+    system = ALGASSystem(ds.base, graph, metric=ds.metric, k=K,
+                         l_total=L_TOTAL, seed=SEED)
+    t0 = time.perf_counter()
+    _, _, traces = system.search_all(ds.queries)
+    t_search = time.perf_counter() - t0
+    templates = system.jobs_from_traces(traces, closed_loop(len(traces)))
+    print(f"  {len(templates)} templates priced in {t_search:.1f}s")
+
+    fleet = FleetConfig(n_replicas=N_REPLICAS, slots_per_replica=SLOTS)
+    svc_us = float(np.mean([max(j.cta_durations_us) for j in templates]))
+    per_query_us = (svc_us + fleet.dispatch_overhead_us
+                    + fleet.collect_overhead_us)
+    capacity_qps = N_REPLICAS * SLOTS * 1e6 / per_query_us
+    budget_us = BUDGET_MULT * per_query_us
+    rates = [round(capacity_qps * f) for f in RATE_LADDER]
+    print(f"  mean service {per_query_us:.1f} us -> est. fixed capacity "
+          f"{capacity_qps:,.0f} qps, p99 budget {budget_us:,.0f} us")
+
+    def make_process(rate: float) -> Poisson:
+        return Poisson(rate_qps=rate, seed=SEED)
+
+    def progress(pt) -> None:
+        print(f"    {pt.offered_qps:>9,.0f} qps -> p99 "
+              f"{pt.p99_e2e_us:>11,.1f} us  answered "
+              f"{pt.answered_frac:.3f}  peak replicas {pt.peak_replicas}")
+
+    curves = {}
+    label_fixed = f"fixed-{N_REPLICAS}r"
+    print(f"  [{label_fixed}] poisson sweep, {N_EVENTS} arrivals/point, "
+          f"{WARMUP_FRAC:.0%} warm-up excluded")
+    curves[label_fixed] = sweep_load(
+        templates, make_process, rates, N_EVENTS, fleet,
+        seed=SEED, warmup_frac=WARMUP_FRAC, progress=progress,
+    )
+    # Fast-control policy: the simulated streams span tens of ms, so the
+    # control loop and provisioning run proportionally faster than the
+    # production-flavored defaults (see module docstring).
+    policy = AutoscalerPolicy(
+        min_replicas=N_REPLICAS, max_replicas=MAX_REPLICAS,
+        scale_up_depth=8.0, check_interval_us=1_000.0,
+        provision_delay_us=5_000.0, cooldown_us=1_000.0,
+    )
+    label_auto = f"autoscaled-max{MAX_REPLICAS}r"
+    print(f"  [{label_auto}] poisson sweep")
+    curves[label_auto] = sweep_load(
+        templates, make_process, rates, N_EVENTS, fleet,
+        autoscaler=policy, seed=SEED, warmup_frac=WARMUP_FRAC,
+        progress=progress,
+    )
+
+    fixed_max = max_sustainable_qps(curves[label_fixed], budget_us,
+                                    MIN_ANSWERED)
+    auto_max = max_sustainable_qps(curves[label_auto], budget_us,
+                                   MIN_ANSWERED)
+    corpus = {
+        "dataset": DATASET, "n": int(ds.n), "dim": int(ds.dim),
+        "graph": "nsw", "degree": 2 * GRAPH_M, "k": K, "l_total": L_TOTAL,
+        "templates": len(templates), "events_per_point": N_EVENTS,
+        "warmup_frac": WARMUP_FRAC, "process": "poisson", "seed": SEED,
+    }
+    write_bench_load(
+        out_path, corpus, curves, budget_us, min_answered=MIN_ANSWERED,
+        extra={
+            "fleet": fleet,
+            "autoscaler": policy,
+            "headline": {
+                "fixed_max_sustainable_qps": fixed_max,
+                "autoscaled_max_sustainable_qps": auto_max,
+                "autoscaling_gain": round(auto_max / fixed_max, 3)
+                if fixed_max else None,
+            },
+            "stage_seconds": {
+                "data": round(t_data, 1),
+                "graph_build": round(t_build, 1),
+                "search": round(t_search, 1),
+                "total": round(time.perf_counter() - t_start, 1),
+            },
+        },
+    )
+    print(f"max sustainable qps: {label_fixed} = {fixed_max:,.0f}, "
+          f"{label_auto} = {auto_max:,.0f}")
+    print(f"wrote {out_path}")
+
+    if auto_max <= fixed_max:
+        print(f"FAIL: autoscaled fleet ({auto_max:,.0f} qps) does not beat "
+              f"the fixed fleet ({fixed_max:,.0f} qps) at the same p99 "
+              f"budget")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

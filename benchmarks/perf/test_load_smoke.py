@@ -1,0 +1,83 @@
+"""Open-loop load smoke gate: a modestly loaded fleet must meet its SLO.
+
+Marker-gated (``-m perf_smoke``) with the other perf gates so tier-1 stays
+timing-free; ``scripts/test.sh --perf`` runs it.  One short Poisson stream
+(half the fleet's estimated capacity) against a 2-replica fleet: p99
+end-to-end latency must stay within a generous budget and at least 99% of
+offered queries must be answered.  A regression in the admission queue,
+the fleet dispatcher, or the arrival-process generators shows up here as
+either latency divergence or lost queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ALGASSystem
+from repro.data import load_dataset
+from repro.data.workload import Poisson, closed_loop
+from repro.graphs import build_nsw
+from repro.load import FleetConfig, run_load_point
+from repro.telemetry import MetricsRegistry, to_prometheus_text
+
+pytestmark = pytest.mark.perf_smoke
+
+N_BASE = 4000
+N_TEMPLATES = 32
+N_EVENTS = 800
+K = 8
+L_TOTAL = 64
+#: p99 budget as a multiple of the mean unloaded service time — generous
+#: (the fleet runs at half capacity), so only a real scheduling/admission
+#: regression trips it.
+BUDGET_MULT = 20.0
+MIN_ANSWERED = 0.99
+
+
+@pytest.mark.perf_smoke
+def test_open_loop_poisson_meets_slo():
+    ds = load_dataset("sift1m-mini", n=N_BASE, n_queries=N_TEMPLATES,
+                      gt_k=K, seed=7)
+    graph = build_nsw(ds.base, m=8, metric=ds.metric, seed=7)
+    system = ALGASSystem(ds.base, graph, metric=ds.metric, k=K,
+                         l_total=L_TOTAL, seed=7)
+    _, _, traces = system.search_all(ds.queries)
+    templates = system.jobs_from_traces(traces, closed_loop(len(traces)))
+
+    fleet = FleetConfig(n_replicas=2, slots_per_replica=16)
+    svc_us = float(np.mean([max(j.cta_durations_us) for j in templates]))
+    per_query_us = (svc_us + fleet.dispatch_overhead_us
+                    + fleet.collect_overhead_us)
+    capacity_qps = (fleet.n_replicas * fleet.slots_per_replica
+                    * 1e6 / per_query_us)
+    budget_us = BUDGET_MULT * per_query_us
+
+    point, report = run_load_point(
+        templates, Poisson(rate_qps=capacity_qps / 2, seed=7),
+        N_EVENTS, fleet,
+    )
+
+    reg = MetricsRegistry()
+    reg.gauge("algas_load_smoke_offered_qps", "offered rate").set(
+        point.offered_qps)
+    reg.gauge("algas_load_smoke_p99_e2e_us", "p99 e2e latency").set(
+        point.p99_e2e_us)
+    reg.gauge("algas_load_smoke_budget_us", "p99 budget").set(budget_us)
+    reg.gauge("algas_load_smoke_answered_frac", "answered fraction").set(
+        point.answered_frac)
+    print()
+    print(to_prometheus_text(reg), end="")
+
+    assert point.n_offered == N_EVENTS
+    assert point.answered_frac >= MIN_ANSWERED, (
+        f"fleet lost queries at half capacity: answered "
+        f"{point.answered_frac:.4f} < {MIN_ANSWERED}"
+    )
+    assert point.p99_e2e_us <= budget_us, (
+        f"p99 {point.p99_e2e_us:.1f}us blew the {budget_us:.1f}us budget "
+        f"at half capacity ({point.offered_qps:.0f} qps offered)"
+    )
+    # The report stays internally consistent: every offered query is
+    # accounted for as answered or dropped.
+    assert len(report.records) + report.meta["dropped"] == N_EVENTS

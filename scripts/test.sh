@@ -12,7 +12,12 @@
 #                              # traversal must beat float32 by >=1.5x
 #                              # simulated GPU latency AND >=1.0x host wall
 #                              # clock on a dim=960 corpus with recall@16
-#                              # within 0.02 — docs/performance.md)
+#                              # within 0.02 — docs/performance.md) + load
+#                              # gate (~5 s; a 2-replica fleet fed an
+#                              # open-loop Poisson stream at half capacity
+#                              # must keep p99 e2e within 20x the unloaded
+#                              # mean service time and answer >=99% of
+#                              # queries — docs/load_testing.md)
 #   scripts/test.sh --chaos    # chaos smoke only: serve under the fixed
 #                              # "smoke" fault plan (1 of 4 shards killed,
 #                              # slots hung/corrupted, PCIe stalled) and

@@ -14,7 +14,7 @@ import numpy as np
 from ..core.pipeline import SystemReport
 from ..core.serving import QueryJob, ServeConfig, as_serve_config
 from ..core.static_batcher import StaticBatchConfig, StaticBatchEngine
-from ..data.workload import QueryEvent, closed_loop
+from ..data.workload import resolve_workload
 from ..gpusim.costmodel import CostModel, CostParams
 from ..gpusim.device import RTX_A6000, DeviceProperties
 from ..gpusim.trace import QueryTrace
@@ -99,10 +99,8 @@ class IVFSystem:
         self,
         queries: np.ndarray,
         config: ServeConfig | None = None,
-        *,
-        events: list[QueryEvent] | None = None,
     ) -> SystemReport:
-        cfg = as_serve_config(config, events, owner=f"{type(self).__name__}.serve")
+        cfg = as_serve_config(config, owner=f"{type(self).__name__}.serve")
         if cfg.precision is not None or cfg.rerank_mult is not None:
             raise ValueError(
                 "precision/rerank_mult select the graph-traversal distance "
@@ -112,7 +110,13 @@ class IVFSystem:
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]
-        evs = cfg.workload or closed_loop(queries.shape[0])
+        evs, spec = resolve_workload(cfg.workload, queries.shape[0])
+        if spec is not None:
+            raise ValueError(
+                "admission control (deadline_us/max_queue_depth) requires "
+                "the dynamic batching engine; the IVF baselines batch "
+                "statically with no admission queue"
+            )
         ids, dists, traces = self.search_all(queries)
         jobs = [
             QueryJob(

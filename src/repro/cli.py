@@ -5,6 +5,9 @@ Commands
 ``datasets``   list the registered corpora (paper Table III)
 ``build``      build a graph index over a dataset and save it (.npz)
 ``serve``      search + schedule a query set with a chosen system
+``load``       sweep offered load through the replica fleet and report the
+               latency-vs-QPS curve + max sustainable QPS
+               (docs/load_testing.md)
 ``chaos``      serve a workload under a fault plan (docs/robustness.md)
 ``tune``       run the §IV-C adaptive tuner for a configuration
 ``figure``     regenerate one of the paper's figures/tables
@@ -88,6 +91,58 @@ def build_parser() -> argparse.ArgumentParser:
                         "Prometheus text, anything else a JSON document")
     s.add_argument("--slot-timeline", action="store_true",
                    help="print an ASCII per-slot occupancy timeline")
+    s.add_argument("--workload", default=None, metavar="PROC",
+                   help="arrival process: closed | uniform:QPS | poisson:QPS "
+                        "| diurnal:BASE:PEAK[:PERIOD_S] | bursty:BASE:BURST "
+                        "(default: closed loop)")
+
+    ld = sub.add_parser(
+        "load",
+        help="sweep offered load through the replica fleet "
+             "(docs/load_testing.md)",
+    )
+    ld.add_argument("--dataset", default="sift1m-mini")
+    ld.add_argument("--n", type=int, default=100_000,
+                    help="corpus size; >= 50k uses the chunked/memory-mapped "
+                         "loaders (1M+ reachable)")
+    ld.add_argument("--queries", type=int, default=128,
+                    help="searched query templates replayed over the "
+                         "arrival stream")
+    ld.add_argument("--events", type=int, default=2000,
+                    help="arrivals per offered-load point")
+    ld.add_argument("--warmup-frac", type=float, default=0.1,
+                    help="fraction of each stream excluded from latency/"
+                         "answered accounting (steady-state measurement)")
+    ld.add_argument("--graph", choices=("cagra", "nsw"), default="nsw")
+    ld.add_argument("--degree", type=int, default=16)
+    ld.add_argument("--k", type=int, default=16)
+    ld.add_argument("--l", dest="l_total", type=int, default=128)
+    ld.add_argument("--process", choices=("poisson", "diurnal", "bursty"),
+                    default="poisson",
+                    help="arrival process family; the sweep sets each "
+                         "point's MEAN rate")
+    ld.add_argument("--rates", default=None, metavar="QPS,QPS,...",
+                    help="offered rates to sweep (default: auto around the "
+                         "fleet's estimated capacity)")
+    ld.add_argument("--replicas", type=int, default=2,
+                    help="fixed-fleet replica count (and autoscaler start)")
+    ld.add_argument("--slots-per-replica", type=int, default=16)
+    ld.add_argument("--deadline-us", type=float, default=None,
+                    help="relative drop deadline per query")
+    ld.add_argument("--max-queue-depth", type=int, default=None,
+                    help="central admission queue limit (load shedding)")
+    ld.add_argument("--autoscale", action="store_true",
+                    help="also sweep with the queue-depth autoscaler "
+                         "(min=--replicas, max=--max-replicas)")
+    ld.add_argument("--max-replicas", type=int, default=4)
+    ld.add_argument("--provision-delay-us", type=float, default=200_000.0)
+    ld.add_argument("--p99-budget-us", type=float, default=None,
+                    help="p99 e2e budget for the sustainable-QPS headline "
+                         "(default: 20x the unloaded mean service time)")
+    ld.add_argument("--min-answered", type=float, default=0.99)
+    ld.add_argument("--seed", type=int, default=0)
+    ld.add_argument("-o", "--output", default=None, metavar="PATH",
+                    help="write the sweep as a BENCH_load.json document")
 
     c = sub.add_parser("chaos", help="serve a workload under a fault plan "
                                      "(docs/robustness.md)")
@@ -236,9 +291,14 @@ def _cmd_serve(args) -> int:
         else:
             system = GANNSSystem(ds.base, g, **common)
             system.build_info = build_info
+    workload = None
+    if args.workload is not None:
+        from .data.workload import ArrivalProcess
+
+        workload = ArrivalProcess.parse(args.workload)
     tel = Telemetry() if (args.metrics_out or args.slot_timeline) else None
     t0 = time.perf_counter()
-    rep = system.serve(ds.queries, ServeConfig(telemetry=tel))
+    rep = system.serve(ds.queries, ServeConfig(telemetry=tel, workload=workload))
     wall_s = time.perf_counter() - t0
     prof_report = None
     if args.profile:
@@ -295,6 +355,117 @@ def _cmd_serve(args) -> int:
     if prof_report is not None:
         print("\n--- cProfile: top cumulative hotspots ---")
         print(prof_report, end="")
+    return 0
+
+
+def _cmd_load(args) -> int:
+    import time
+
+    from .core import ALGASSystem
+    from .data import load_big_dataset, load_dataset
+    from .data.workload import Bursty, Diurnal, Poisson, closed_loop
+    from .graphs import build_cagra, build_nsw
+    from .load import (
+        AutoscalerPolicy,
+        FleetConfig,
+        max_sustainable_qps,
+        sweep_load,
+        write_bench_load,
+    )
+
+    t_start = time.perf_counter()
+    loader = load_big_dataset if args.n >= 50_000 else load_dataset
+    ds = loader(args.dataset, n=args.n, n_queries=args.queries,
+                gt_k=max(64, args.k), seed=args.seed)
+    if args.graph == "cagra":
+        g = build_cagra(ds.base, graph_degree=args.degree, metric=ds.metric)
+    else:
+        g = build_nsw(ds.base, m=args.degree // 2, metric=ds.metric,
+                      seed=args.seed)
+    system = ALGASSystem(ds.base, g, metric=ds.metric, k=args.k,
+                         l_total=args.l_total, seed=args.seed)
+    # One search pass prices the templates; the sweep replays them over
+    # arbitrarily long arrival streams (docs/load_testing.md).
+    _, _, traces = system.search_all(ds.queries)
+    templates = system.jobs_from_traces(traces, closed_loop(len(traces)))
+
+    fleet = FleetConfig(
+        n_replicas=args.replicas,
+        slots_per_replica=args.slots_per_replica,
+        deadline_us=args.deadline_us,
+        max_queue_depth=args.max_queue_depth,
+    )
+    svc_us = float(np.mean([max(j.cta_durations_us) for j in templates]))
+    per_query_us = svc_us + fleet.dispatch_overhead_us + fleet.collect_overhead_us
+    capacity_qps = args.replicas * args.slots_per_replica * 1e6 / per_query_us
+    if args.rates:
+        rates = [float(r) for r in args.rates.split(",")]
+    else:
+        rates = [round(capacity_qps * f) for f in (0.25, 0.5, 0.75, 0.9, 1.1, 1.4)]
+    budget = (args.p99_budget_us if args.p99_budget_us is not None
+              else 20.0 * per_query_us)
+
+    def make_process(rate: float):
+        if args.process == "poisson":
+            return Poisson(rate_qps=rate, seed=args.seed)
+        if args.process == "diurnal":
+            # sinusoid mean is (base+peak)/2 -> swing +-50% around the rate
+            return Diurnal(base_qps=rate * 0.5, peak_qps=rate * 1.5,
+                           seed=args.seed)
+        # bursty defaults dwell 80% base / 20% burst; base=r/2, burst=3r
+        # keeps the stationary mean at the swept rate.
+        return Bursty(base_qps=rate * 0.5, burst_qps=rate * 3.0, seed=args.seed)
+
+    def progress(pt) -> None:
+        print(f"  {pt.offered_qps:>9,.0f} qps -> p99 {pt.p99_e2e_us:>11,.1f} us"
+              f"  answered {pt.answered_frac:.3f}"
+              f"  peak replicas {pt.peak_replicas}")
+
+    print(f"corpus={args.dataset} n={ds.n} dim={ds.dim} graph={args.graph} "
+          f"templates={len(templates)} events/point={args.events}")
+    print(f"est. fleet capacity ~ {capacity_qps:,.0f} qps "
+          f"(mean service {per_query_us:.1f} us)  "
+          f"p99 budget {budget:,.0f} us")
+    curves = {}
+    label_fixed = f"fixed-{args.replicas}r"
+    print(f"[{label_fixed}] {args.process} sweep")
+    curves[label_fixed] = sweep_load(
+        templates, make_process, rates, args.events, fleet,
+        seed=args.seed, warmup_frac=args.warmup_frac, progress=progress,
+    )
+    if args.autoscale:
+        # Floor at the fixed-fleet size: the comparison is "same starting
+        # fleet, allowed to grow", not "allowed to shrink below baseline".
+        policy = AutoscalerPolicy(
+            min_replicas=args.replicas, max_replicas=args.max_replicas,
+            provision_delay_us=args.provision_delay_us,
+        )
+        label_auto = f"autoscaled-max{args.max_replicas}r"
+        print(f"[{label_auto}] {args.process} sweep")
+        curves[label_auto] = sweep_load(
+            templates, make_process, rates, args.events, fleet,
+            autoscaler=policy, seed=args.seed,
+            warmup_frac=args.warmup_frac, progress=progress,
+        )
+    for label, pts in curves.items():
+        mx = max_sustainable_qps(pts, budget, args.min_answered)
+        print(f"max sustainable qps [{label}] = {mx:,.0f}")
+    if args.output:
+        corpus = {
+            "dataset": args.dataset, "n": int(ds.n), "dim": int(ds.dim),
+            "graph": args.graph, "degree": args.degree, "k": args.k,
+            "l_total": args.l_total, "templates": len(templates),
+            "events_per_point": args.events,
+            "warmup_frac": args.warmup_frac, "process": args.process,
+            "seed": args.seed,
+        }
+        write_bench_load(
+            args.output, corpus, curves, budget,
+            min_answered=args.min_answered,
+            extra={"fleet": fleet,
+                   "wall_seconds": round(time.perf_counter() - t_start, 2)},
+        )
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -400,6 +571,7 @@ def main(argv: list[str] | None = None) -> int:
         "datasets": _cmd_datasets,
         "build": _cmd_build,
         "serve": _cmd_serve,
+        "load": _cmd_load,
         "chaos": _cmd_chaos,
         "tune": _cmd_tune,
         "figure": _cmd_figure,

@@ -38,7 +38,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..data.workload import QueryEvent, closed_loop
+from ..data.workload import resolve_workload
 from ..graphs.base import GraphIndex
 from ..resilience.policy import (
     DEFAULT_POLICY,
@@ -47,7 +47,7 @@ from ..resilience.policy import (
 )
 from ..search.topk import heap_merge
 from ..telemetry import NULL_TELEMETRY
-from .pipeline import ALGASSystem, SystemReport
+from .pipeline import ALGASSystem, BaseGraphSystem, SystemReport
 from .serving import (
     QueryJob,
     QueryRecord,
@@ -103,6 +103,11 @@ def _merged_report(
             i for p in parts for i in p.meta.get("dropped_ids", [])
         ),
     }
+    if any("shed" in p.meta for p in parts):
+        agg["shed"] = sum(p.meta.get("shed", 0) for p in parts)
+        agg["shed_ids"] = sorted(
+            i for p in parts for i in p.meta.get("shed_ids", [])
+        )
     res = merge_resilience_meta(
         [p.meta.get("resilience") for p in parts]
         + ([cluster_stats.to_meta()] if cluster_stats is not None else [])
@@ -142,16 +147,17 @@ class ReplicatedServer:
         self,
         queries: np.ndarray,
         config: ServeConfig | None = None,
-        *,
-        events: list[QueryEvent] | None = None,
     ) -> SystemReport:
-        cfg = as_serve_config(config, events, owner="ReplicatedServer.serve")
+        cfg = as_serve_config(config, owner="ReplicatedServer.serve")
         tel = cfg.telemetry or NULL_TELEMETRY
         plan, policy, cstats = _cluster_policy(cfg)
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]
-        evs = cfg.workload or closed_loop(queries.shape[0])
+        # Admission control (a TrafficSpec with deadline/queue-depth
+        # limits) applies per replica: each replica runs its own
+        # admission queue over the round-robin slice it was dealt.
+        evs, spec = resolve_workload(cfg.workload, queries.shape[0])
         ids, dists, traces = self.system.search_all(
             queries, backend=cfg.backend, seed=cfg.seed
         )
@@ -182,7 +188,7 @@ class ReplicatedServer:
                 slots=cfg.slots, telemetry=shard_tel,
                 faults=sub, resilience=policy,
             )
-            part = engine.serve(run_jobs)
+            part = BaseGraphSystem._run_engine(engine, run_jobs, spec)
             recs = list(part.records)
             rescue = list(part.meta.get("failed_ids", []))
             if sfault is not None and sfault.kind == "kill":
@@ -351,17 +357,25 @@ class ShardedServer:
         self,
         queries: np.ndarray,
         config: ServeConfig | None = None,
-        *,
-        events: list[QueryEvent] | None = None,
     ) -> SystemReport:
-        cfg = as_serve_config(config, events, owner="ShardedServer.serve")
+        cfg = as_serve_config(config, owner="ShardedServer.serve")
         tel = cfg.telemetry or NULL_TELEMETRY
         plan, policy, cstats = _cluster_policy(cfg)
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]
         nq = queries.shape[0]
-        evs = cfg.workload or closed_loop(nq)
+        evs, spec = resolve_workload(cfg.workload, nq)
+        if spec is not None:
+            # Every query fans out to every shard; shedding on one shard's
+            # queue would leave the fan-in with a partial answer that is
+            # not a quorum decision.  Admission control belongs in front
+            # of the fan-out (the load driver), not per shard.
+            raise ValueError(
+                "ShardedServer does not support admission control "
+                "(deadline_us/max_queue_depth); shed before the fan-out "
+                "instead (see docs/load_testing.md)"
+            )
         ordered = sorted(evs, key=lambda e: e.query_id)
 
         per_shard = []

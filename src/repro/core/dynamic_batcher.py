@@ -139,9 +139,14 @@ class DynamicBatchEngine:
         self,
         jobs: list[QueryJob],
         managed: list[ManagedQuery] | None = None,
+        max_queue_depth: int | None = None,
     ) -> ServeReport:
         """Serve ``jobs``; pass ``managed`` instead to attach priorities or
-        drop deadlines (the §V-B query-manager extensions)."""
+        drop deadlines (the §V-B query-manager extensions).
+
+        ``max_queue_depth`` arms queue-depth load shedding: an arrival
+        finding that many queries already waiting is rejected at admission
+        and accounted as a drop (docs/load_testing.md)."""
         cfg = self.cfg
         if managed is not None:
             jobs = [m.job for m in managed]
@@ -187,7 +192,11 @@ class DynamicBatchEngine:
         records: dict[int, QueryRecord] = {
             j.query_id: QueryRecord(j.query_id, j.arrival_us) for j in jobs
         }
-        manager = QueryManager(managed if managed is not None else jobs, telemetry=tel)
+        manager = QueryManager(
+            managed if managed is not None else jobs,
+            telemetry=tel,
+            max_queue_depth=max_queue_depth,
+        )
         outstanding = len(jobs)
         drops_seen = 0
         gpu_busy = 0.0
@@ -557,6 +566,13 @@ class DynamicBatchEngine:
             "dropped": len(dropped_ids),
             "dropped_ids": sorted(dropped_ids),
         }
+        if max_queue_depth is not None:
+            # Shed-at-admission accounting only appears when shedding was
+            # armed, so default serves keep their meta byte-identical.
+            shed_ids = sorted(m.job.query_id for m in manager.shed)
+            meta["max_queue_depth"] = max_queue_depth
+            meta["shed"] = len(shed_ids)
+            meta["shed_ids"] = shed_ids
         if stats is not None:
             meta["resilience"] = stats.to_meta()
             meta["failed"] = len(failed_ids)

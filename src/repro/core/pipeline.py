@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..data.workload import QueryEvent, closed_loop
+from ..data.workload import QueryEvent, resolve_workload
 from ..gpusim.costmodel import CostModel, CostParams
 from ..gpusim.device import RTX_A6000, DeviceProperties
 from ..gpusim.occupancy import SearchMemoryLayout
@@ -296,24 +296,54 @@ class BaseGraphSystem:
         """
         raise NotImplementedError
 
+    @staticmethod
+    def _run_engine(engine, jobs, spec) -> ServeReport:
+        """Run ``jobs`` through ``engine``, honouring an admission spec.
+
+        A :class:`~repro.data.workload.TrafficSpec` with ``deadline_us`` /
+        ``max_queue_depth`` needs an admission queue, which only the
+        dynamic engine has; the static baselines dispatch fixed batches
+        with no queue to shed from, so they reject such specs loudly
+        rather than silently ignoring the contract.
+        """
+        if spec is None:
+            return engine.serve(jobs)
+        if not isinstance(engine, DynamicBatchEngine):
+            raise ValueError(
+                f"admission control (deadline_us/max_queue_depth) requires "
+                f"the dynamic batching engine; {type(engine).__name__} has "
+                f"no admission queue"
+            )
+        managed = None
+        if spec.deadline_us is not None:
+            from .query_manager import ManagedQuery
+
+            managed = [
+                ManagedQuery(j, deadline_us=j.arrival_us + spec.deadline_us)
+                for j in jobs
+            ]
+        return engine.serve(
+            jobs, managed=managed, max_queue_depth=spec.max_queue_depth
+        )
+
     def serve(
         self,
         queries: np.ndarray,
         config: ServeConfig | None = None,
-        *,
-        events: list[QueryEvent] | None = None,
     ) -> SystemReport:
         """Search + schedule a query set (closed loop by default).
 
         ``config`` is the unified :class:`~repro.core.serving.ServeConfig`;
-        the old ``events=`` keyword (and positional event-list) forms are
-        deprecated shims that still work for one release.
+        its ``workload`` takes the declarative
+        :class:`~repro.data.workload.ArrivalProcess` /
+        :class:`~repro.data.workload.TrafficSpec` hierarchy or a plain
+        ``QueryEvent`` list (docs/load_testing.md).
         """
-        cfg = as_serve_config(config, events, owner=f"{type(self).__name__}.serve")
+        cfg = as_serve_config(config, owner=f"{type(self).__name__}.serve")
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]
-        evs = cfg.workload or closed_loop(queries.shape[0])
+        evs, spec = resolve_workload(cfg.workload, queries.shape[0])
         precision = cfg.precision or self.precision
         rerank_mult = cfg.rerank_mult or self.rerank_mult
         ids, dists, traces = self.search_all(
@@ -326,7 +356,7 @@ class BaseGraphSystem:
             slots=cfg.slots, telemetry=cfg.telemetry,
             faults=cfg.faults, resilience=cfg.resilience,
         )
-        report = engine.serve(jobs)
+        report = self._run_engine(engine, jobs, spec)
         codec = self.traversal_codec(precision)
         report.meta["precision"] = {
             "precision": precision,

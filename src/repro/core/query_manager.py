@@ -14,7 +14,12 @@ Extensions beyond the paper (exercised by the extension benchmarks):
 
 * **priorities** — latency-critical queries can overtake best-effort ones;
 * **deadlines** — queries whose deadline passed before dispatch are
-  dropped and reported, modelling admission control under overload.
+  dropped and reported, modelling admission control under overload;
+* **queue-depth shedding** — with ``max_queue_depth`` set, an arrival
+  that finds the ready queue full is shed at the door (load shedding;
+  docs/load_testing.md).  Shed queries are accounted as drops, with
+  their own telemetry counter to keep them distinguishable from
+  deadline expiries.
 """
 
 from __future__ import annotations
@@ -47,13 +52,25 @@ class QueryManager:
         self,
         queries: list[ManagedQuery] | list[QueryJob] | None = None,
         telemetry=None,
+        max_queue_depth: int | None = None,
     ):
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
         self._arrivals: list[tuple[float, int, ManagedQuery]] = []
         self._ready: list[tuple[int, float, int, ManagedQuery]] = []
         self._seq = itertools.count()
         self._tel = telemetry or NULL_TELEMETRY
+        self.max_queue_depth = max_queue_depth
         self.dropped: list[ManagedQuery] = []
+        #: subset of ``dropped`` shed at admission by the queue-depth limit.
+        self.shed: list[ManagedQuery] = []
         self.dispatched = 0
+        # Fast-path state: deadline scans and eligibility scans are O(queue)
+        # per pop, which dominates deep-overload fleet sweeps — skip both
+        # when provably unnecessary (no deadlines anywhere / caller's clock
+        # at or past every admission clock).
+        self._any_deadline = False
+        self._admit_clock = float("-inf")
         for q in queries or []:
             self.submit(q)
 
@@ -66,21 +83,39 @@ class QueryManager:
         """
         if isinstance(q, QueryJob):
             q = ManagedQuery(q)
+        if q.deadline_us is not None:
+            self._any_deadline = True
         heapq.heappush(self._arrivals, (q.job.arrival_us, next(self._seq), q))
         if not resubmit:
             self._tel.query_submitted()
 
     # ------------------------------------------------------------- internal
     def _admit(self, now: float) -> None:
+        if now > self._admit_clock:
+            self._admit_clock = now
         admitted = False
         while self._arrivals and self._arrivals[0][0] <= now:
             _, seq, q = heapq.heappop(self._arrivals)
+            if (
+                self.max_queue_depth is not None
+                and len(self._ready) >= self.max_queue_depth
+            ):
+                # Load shedding: reject at the door rather than queueing
+                # work that will blow its latency budget anyway.
+                self.dropped.append(q)
+                self.shed.append(q)
+                self._tel.query_shed(
+                    q.job.query_id, q.job.arrival_us, len(self._ready)
+                )
+                continue
             heapq.heappush(self._ready, (-q.priority, q.job.arrival_us, seq, q))
             admitted = True
         if admitted:
             self._tel.queue_depth(len(self._ready))
 
     def _drop_expired(self, now: float) -> None:
+        if not self._any_deadline:
+            return
         live = []
         changed = False
         for entry in self._ready:
@@ -100,6 +135,13 @@ class QueryManager:
     def _best_eligible(self, now: float) -> int | None:
         """Index (into the ready heap array) of the most urgent query whose
         arrival is ≤ the *caller's* clock."""
+        if not self._ready:
+            return None
+        if now >= self._admit_clock:
+            # Every admitted entry arrived at or before some admission
+            # clock <= now, so all are eligible and the heap root (the
+            # global key minimum; seq makes keys unique) is the answer.
+            return 0
         best_i = None
         best_key = None
         for i, entry in enumerate(self._ready):
@@ -119,9 +161,12 @@ class QueryManager:
         if i is None:
             return None
         q = self._ready[i][3]
-        self._ready[i] = self._ready[-1]
-        self._ready.pop()
-        heapq.heapify(self._ready)
+        if i == 0:
+            heapq.heappop(self._ready)
+        else:
+            self._ready[i] = self._ready[-1]
+            self._ready.pop()
+            heapq.heapify(self._ready)
         self.dispatched += 1
         self._tel.queue_depth(len(self._ready))
         return q

@@ -7,8 +7,10 @@ identical semantics, so every Fig. 10–15 comparison is apples-to-apples.
 :class:`ServeConfig` is the unified ``serve()`` argument accepted by every
 entry point (:class:`~repro.core.pipeline.ALGASSystem`, the baselines,
 :class:`~repro.core.cluster.ReplicatedServer` /
-:class:`~repro.core.cluster.ShardedServer`); the old per-system keyword
-forms remain as deprecation shims via :func:`as_serve_config`.
+:class:`~repro.core.cluster.ShardedServer`).  Its ``workload`` field takes
+the declarative :class:`~repro.data.workload.ArrivalProcess` /
+:class:`~repro.data.workload.TrafficSpec` hierarchy (docs/load_testing.md)
+or a plain ``list[QueryEvent]`` via a thin adapter.
 """
 
 from __future__ import annotations
@@ -16,14 +18,13 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..data.workload import QueryEvent
+from ..data.workload import ArrivalProcess, QueryEvent, TrafficSpec
 from ..gpusim.pcie import PCIeStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -101,7 +102,11 @@ class ServeConfig:
     Every field defaults to "use the system's configured value", so
     ``serve(queries)`` and ``serve(queries, ServeConfig())`` are identical.
 
-    * ``workload`` — arrival events (None → closed loop over the queries);
+    * ``workload`` — when queries arrive: an
+      :class:`~repro.data.workload.ArrivalProcess`, a
+      :class:`~repro.data.workload.TrafficSpec` (process + admission
+      control), or a materialized ``list[QueryEvent]``
+      (None → closed loop over the queries);
     * ``slots`` — overrides the engine's slot count / batch size;
     * ``backend`` — overrides the search backend
       ("scalar"/"vectorized"/"compiled");
@@ -120,7 +125,7 @@ class ServeConfig:
       ``rerank_mult × k`` survivors; ignored for float32).
     """
 
-    workload: list[QueryEvent] | None = None
+    workload: "TrafficSpec | ArrivalProcess | list[QueryEvent] | None" = None
     slots: int | None = None
     backend: str | None = None
     seed: int | None = None
@@ -158,7 +163,14 @@ class ServeConfig:
             "scalar", "vectorized", "compiled"
         ):
             raise ValueError(f"unknown backend {self.backend!r}")
-        if self.workload is not None:
+        if self.workload is not None and not isinstance(
+            self.workload, (TrafficSpec, ArrivalProcess)
+        ):
+            if not isinstance(self.workload, (list, tuple)):
+                raise TypeError(
+                    f"workload must be a TrafficSpec, ArrivalProcess, or "
+                    f"list[QueryEvent]; got {type(self.workload).__name__}"
+                )
             for ev in self.workload:
                 if not isinstance(ev, QueryEvent):
                     raise TypeError(
@@ -166,42 +178,26 @@ class ServeConfig:
                     )
 
 
-def as_serve_config(config=None, events=None, owner: str = "serve") -> ServeConfig:
-    """Coerce the ``serve()`` arguments into one :class:`ServeConfig`.
+def as_serve_config(config=None, owner: str = "serve") -> ServeConfig:
+    """Coerce the ``serve()`` config argument into one :class:`ServeConfig`.
 
-    Accepts the new form (a ``ServeConfig`` or None) and the two legacy
-    forms kept as deprecation shims for one release:
-
-    * ``serve(queries, events=[...])`` — the old keyword argument;
-    * ``serve(queries, [QueryEvent, ...])`` — the old second positional.
+    Accepts a ``ServeConfig``, None (all defaults), or — as a thin
+    adapter — a bare ``list[QueryEvent]`` / :class:`ArrivalProcess` /
+    :class:`TrafficSpec`, which becomes ``ServeConfig(workload=...)``.
     """
-    if events is not None:
-        if config is not None:
-            raise TypeError(f"{owner}() takes either config or events, not both")
-        warnings.warn(
-            f"{owner}(queries, events=...) is deprecated; pass "
-            f"ServeConfig(workload=events) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return ServeConfig(workload=list(events))
     if config is None:
         return ServeConfig()
     if isinstance(config, ServeConfig):
         return config
+    if isinstance(config, (TrafficSpec, ArrivalProcess)):
+        return ServeConfig(workload=config)
     if isinstance(config, (list, tuple)) and all(
         isinstance(e, QueryEvent) for e in config
     ):
-        warnings.warn(
-            f"{owner}(queries, [QueryEvent, ...]) is deprecated; pass "
-            f"ServeConfig(workload=events) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
         return ServeConfig(workload=list(config))
     raise TypeError(
-        f"{owner}() expected a ServeConfig (or a legacy QueryEvent list), "
-        f"got {type(config).__name__}"
+        f"{owner}() expected a ServeConfig (or a workload: TrafficSpec, "
+        f"ArrivalProcess, or QueryEvent list), got {type(config).__name__}"
     )
 
 

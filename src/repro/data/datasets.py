@@ -21,7 +21,14 @@ from . import synthetic
 from .groundtruth import exact_knn
 from .metrics import normalize
 
-__all__ = ["DatasetSpec", "Dataset", "DATASETS", "load_dataset", "dataset_names"]
+__all__ = [
+    "DatasetSpec",
+    "Dataset",
+    "DATASETS",
+    "load_dataset",
+    "load_big_dataset",
+    "dataset_names",
+]
 
 
 @dataclass(frozen=True)
@@ -152,6 +159,69 @@ def load_dataset(
     if n <= gt_k:
         raise ValueError("n must exceed gt_k")
     return _load_cached(name, n, int(n_queries), int(gt_k), int(seed))
+
+
+def load_big_dataset(
+    name: str,
+    n: int,
+    n_queries: int = 256,
+    gt_k: int = 128,
+    seed: int = 0,
+    cache_dir=None,
+    chunk_size: int | None = None,
+) -> Dataset:
+    """Materialize a registered dataset at production scale (100k–1M+).
+
+    Uses the chunked :class:`~repro.data.storage.LatentMixtureModel` (the
+    same distribution family as :func:`load_dataset`, with an
+    independently seeded draw order) streamed into a memory-mapped
+    ``.npy`` under ``cache_dir``, so the base corpus never has to fit in
+    one eager ndarray.  Ground truth is computed with the point-blocked
+    :func:`~repro.data.storage.exact_knn_big`.
+
+    ``cache_dir`` defaults to ``~/.cache/repro/datasets``; an existing
+    cache file for the same ``(name, n, seed)`` is reused as-is (chunked
+    generation is deterministic, so the file content is reproducible).
+    """
+    import os
+    from pathlib import Path
+
+    from .storage import LatentMixtureModel, exact_knn_big, generate_memmap
+
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; known: {dataset_names()}")
+    spec = DATASETS[name]
+    if n <= gt_k:
+        raise ValueError("n must exceed gt_k")
+    model = LatentMixtureModel(
+        dim=spec.dim,
+        n_clusters=spec.n_clusters,
+        intrinsic_dim=spec.intrinsic_dim,
+        normalized=(spec.metric == "cosine"),
+        seed=seed,
+        **({"chunk_size": chunk_size} if chunk_size is not None else {}),
+    )
+    if cache_dir is None:
+        cache_dir = Path(
+            os.environ.get("REPRO_DATA_CACHE", Path.home() / ".cache" / "repro")
+        ) / "datasets"
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = cache_dir / f"{name}-n{n}-seed{seed}.npy"
+    if path.exists():
+        base = np.load(path, mmap_mode="r")
+        if base.shape != (n, spec.dim):
+            raise ValueError(
+                f"cache file {path} has shape {base.shape}, "
+                f"expected {(n, spec.dim)}"
+            )
+    else:
+        base = generate_memmap(path, model, n)
+    queries = model.queries(n_queries)
+    gt, gt_dist = exact_knn_big(queries, base, gt_k, metric=spec.metric)
+    queries.setflags(write=False)
+    gt.setflags(write=False)
+    return Dataset(spec, base, queries, gt, gt_dist)
 
 
 def load_real_dataset(

@@ -1,22 +1,55 @@
-"""Query arrival workloads for the serving experiments.
+"""Query arrival workloads: declarative arrival processes + traffic specs.
 
 The latency/throughput experiments (Figs. 10–15) serve a stream of queries.
 Two standard regimes:
 
 * **closed loop** — the next batch is dispatched the instant the previous
   one finishes (this is how the paper measures peak throughput);
-* **open loop** — queries arrive by a Poisson (or deterministic) process and
-  wait in a queue; end-to-end latency then includes *batch accumulation
-  time*, the cost the paper attributes to large batches in online serving.
+* **open loop** — queries arrive by an external process and wait in a
+  queue; end-to-end latency then includes *batch accumulation time*, the
+  cost the paper attributes to large batches in online serving.
+
+The open-loop side is a first-class, declarative API (docs/load_testing.md):
+
+* :class:`ArrivalProcess` subclasses (:class:`ClosedLoop`,
+  :class:`Uniform`, :class:`Poisson`, :class:`Diurnal`, :class:`Bursty`,
+  :class:`TraceReplay`) are frozen, seedable, JSON-round-trippable
+  descriptions of *when queries arrive*;
+* :class:`TrafficSpec` bundles a process with admission control (relative
+  deadlines, queue-depth shedding) — *what happens when they arrive too
+  fast*.
+
+Everything :class:`~repro.core.serving.ServeConfig.workload` accepts goes
+through :func:`resolve_workload`; a bare ``list[QueryEvent]`` keeps working
+as a thin adapter (it is the fully-materialized form every process lowers
+to).  The legacy helpers (:func:`closed_loop`, :func:`poisson_arrivals`,
+:func:`uniform_arrivals`) remain and produce bit-identical streams.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
-__all__ = ["QueryEvent", "closed_loop", "poisson_arrivals", "uniform_arrivals"]
+__all__ = [
+    "QueryEvent",
+    "ArrivalProcess",
+    "ClosedLoop",
+    "Uniform",
+    "Poisson",
+    "Diurnal",
+    "Bursty",
+    "TraceReplay",
+    "TrafficSpec",
+    "resolve_workload",
+    "closed_loop",
+    "poisson_arrivals",
+    "uniform_arrivals",
+]
 
 
 @dataclass(frozen=True)
@@ -27,6 +60,7 @@ class QueryEvent:
     arrival_us: float
 
 
+# --------------------------------------------------------------- legacy API
 def closed_loop(n_queries: int) -> list[QueryEvent]:
     """All queries available at t=0 (peak-throughput measurement)."""
     if n_queries < 0:
@@ -57,3 +91,413 @@ def uniform_arrivals(n_queries: int, rate_qps: float) -> list[QueryEvent]:
         raise ValueError("rate_qps must be positive")
     gap = 1e6 / rate_qps
     return [QueryEvent(i, i * gap) for i in range(n_queries)]
+
+
+# ------------------------------------------------------------ process classes
+_PROCESSES: dict[str, type["ArrivalProcess"]] = {}
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Declarative description of a query-arrival process.
+
+    Subclasses are frozen dataclasses: hashable, comparable, and
+    JSON-round-trippable through :meth:`to_dict`/:meth:`from_dict` (the
+    ``kind`` tag dispatches reconstruction).  Stochastic processes carry
+    their own ``seed`` so a spec fully determines its stream;
+    :meth:`events` accepts an override seed for sweeps.
+    """
+
+    #: registry tag; each concrete subclass sets its own.
+    kind: ClassVar[str] = "abstract"
+
+    def __init_subclass__(cls, **kw) -> None:
+        super().__init_subclass__(**kw)
+        if "kind" in cls.__dict__:
+            _PROCESSES[cls.kind] = cls
+
+    # ------------------------------------------------------------- generate
+    def events(self, n_queries: int, seed: int | None = None) -> list[QueryEvent]:
+        """Materialize ``n_queries`` arrival events (ids 0..n-1, time order)."""
+        raise NotImplementedError
+
+    @property
+    def mean_qps(self) -> float | None:
+        """Long-run mean offered rate (None for closed loop)."""
+        return None
+
+    # ---------------------------------------------------------- round-trip
+    def to_dict(self) -> dict:
+        d = {"kind": self.kind}
+        d.update(dataclasses.asdict(self))
+        return d
+
+    @staticmethod
+    def from_dict(data: dict) -> "ArrivalProcess":
+        data = dict(data)
+        kind = data.pop("kind", None)
+        if kind not in _PROCESSES:
+            raise ValueError(
+                f"unknown arrival-process kind {kind!r}; known: {sorted(_PROCESSES)}"
+            )
+        cls = _PROCESSES[kind]
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError(f"{kind}: unknown fields {sorted(unknown)}")
+        for f in dataclasses.fields(cls):
+            # JSON turns tuples into lists; restore tuple-typed fields.
+            if f.name in data and isinstance(data[f.name], list):
+                data[f.name] = tuple(data[f.name])
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str | bytes) -> "ArrivalProcess":
+        return ArrivalProcess.from_dict(json.loads(text))
+
+    # --------------------------------------------------------------- parsing
+    @staticmethod
+    def parse(text: str) -> "ArrivalProcess":
+        """Parse a compact CLI form: ``closed``, ``uniform:R``,
+        ``poisson:R``, ``diurnal:BASE:PEAK[:PERIOD_S]``,
+        ``bursty:BASE:BURST`` (rates in QPS)."""
+        parts = text.split(":")
+        name, args = parts[0], [float(p) for p in parts[1:]]
+        if name in ("closed", "closed_loop"):
+            return ClosedLoop()
+        if name == "uniform" and len(args) == 1:
+            return Uniform(rate_qps=args[0])
+        if name == "poisson" and len(args) == 1:
+            return Poisson(rate_qps=args[0])
+        if name == "diurnal" and len(args) in (2, 3):
+            period = args[2] if len(args) == 3 else 1.0
+            return Diurnal(base_qps=args[0], peak_qps=args[1], period_s=period)
+        if name == "bursty" and len(args) == 2:
+            return Bursty(base_qps=args[0], burst_qps=args[1])
+        raise ValueError(
+            f"cannot parse arrival process {text!r}; expected closed | "
+            f"uniform:R | poisson:R | diurnal:BASE:PEAK[:PERIOD_S] | "
+            f"bursty:BASE:BURST"
+        )
+
+
+@dataclass(frozen=True)
+class ClosedLoop(ArrivalProcess):
+    """All queries available at t=0 (the peak-throughput regime)."""
+
+    kind: ClassVar[str] = "closed_loop"
+
+    def events(self, n_queries: int, seed: int | None = None) -> list[QueryEvent]:
+        return closed_loop(n_queries)
+
+
+@dataclass(frozen=True)
+class Uniform(ArrivalProcess):
+    """Deterministic arrivals with fixed inter-arrival gap."""
+
+    rate_qps: float
+    kind: ClassVar[str] = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+
+    @property
+    def mean_qps(self) -> float:
+        return self.rate_qps
+
+    def events(self, n_queries: int, seed: int | None = None) -> list[QueryEvent]:
+        return uniform_arrivals(n_queries, self.rate_qps)
+
+
+@dataclass(frozen=True)
+class Poisson(ArrivalProcess):
+    """Memoryless arrivals at mean rate ``rate_qps``."""
+
+    rate_qps: float
+    seed: int = 0
+    kind: ClassVar[str] = "poisson"
+
+    def __post_init__(self) -> None:
+        if self.rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+
+    @property
+    def mean_qps(self) -> float:
+        return self.rate_qps
+
+    def events(self, n_queries: int, seed: int | None = None) -> list[QueryEvent]:
+        return poisson_arrivals(
+            n_queries, self.rate_qps, self.seed if seed is None else seed
+        )
+
+
+@dataclass(frozen=True)
+class Diurnal(ArrivalProcess):
+    """Non-homogeneous Poisson with a sinusoidal day/night rate.
+
+    The instantaneous rate swings between ``base_qps`` (start of period,
+    "night") and ``peak_qps`` (mid-period, "day"):
+
+        λ(t) = base + (peak − base) · ½(1 − cos 2π(t/period + phase))
+
+    ``period_s`` is the modeled day compressed into simulation time (the
+    default packs one full diurnal cycle into one second of simulated
+    traffic).  Sampled by thinning at ``peak_qps``.
+    """
+
+    base_qps: float
+    peak_qps: float
+    period_s: float = 1.0
+    phase: float = 0.0
+    seed: int = 0
+    kind: ClassVar[str] = "diurnal"
+
+    def __post_init__(self) -> None:
+        if self.base_qps <= 0 or self.peak_qps < self.base_qps:
+            raise ValueError("need 0 < base_qps <= peak_qps")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+
+    @property
+    def mean_qps(self) -> float:
+        """Whole-period mean of the sinusoidal rate."""
+        return 0.5 * (self.base_qps + self.peak_qps)
+
+    def rate_at(self, t_us) -> np.ndarray:
+        """Instantaneous rate λ(t) in QPS (vectorized over ``t_us``)."""
+        frac = np.asarray(t_us, dtype=np.float64) / (self.period_s * 1e6) + self.phase
+        return self.base_qps + (self.peak_qps - self.base_qps) * 0.5 * (
+            1.0 - np.cos(2.0 * np.pi * frac)
+        )
+
+    def events(self, n_queries: int, seed: int | None = None) -> list[QueryEvent]:
+        if n_queries < 0:
+            raise ValueError("n_queries must be non-negative")
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        times: list[float] = []
+        t = 0.0
+        chunk = max(256, n_queries)
+        while len(times) < n_queries:
+            cand = t + np.cumsum(rng.exponential(1e6 / self.peak_qps, size=chunk))
+            keep = rng.random(chunk) * self.peak_qps <= self.rate_at(cand)
+            times.extend(cand[keep].tolist())
+            t = float(cand[-1])
+        return [QueryEvent(i, ts) for i, ts in enumerate(times[:n_queries])]
+
+
+@dataclass(frozen=True)
+class Bursty(ArrivalProcess):
+    """Two-state MMPP: exponential idle/burst phases with distinct rates.
+
+    The process alternates an *idle* phase (rate ``base_qps``, mean length
+    ``mean_idle_us``) with a *burst* phase (rate ``burst_qps``, mean length
+    ``mean_burst_us``); phase lengths are exponential, and within a phase
+    arrivals are Poisson at the phase rate — the standard Markov-modulated
+    stand-in for flash-crowd traffic.
+    """
+
+    base_qps: float
+    burst_qps: float
+    mean_burst_us: float = 50_000.0
+    mean_idle_us: float = 200_000.0
+    seed: int = 0
+    kind: ClassVar[str] = "bursty"
+
+    def __post_init__(self) -> None:
+        if self.base_qps <= 0 or self.burst_qps < self.base_qps:
+            raise ValueError("need 0 < base_qps <= burst_qps")
+        if self.mean_burst_us <= 0 or self.mean_idle_us <= 0:
+            raise ValueError("phase lengths must be positive")
+
+    @property
+    def mean_qps(self) -> float:
+        """Stationary mean rate (phase-length-weighted)."""
+        total = self.mean_idle_us + self.mean_burst_us
+        return (
+            self.base_qps * self.mean_idle_us + self.burst_qps * self.mean_burst_us
+        ) / total
+
+    def events(self, n_queries: int, seed: int | None = None) -> list[QueryEvent]:
+        if n_queries < 0:
+            raise ValueError("n_queries must be non-negative")
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        times: list[float] = []
+        t = 0.0
+        burst = False
+        while len(times) < n_queries:
+            rate = self.burst_qps if burst else self.base_qps
+            dwell = rng.exponential(self.mean_burst_us if burst else self.mean_idle_us)
+            # Poisson count in the phase window, arrivals uniform given the
+            # count — exact for a Poisson process restricted to a window.
+            m = rng.poisson(rate * dwell * 1e-6)
+            if m:
+                times.extend(np.sort(t + rng.random(m) * dwell).tolist())
+            t += dwell
+            burst = not burst
+        return [QueryEvent(i, ts) for i, ts in enumerate(times[:n_queries])]
+
+
+@dataclass(frozen=True)
+class TraceReplay(ArrivalProcess):
+    """Replay explicit arrival timestamps (e.g. a production trace).
+
+    ``query_ids`` defaults to 0..n−1 in time order; pass explicit ids to
+    preserve a trace's own numbering (the ``list[QueryEvent]`` adapter
+    does).  ``events(n)`` replays the first ``n`` entries.
+    """
+
+    arrival_us: tuple[float, ...]
+    query_ids: tuple[int, ...] | None = None
+    kind: ClassVar[str] = "trace"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "arrival_us", tuple(float(t) for t in self.arrival_us))
+        if any(t < 0 for t in self.arrival_us):
+            raise ValueError("arrival timestamps must be non-negative")
+        if self.query_ids is not None:
+            object.__setattr__(
+                self, "query_ids", tuple(int(q) for q in self.query_ids)
+            )
+            if len(self.query_ids) != len(self.arrival_us):
+                raise ValueError("query_ids must match arrival_us in length")
+
+    @property
+    def mean_qps(self) -> float | None:
+        if len(self.arrival_us) < 2:
+            return None
+        span = max(self.arrival_us) - min(self.arrival_us)
+        return (len(self.arrival_us) - 1) / (span * 1e-6) if span > 0 else None
+
+    @classmethod
+    def from_events(cls, events: "list[QueryEvent]") -> "TraceReplay":
+        """Thin adapter: wrap a materialized event list, preserving ids."""
+        return cls(
+            arrival_us=tuple(e.arrival_us for e in events),
+            query_ids=tuple(e.query_id for e in events),
+        )
+
+    def events(self, n_queries: int | None = None, seed: int | None = None) -> list[QueryEvent]:
+        n = len(self.arrival_us) if n_queries is None else n_queries
+        if n > len(self.arrival_us):
+            raise ValueError(
+                f"trace holds {len(self.arrival_us)} arrivals, {n} requested"
+            )
+        order = np.argsort(np.asarray(self.arrival_us[:n]), kind="stable")
+        ids = self.query_ids[:n] if self.query_ids is not None else tuple(range(n))
+        return [QueryEvent(ids[i], self.arrival_us[i]) for i in order]
+
+
+# --------------------------------------------------------------- TrafficSpec
+@dataclass(frozen=True)
+class TrafficSpec:
+    """An arrival process plus admission control: the full workload contract.
+
+    * ``process`` — when queries arrive;
+    * ``n_queries`` — events to generate (None → one per served query);
+    * ``deadline_us`` — relative drop deadline: a query not dispatched
+      within this of its arrival is shed (accounted as a *drop*);
+    * ``max_queue_depth`` — admission limit: an arrival finding this many
+      queries already waiting is shed at the door (also a drop);
+    * ``seed`` — overrides the process's own seed.
+
+    Accepted anywhere :class:`~repro.core.serving.ServeConfig.workload` is.
+    Admission control needs an admission queue, so it is honoured by the
+    dynamic-batching engines (ALGAS and the fleet driver) and by
+    :class:`~repro.core.cluster.ReplicatedServer`; the static baselines and
+    :class:`~repro.core.cluster.ShardedServer` reject specs that set it.
+    """
+
+    process: ArrivalProcess
+    n_queries: int | None = None
+    deadline_us: float | None = None
+    max_queue_depth: int | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.process, ArrivalProcess):
+            raise TypeError(
+                f"process must be an ArrivalProcess, got {type(self.process).__name__}"
+            )
+        if self.n_queries is not None and self.n_queries < 0:
+            raise ValueError("n_queries must be non-negative")
+        if self.deadline_us is not None and self.deadline_us <= 0:
+            raise ValueError("deadline_us must be positive")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+
+    @property
+    def has_admission(self) -> bool:
+        return self.deadline_us is not None or self.max_queue_depth is not None
+
+    def events(self, n_default: int) -> list[QueryEvent]:
+        n = n_default if self.n_queries is None else self.n_queries
+        return self.process.events(n, seed=self.seed)
+
+    # ---------------------------------------------------------- round-trip
+    def to_dict(self) -> dict:
+        return {
+            "process": self.process.to_dict(),
+            "n_queries": self.n_queries,
+            "deadline_us": self.deadline_us,
+            "max_queue_depth": self.max_queue_depth,
+            "seed": self.seed,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "TrafficSpec":
+        data = dict(data)
+        return TrafficSpec(
+            process=ArrivalProcess.from_dict(data["process"]),
+            n_queries=data.get("n_queries"),
+            deadline_us=data.get("deadline_us"),
+            max_queue_depth=data.get("max_queue_depth"),
+            seed=data.get("seed"),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str | bytes) -> "TrafficSpec":
+        return TrafficSpec.from_dict(json.loads(text))
+
+
+def resolve_workload(
+    workload, n_queries: int
+) -> tuple[list[QueryEvent], TrafficSpec | None]:
+    """Lower any accepted ``ServeConfig.workload`` form to event list + spec.
+
+    Returns ``(events, spec)`` where ``spec`` is non-None only when the
+    workload carries admission-control fields the engine must honour.
+
+    * ``None`` → closed loop over the served queries;
+    * ``list[QueryEvent]`` → used as-is (the thin back-compat adapter);
+    * ``ArrivalProcess`` → ``process.events(n_queries)``;
+    * ``TrafficSpec`` → its events plus itself.
+    """
+    if workload is None:
+        return closed_loop(n_queries), None
+    if isinstance(workload, TrafficSpec):
+        return workload.events(n_queries), (workload if workload.has_admission else None)
+    if isinstance(workload, ArrivalProcess):
+        return workload.events(n_queries), None
+    if isinstance(workload, (list, tuple)):
+        events = list(workload)
+        for ev in events:
+            if not isinstance(ev, QueryEvent):
+                raise TypeError(
+                    f"workload list must contain QueryEvent, got {type(ev).__name__}"
+                )
+        if len(events) != n_queries:
+            raise ValueError(
+                f"workload supplies {len(events)} events for {n_queries} queries"
+            )
+        return events, None
+    raise TypeError(
+        f"workload must be a TrafficSpec, ArrivalProcess, or list[QueryEvent]; "
+        f"got {type(workload).__name__}"
+    )

@@ -1,0 +1,100 @@
+"""Queue-depth autoscaling policy for the simulated replica fleet.
+
+The control loop mirrors a standard production autoscaler (HPA-style, with
+the pragmatics that matter at serving timescales):
+
+* the **signal** is the admission queue's ready depth — the same
+  ``algas_queue_depth`` telemetry the engines already export, sampled at a
+  fixed control interval;
+* **scale up** when the backlog per active replica crosses
+  ``scale_up_depth`` (capacity is behind the offered load);
+* **scale down** when the *total* backlog falls under ``scale_down_depth``
+  (capacity is idle) — asymmetric thresholds give the loop hysteresis;
+* new replicas take ``provision_delay_us`` to come up (model load +
+  graph upload + kernel launch), so the fleet pays for under-provisioning
+  during ramps — this is what makes bursty traffic interesting;
+* ``cooldown_us`` rate-limits decisions so one burst doesn't slam the
+  fleet through multiple scale steps before the first lands.
+
+:class:`Autoscaler` is pure decision logic over ``(now, depth, replicas)``
+— the :class:`~repro.load.driver.FleetDriver` owns actuation (activating
+and draining replicas), so the policy is unit-testable without a fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AutoscalerPolicy", "Autoscaler", "ScaleDecision"]
+
+
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Knobs of the queue-depth autoscaler (docs/load_testing.md)."""
+
+    min_replicas: int = 1
+    max_replicas: int = 4
+    #: scale up when ready depth exceeds this many queries *per replica*
+    #: (counting replicas still provisioning, so a pending scale-up is not
+    #: re-triggered every tick while it provisions).
+    scale_up_depth: float = 24.0
+    #: scale down when *total* ready depth sits at or under this.
+    scale_down_depth: float = 2.0
+    #: control loop sampling period (µs).
+    check_interval_us: float = 20_000.0
+    #: time for a newly added replica to become dispatchable (µs).
+    provision_delay_us: float = 200_000.0
+    #: minimum time between scale decisions (µs).
+    cooldown_us: float = 100_000.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ValueError("need 1 <= min_replicas <= max_replicas")
+        if self.scale_up_depth <= self.scale_down_depth:
+            raise ValueError(
+                "scale_up_depth must exceed scale_down_depth (hysteresis)"
+            )
+        if self.check_interval_us <= 0:
+            raise ValueError("check_interval_us must be positive")
+        if self.provision_delay_us < 0 or self.cooldown_us < 0:
+            raise ValueError("delays must be non-negative")
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One applied scale step (recorded in the driver's meta timeline)."""
+
+    at_us: float
+    old: int
+    new: int
+    depth: int
+
+
+class Autoscaler:
+    """Stateful decision loop: sample depth, emit a target replica count."""
+
+    def __init__(self, policy: AutoscalerPolicy):
+        self.policy = policy
+        self.last_decision_us = -float("inf")
+        self.decisions: list[ScaleDecision] = []
+
+    def target(self, now_us: float, depth: int, replicas: int) -> int:
+        """Target replica count given current state.
+
+        ``replicas`` counts active *and* still-provisioning replicas — the
+        capacity already committed.  Returns the (possibly unchanged)
+        target, clamped to the policy's bounds; one step per call, so the
+        fleet ramps rather than jumps.
+        """
+        p = self.policy
+        if now_us - self.last_decision_us < p.cooldown_us:
+            return replicas
+        target = replicas
+        if depth > p.scale_up_depth * replicas and replicas < p.max_replicas:
+            target = replicas + 1
+        elif depth <= p.scale_down_depth and replicas > p.min_replicas:
+            target = replicas - 1
+        if target != replicas:
+            self.last_decision_us = now_us
+            self.decisions.append(ScaleDecision(now_us, replicas, target, depth))
+        return target

@@ -1,0 +1,282 @@
+"""Open-loop fleet driver: replicas + admission control + autoscaling.
+
+The batching engines replay one job list start-to-finish on a fixed slot
+pool; they cannot change capacity mid-serve, which is exactly what an
+autoscaled fleet does.  :class:`FleetDriver` is the serving-cluster analog
+of those engines: an event-driven simulation (same deterministic
+:class:`~repro.gpusim.engine.Simulator`) of R replicas fed from one
+central admission queue (the real :class:`~repro.core.query_manager.QueryManager`,
+so deadline drops, queue-depth shedding, and the queue-depth telemetry
+signal are the production code paths, not re-implementations).
+
+Per-query service is priced from the job's own CTA durations plus fixed
+dispatch/collect overheads — a deliberate simplification of the engine's
+slot machinery (no per-CTA events, no host poll loop).  The overhead
+defaults are calibrated so a 1-replica fleet tracks the real
+:class:`~repro.core.dynamic_batcher.DynamicBatchEngine` on the same jobs
+(tests/test_load.py gates the ratio), keeping the fleet numbers honest
+while letting a sweep run thousands of offered-load points in seconds.
+
+Capacity changes compose with the admission queue: the
+:class:`~repro.load.autoscaler.Autoscaler` samples the queue's ready depth
+at its control interval and the driver actuates — new replicas become
+dispatchable after the provision delay, removed replicas stop taking work
+and drain their in-flight queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..core.query_manager import ManagedQuery, QueryManager
+from ..core.serving import QueryJob, QueryRecord, ServeReport
+from ..gpusim.engine import Simulator
+from ..telemetry import NULL_TELEMETRY
+from .autoscaler import Autoscaler, AutoscalerPolicy
+
+__all__ = ["FleetConfig", "FleetDriver"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of the replica fleet (docs/load_testing.md)."""
+
+    #: replicas active at t=0 (fixed-fleet size when no autoscaler is set).
+    n_replicas: int = 2
+    #: concurrent queries per replica (the engine's slot count).
+    slots_per_replica: int = 16
+    #: host dispatch cost per query: submit + state publish + device poll.
+    dispatch_overhead_us: float = 1.8
+    #: host collect cost per query: detect + PCIe result read + TopK merge.
+    collect_overhead_us: float = 3.0
+    #: relative drop deadline applied to every query (None = no deadline).
+    deadline_us: float | None = None
+    #: central admission queue depth limit (None = unbounded).
+    max_queue_depth: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        if self.slots_per_replica < 1:
+            raise ValueError("slots_per_replica must be >= 1")
+        if self.dispatch_overhead_us < 0 or self.collect_overhead_us < 0:
+            raise ValueError("overheads must be non-negative")
+        if self.deadline_us is not None and self.deadline_us <= 0:
+            raise ValueError("deadline_us must be positive")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+
+
+@dataclass
+class _Replica:
+    rid: int
+    #: dispatchable from this time on (provisioning delay for scale-ups).
+    up_at_us: float = 0.0
+    busy: int = 0
+    draining: bool = False
+    queries_served: int = 0
+    busy_us: float = 0.0
+
+
+class FleetDriver:
+    """Serve priced jobs on an (optionally autoscaled) replica fleet."""
+
+    def __init__(
+        self,
+        config: FleetConfig,
+        autoscaler_policy: AutoscalerPolicy | None = None,
+        telemetry=None,
+    ):
+        self.cfg = config
+        self.policy = autoscaler_policy
+        self.tel = telemetry or NULL_TELEMETRY
+        if autoscaler_policy is not None and (
+            not autoscaler_policy.min_replicas
+            <= config.n_replicas
+            <= autoscaler_policy.max_replicas
+        ):
+            raise ValueError(
+                "initial n_replicas must lie within the autoscaler's "
+                "[min_replicas, max_replicas]"
+            )
+
+    # ----------------------------------------------------------------- serve
+    def serve(self, jobs: list[QueryJob]) -> ServeReport:
+        cfg = self.cfg
+        tel = self.tel
+        jobs = sorted(jobs, key=lambda j: (j.arrival_us, j.query_id))
+        if len({j.query_id for j in jobs}) != len(jobs):
+            raise ValueError("duplicate query ids in job list")
+        managed = [
+            ManagedQuery(
+                j,
+                deadline_us=(
+                    j.arrival_us + cfg.deadline_us
+                    if cfg.deadline_us is not None
+                    else None
+                ),
+            )
+            for j in jobs
+        ]
+        manager = QueryManager(
+            managed, telemetry=tel, max_queue_depth=cfg.max_queue_depth
+        )
+        scaler = Autoscaler(self.policy) if self.policy is not None else None
+        sim = Simulator()
+        replicas: list[_Replica] = [
+            _Replica(rid=r) for r in range(cfg.n_replicas)
+        ]
+        records: dict[int, QueryRecord] = {
+            j.query_id: QueryRecord(j.query_id, j.arrival_us) for j in jobs
+        }
+        state = {
+            "outstanding": len(jobs),
+            "drops_seen": 0,
+            "gpu_busy": 0.0,
+            "peak_replicas": cfg.n_replicas,
+        }
+        tel.replicas_active(cfg.n_replicas)
+
+        def committed() -> int:
+            """Replicas active or provisioning, minus those draining out."""
+            return sum(1 for r in replicas if not r.draining)
+
+        def note_drops(t: float) -> None:
+            # Deadline/shed drops surfaced by the manager never complete.
+            if len(manager.dropped) > state["drops_seen"]:
+                state["outstanding"] -= len(manager.dropped) - state["drops_seen"]
+                state["drops_seen"] = len(manager.dropped)
+
+        def finish(rep: _Replica, q: ManagedQuery, started: float):
+            def fn(sim_: Simulator) -> None:
+                t = sim_.now
+                rep.busy -= 1
+                rep.queries_served += 1
+                rep.busy_us += t - started
+                rec = records[q.job.query_id]
+                rec.detected_us = t - cfg.collect_overhead_us
+                rec.complete_us = t
+                state["outstanding"] -= 1
+                if tel.enabled:
+                    tel.query_completed(rec)
+                if rep.draining and rep.busy == 0:
+                    replicas.remove(rep)
+                pump(sim_)
+
+            return fn
+
+        def pump(sim_: Simulator) -> None:
+            """Dispatch ready queries onto free slots until one side runs dry."""
+            t = sim_.now
+            while True:
+                note_drops(t)
+                # Least-loaded active replica with a free slot.
+                cand = [
+                    r
+                    for r in replicas
+                    if not r.draining
+                    and r.up_at_us <= t
+                    and r.busy < cfg.slots_per_replica
+                ]
+                if not cand:
+                    break
+                rep = min(cand, key=lambda r: (r.busy, r.rid))
+                q = manager.next_ready(t)
+                note_drops(t)
+                if q is None:
+                    break
+                job = q.job
+                rec = records[job.query_id]
+                rec.dispatch_us = t
+                if tel.enabled:
+                    tel.query_dispatched(job.query_id, job.arrival_us, t)
+                rep.busy += 1
+                gpu_start = t + cfg.dispatch_overhead_us
+                rec.gpu_start_us = gpu_start
+                rec.gpu_end_us = gpu_start + job.gpu_time_us
+                state["gpu_busy"] += sum(job.cta_durations_us)
+                done = rec.gpu_end_us + cfg.collect_overhead_us
+                sim_.schedule(done, finish(rep, q, t))
+
+        def control(sim_: Simulator) -> None:
+            """Autoscaler tick: sample depth, actuate one scale step."""
+            t = sim_.now
+            depth = manager.ready_depth(t)
+            note_drops(t)
+            n = committed()
+            target = scaler.target(t, depth, n)
+            if target > n:
+                rid = max((r.rid for r in replicas), default=-1) + 1
+                replicas.append(
+                    _Replica(rid=rid, up_at_us=t + scaler.policy.provision_delay_us)
+                )
+                tel.scale_event(t, n, target, depth)
+                sim_.schedule(t + scaler.policy.provision_delay_us, pump)
+            elif target < n:
+                # Drain the busiest-numbered (newest) non-draining replica,
+                # but never below one live dispatcher.
+                victims = [r for r in replicas if not r.draining]
+                victim = max(victims, key=lambda r: r.rid)
+                victim.draining = True
+                if victim.busy == 0:
+                    replicas.remove(victim)
+                tel.scale_event(t, n, target, depth)
+            state["peak_replicas"] = max(
+                state["peak_replicas"], sum(1 for r in replicas if not r.draining)
+            )
+            if state["outstanding"] > 0:
+                sim_.schedule(t + scaler.policy.check_interval_us, control)
+
+        # Wake the dispatcher at every arrival (the admission queue only
+        # observes time when polled) and start the control loop.
+        for j in jobs:
+            sim.schedule(j.arrival_us, pump)
+        sim.schedule(0.0, pump)
+        if scaler is not None:
+            sim.schedule(0.0, control)
+        sim.run()
+        # A deadline can expire after the last completion event with no
+        # event left to observe it; final sweep settles the ledger.
+        if manager:
+            manager.ready_depth(
+                max(
+                    (m.deadline_us for m in managed if m.deadline_us is not None),
+                    default=sim.now,
+                )
+                + 1.0
+            )
+            note_drops(sim.now)
+
+        dropped_ids = {m.job.query_id for m in manager.dropped}
+        shed_ids = sorted(m.job.query_id for m in manager.shed)
+        recs = [
+            records[j.query_id] for j in jobs if j.query_id not in dropped_ids
+        ]
+        makespan = max((r.complete_us for r in recs), default=0.0)
+        meta = {
+            "mode": "fleet",
+            "config": cfg,
+            "n_replicas": cfg.n_replicas,
+            "dropped": len(dropped_ids),
+            "dropped_ids": sorted(dropped_ids),
+            "shed": len(shed_ids),
+            "shed_ids": shed_ids,
+            "peak_replicas": state["peak_replicas"],
+        }
+        if scaler is not None:
+            meta["autoscaler"] = scaler.policy
+            meta["scale_events"] = [
+                {"at_us": d.at_us, "from": d.old, "to": d.new, "depth": d.depth}
+                for d in scaler.decisions
+            ]
+        report = ServeReport(
+            records=recs,
+            makespan_us=makespan,
+            gpu_cta_busy_us=state["gpu_busy"],
+            n_cta_slots=state["peak_replicas"] * cfg.slots_per_replica,
+            pcie=None,
+            host_busy_us=0.0,
+            meta=meta,
+        )
+        tel.observe_report(report, mode="fleet")
+        return report

@@ -38,6 +38,8 @@ _CATALOG: tuple[tuple[str, str, str, tuple | None], ...] = (
      "queries whose merged results were returned", None),
     ("counter", "algas_queries_dropped_total",
      "queries dropped past their deadline before dispatch", None),
+    ("counter", "algas_queries_shed_total",
+     "queries shed at admission by the queue-depth limit", None),
     ("gauge", "algas_queue_depth",
      "ready-queue depth (last sampled; high_water in JSON)", None),
     ("histogram", "algas_queue_depth_observed",
@@ -73,6 +75,11 @@ _CATALOG: tuple[tuple[str, str, str, tuple | None], ...] = (
      "queries dispatched with degraded (shrunken) work under overload", None),
     ("counter", "algas_degraded_windows_total",
      "overload degradation windows entered", None),
+    # ---- load / autoscaling layer (docs/load_testing.md) ---------------
+    ("gauge", "algas_replicas_active",
+     "replicas currently active in the fleet (autoscaler-controlled)", None),
+    ("counter", "algas_scale_events_total",
+     "autoscaler scale decisions applied (up or down)", None),
 )
 
 
@@ -152,6 +159,18 @@ class Telemetry:
             self.spans.record("dropped", arrival_us, deadline_us, query_id=query_id,
                               **self.labels)
 
+    def query_shed(
+        self,
+        query_id: int | None = None,
+        arrival_us: float | None = None,
+        depth: int | None = None,
+    ) -> None:
+        """One arrival rejected by the queue-depth admission limit."""
+        self.registry.counter("algas_queries_shed_total", **self.labels).inc()
+        if query_id is not None and arrival_us is not None:
+            self.spans.record("shed", arrival_us, arrival_us, query_id=query_id,
+                              **self.labels)
+
     # ---------------------------------------------------------------- slots
     def slot_transition(self, slot_id: int, old, new) -> None:
         """One slot/CTA state transition (``old``/``new`` are SlotStates)."""
@@ -217,6 +236,19 @@ class Telemetry:
 
     def degraded_window_exited(self, start_us: float, end_us: float) -> None:
         self.spans.record("degraded", start_us, end_us, **self.labels)
+
+    # --------------------------------------------------------- autoscaling
+    def replicas_active(self, n: int) -> None:
+        self.registry.gauge("algas_replicas_active", **self.labels).set(n)
+
+    def scale_event(self, now_us: float, old: int, new: int, depth: float) -> None:
+        """The autoscaler changed the fleet size from ``old`` to ``new``."""
+        self.registry.counter("algas_scale_events_total", **self.labels).inc()
+        self.registry.gauge("algas_replicas_active", **self.labels).set(new)
+        self.spans.record(
+            "scale-up" if new > old else "scale-down", now_us, now_us,
+            **{"from": str(old), "to": str(new), **self.labels},
+        )
 
     def fault_injected(self, kind: str) -> None:
         """One injected fault fired (labelled by kind, like transitions)."""
@@ -310,6 +342,15 @@ class NullTelemetry(Telemetry):
         pass
 
     def query_dropped(self, query_id=None, arrival_us=None, deadline_us=None) -> None:
+        pass
+
+    def query_shed(self, query_id=None, arrival_us=None, depth=None) -> None:
+        pass
+
+    def replicas_active(self, n) -> None:
+        pass
+
+    def scale_event(self, now_us, old, new, depth) -> None:
         pass
 
     def slot_transition(self, slot_id, old, new) -> None:

@@ -127,3 +127,39 @@ def test_chaos_command_metrics_out(tmp_path, capsys):
 
 def test_chaos_unknown_plan():
     assert main(["chaos", "--plan", "nope"]) == 2
+
+
+def test_serve_workload_process(capsys):
+    rc = main([
+        "serve", "--dataset", "sift1m-mini", "--n", "1500", "--queries", "16",
+        "--degree", "8", "--k", "8", "--l", "32", "--batch", "4",
+        "--workload", "poisson:50000",
+    ])
+    assert rc == 0
+    assert "recall@8" in capsys.readouterr().out
+
+
+def test_load_command(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "BENCH_load.json"
+    rc = main([
+        "load", "--dataset", "sift1m-mini", "--n", "1500", "--queries", "16",
+        "--events", "300", "--degree", "8", "--k", "8", "--l", "32",
+        "--rates", "20000,40000", "--replicas", "1",
+        "--slots-per-replica", "8", "--autoscale", "--max-replicas", "2",
+        "-o", str(out),
+    ])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert set(doc["curves"]) == {"fixed-1r", "autoscaled-max2r"}
+    assert [p["offered_qps"] for p in doc["curves"]["fixed-1r"]] == [
+        20000.0, 40000.0]
+    assert "fixed-1r" in doc["max_sustainable_qps"]
+    stdout = capsys.readouterr().out
+    assert "max sustainable" in stdout
+
+
+def test_load_command_bad_process():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["load", "--process", "nope"])

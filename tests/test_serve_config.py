@@ -1,4 +1,6 @@
-"""Unified ServeConfig surface: parity with legacy forms + validation."""
+"""Unified ServeConfig surface: workload adapter forms + validation."""
+
+import warnings
 
 import numpy as np
 import pytest
@@ -7,6 +9,7 @@ from repro.baselines import CAGRASystem, GANNSSystem, IVFSystem
 from repro.core import ALGASSystem, ReplicatedServer, ServeConfig, ShardedServer
 from repro.core.serving import as_serve_config
 from repro.data import load_dataset, poisson_arrivals
+from repro.data.workload import Poisson, TrafficSpec
 from repro.graphs import build_cagra
 
 
@@ -26,50 +29,115 @@ def _systems(ds, g):
                            k=8, batch_size=8, seed=0)
 
 
-# ------------------------------------------------------------------- parity
+# ----------------------------------------------------------- workload forms
 @pytest.mark.parametrize("name", ["algas", "cagra", "ganns", "ivf"])
-def test_legacy_events_kwarg_parity(mini, name):
-    """Old serve(queries, events=...) == new serve(queries, ServeConfig(...))."""
+def test_event_list_adapter_parity(mini, name):
+    """A bare event list passed positionally == ServeConfig(workload=...),
+    with no deprecation noise (the adapter is a first-class form)."""
     ds, g = mini
     events = poisson_arrivals(len(ds.queries), rate_qps=200_000, seed=1)
     system = dict(_systems(ds, g))[name]
-    with pytest.warns(DeprecationWarning, match="events"):
-        old = system.serve(ds.queries, events=events)
-    new = system.serve(ds.queries, ServeConfig(workload=events))
-    assert np.array_equal(old.ids, new.ids)
-    assert old.serve.summary() == new.serve.summary()
-    assert [r.complete_us for r in old.serve.records] == [
-        r.complete_us for r in new.serve.records
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        bare = system.serve(ds.queries, events)
+        cfg = system.serve(ds.queries, ServeConfig(workload=events))
+    assert np.array_equal(bare.ids, cfg.ids)
+    assert bare.serve.summary() == cfg.serve.summary()
+    assert [r.complete_us for r in bare.serve.records] == [
+        r.complete_us for r in cfg.serve.records
     ]
 
 
-def test_legacy_positional_event_list(mini):
+def test_arrival_process_workload_parity(mini):
+    """A declarative process in ServeConfig.workload == the event list it
+    generates; a bare process is accepted positionally too."""
     ds, g = mini
-    events = poisson_arrivals(len(ds.queries), rate_qps=200_000, seed=1)
     system = ALGASSystem(ds.base, g, metric=ds.metric, k=8, l_total=64,
                          batch_size=8, seed=0)
-    with pytest.warns(DeprecationWarning, match="deprecated"):
-        old = system.serve(ds.queries, events)
-    new = system.serve(ds.queries, ServeConfig(workload=events))
-    assert old.serve.summary() == new.serve.summary()
+    proc = Poisson(rate_qps=200_000, seed=1)
+    events = proc.events(len(ds.queries))
+    via_proc = system.serve(ds.queries, ServeConfig(workload=proc))
+    via_bare = system.serve(ds.queries, proc)
+    via_events = system.serve(ds.queries, ServeConfig(workload=events))
+    assert via_proc.serve.summary() == via_events.serve.summary()
+    assert via_bare.serve.summary() == via_events.serve.summary()
 
 
-def test_cluster_servers_accept_both_forms(mini):
+def test_cluster_servers_accept_workload_forms(mini):
     ds, g = mini
     events = poisson_arrivals(len(ds.queries), rate_qps=200_000, seed=1)
     kw = dict(metric=ds.metric, k=8, l_total=64, batch_size=8, seed=0)
     rs = ReplicatedServer(ds.base, g, n_gpus=2, **kw)
-    with pytest.warns(DeprecationWarning):
-        old = rs.serve(ds.queries, events=events)
-    new = rs.serve(ds.queries, ServeConfig(workload=events))
-    assert old.serve.summary() == new.serve.summary()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        bare = rs.serve(ds.queries, events)
+        cfg = rs.serve(ds.queries, ServeConfig(workload=events))
+    assert bare.serve.summary() == cfg.serve.summary()
 
     builder = lambda pts: build_cagra(pts, graph_degree=16, metric=ds.metric)
     ss = ShardedServer(ds.base, builder, n_gpus=2, **kw)
-    with pytest.warns(DeprecationWarning):
-        old = ss.serve(ds.queries, events=events)
-    new = ss.serve(ds.queries, ServeConfig(workload=events))
-    assert old.serve.summary() == new.serve.summary()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        bare = ss.serve(ds.queries, events)
+        cfg = ss.serve(ds.queries, ServeConfig(workload=events))
+    assert bare.serve.summary() == cfg.serve.summary()
+
+
+# --------------------------------------------------------- admission control
+def test_traffic_spec_admission_on_algas(mini):
+    """A TrafficSpec with a deadline flows into the dynamic batcher: shed
+    and deadline-dropped queries are accounted as drops, not failures."""
+    ds, g = mini
+    system = ALGASSystem(ds.base, g, metric=ds.metric, k=8, l_total=64,
+                         batch_size=8, seed=0)
+    spec = TrafficSpec(
+        process=Poisson(rate_qps=500_000, seed=1),
+        deadline_us=1.0,  # absurdly tight: most queries must drop
+        max_queue_depth=4,
+    )
+    rep = system.serve(ds.queries, ServeConfig(workload=spec))
+    meta = rep.serve.meta
+    assert meta["dropped"] > 0
+    assert meta.get("failed", 0) == 0
+    assert meta["max_queue_depth"] == 4
+    assert set(meta["shed_ids"]) <= set(meta["dropped_ids"])
+    assert len(rep.serve.records) + meta["dropped"] == len(ds.queries)
+
+
+def test_traffic_spec_without_admission_is_plain_events(mini):
+    ds, g = mini
+    system = ALGASSystem(ds.base, g, metric=ds.metric, k=8, l_total=64,
+                         batch_size=8, seed=0)
+    proc = Poisson(rate_qps=200_000, seed=1)
+    spec = TrafficSpec(process=proc)  # no deadline, no depth limit
+    a = system.serve(ds.queries, ServeConfig(workload=spec))
+    b = system.serve(ds.queries, ServeConfig(workload=proc))
+    assert a.serve.summary() == b.serve.summary()
+    assert "max_queue_depth" not in a.serve.meta
+
+
+@pytest.mark.parametrize("name", ["cagra", "ganns", "ivf"])
+def test_static_engines_reject_admission(mini, name):
+    ds, g = mini
+    system = dict(_systems(ds, g))[name]
+    spec = TrafficSpec(process=Poisson(rate_qps=200_000), deadline_us=50.0)
+    with pytest.raises(ValueError, match="admission control"):
+        system.serve(ds.queries, ServeConfig(workload=spec))
+
+
+def test_sharded_rejects_admission_replicated_accepts(mini):
+    ds, g = mini
+    kw = dict(metric=ds.metric, k=8, l_total=64, batch_size=8, seed=0)
+    spec = TrafficSpec(process=Poisson(rate_qps=500_000, seed=1),
+                       max_queue_depth=4)
+    rs = ReplicatedServer(ds.base, g, n_gpus=2, **kw)
+    rep = rs.serve(ds.queries, ServeConfig(workload=spec))
+    assert "shed" in rep.serve.meta  # admission ran on the replicas
+
+    builder = lambda pts: build_cagra(pts, graph_degree=16, metric=ds.metric)
+    ss = ShardedServer(ds.base, builder, n_gpus=2, **kw)
+    with pytest.raises(ValueError, match="admission control"):
+        ss.serve(ds.queries, ServeConfig(workload=spec))
 
 
 # ---------------------------------------------------------------- overrides
@@ -108,8 +176,12 @@ def test_as_serve_config_coercion():
     cfg = ServeConfig(slots=4)
     assert as_serve_config(cfg) is cfg
     assert as_serve_config(None) == ServeConfig()
-    with pytest.raises(TypeError, match="either config or events"):
-        as_serve_config(cfg, events=[])
+    proc = Poisson(rate_qps=1000)
+    assert as_serve_config(proc) == ServeConfig(workload=proc)
+    spec = TrafficSpec(process=proc, deadline_us=100.0)
+    assert as_serve_config(spec) == ServeConfig(workload=spec)
+    evs = poisson_arrivals(4, 1000, seed=0)
+    assert as_serve_config(evs) == ServeConfig(workload=evs)
     with pytest.raises(TypeError, match="expected a ServeConfig"):
         as_serve_config({"slots": 4})
 

@@ -1,0 +1,155 @@
+"""Chunked corpus storage: determinism, memmap IO, blocked ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.data.groundtruth import exact_knn
+from repro.data.io import read_fvecs, write_fvecs
+from repro.data.storage import (
+    LatentMixtureModel,
+    exact_knn_big,
+    generate_memmap,
+    open_bvecs_mmap,
+    open_fvecs_mmap,
+)
+
+
+# ------------------------------------------------------------ chunked model
+def test_chunk_determinism_and_independence():
+    """Chunk i depends only on (model params, i) — not on which other
+    chunks were drawn, or in what order."""
+    m = LatentMixtureModel(dim=16, n_clusters=8, seed=3, chunk_size=64)
+    a = m.sample_chunk(2)
+    _ = m.sample_chunk(0)  # interleave other draws
+    b = m.sample_chunk(2)
+    assert a.tobytes() == b.tobytes()
+    m2 = LatentMixtureModel(dim=16, n_clusters=8, seed=3, chunk_size=64)
+    assert m2.sample_chunk(2).tobytes() == a.tobytes()
+    # different chunk indexes and different seeds give different content
+    assert m.sample_chunk(3).tobytes() != a.tobytes()
+    m3 = LatentMixtureModel(dim=16, n_clusters=8, seed=4, chunk_size=64)
+    assert m3.sample_chunk(2).tobytes() != a.tobytes()
+
+
+def test_growing_n_only_appends_rows():
+    """A partial tail chunk is a prefix of the full chunk draw, so growing
+    the corpus never rewrites existing rows."""
+    m = LatentMixtureModel(dim=8, n_clusters=4, seed=0, chunk_size=32)
+    small = m.sample(50)   # 1 full chunk + 18-row tail
+    big = m.sample(100)    # 3 full chunks + 4-row tail
+    assert big[:50].tobytes() == small.tobytes()
+
+
+def test_queries_disjoint_from_base_chunks():
+    m = LatentMixtureModel(dim=8, n_clusters=4, seed=0, chunk_size=16)
+    base = m.sample(64)
+    q = m.queries(16)
+    assert q.shape == (16, 8)
+    # query chunk stream starts at the seed offset, far from base chunks
+    assert not any(
+        np.array_equal(q, base[lo : lo + 16]) for lo in range(0, 64, 16)
+    )
+
+
+def test_normalized_model_unit_vectors():
+    m = LatentMixtureModel(dim=12, n_clusters=4, seed=1, normalized=True,
+                           chunk_size=32)
+    x = m.sample(48)
+    assert np.allclose(np.linalg.norm(x, axis=1), 1.0, atol=1e-5)
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        LatentMixtureModel(dim=0)
+    with pytest.raises(ValueError):
+        LatentMixtureModel(dim=8, intrinsic_dim=9)
+    with pytest.raises(ValueError):
+        LatentMixtureModel(dim=8, chunk_size=0)
+    with pytest.raises(ValueError):
+        list(LatentMixtureModel(dim=8).chunks(0))
+
+
+# ----------------------------------------------------------------- memmaps
+def test_generate_memmap_matches_eager_sample(tmp_path):
+    m = LatentMixtureModel(dim=8, n_clusters=4, seed=5, chunk_size=32)
+    path = tmp_path / "corpus.npy"
+    view = generate_memmap(path, m, 100)
+    assert view.shape == (100, 8)
+    assert view.dtype == np.float32
+    assert not view.flags.writeable or isinstance(view, np.memmap)
+    assert np.asarray(view).tobytes() == m.sample(100).tobytes()
+    # the file is a plain .npy: np.load round-trips it
+    assert np.load(path).tobytes() == m.sample(100).tobytes()
+
+
+def test_fvecs_mmap_parity_with_eager_reader(tmp_path):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(37, 24)).astype(np.float32)
+    path = tmp_path / "x.fvecs"
+    write_fvecs(path, x)
+    eager = read_fvecs(path)
+    view = open_fvecs_mmap(path)
+    assert view.shape == eager.shape
+    assert np.asarray(view).tobytes() == eager.tobytes()
+
+
+def test_bvecs_mmap_roundtrip(tmp_path):
+    rng = np.random.default_rng(1)
+    x = rng.integers(0, 256, size=(19, 13), dtype=np.uint8)
+    path = tmp_path / "x.bvecs"
+    with open(path, "wb") as f:
+        for row in x:
+            f.write(np.int32(x.shape[1]).tobytes())
+            f.write(row.tobytes())
+    view = open_bvecs_mmap(path)
+    assert np.asarray(view).tobytes() == x.tobytes()
+
+
+def test_vecs_mmap_header_validation(tmp_path):
+    path = tmp_path / "bad.fvecs"
+    path.write_bytes(np.int32(4).tobytes() + b"\x00" * 10)  # truncated record
+    with pytest.raises(ValueError, match="record size"):
+        open_fvecs_mmap(path)
+    path2 = tmp_path / "bad2.fvecs"
+    # two records claiming different dims
+    path2.write_bytes(
+        np.int32(2).tobytes() + np.zeros(2, np.float32).tobytes()
+        + np.int32(3).tobytes() + np.zeros(1, np.float32).tobytes()
+    )
+    with pytest.raises(ValueError):
+        open_fvecs_mmap(path2)
+
+
+# ------------------------------------------------------------ ground truth
+@pytest.mark.parametrize("metric", ["l2", "cosine"])
+def test_exact_knn_big_parity_with_eager(metric):
+    rng = np.random.default_rng(7)
+    pts = rng.normal(size=(500, 16)).astype(np.float32)
+    qs = rng.normal(size=(23, 16)).astype(np.float32)
+    ref_i, ref_d = exact_knn(qs, pts, 10, metric=metric)
+    # point_block smaller than the corpus forces multiple fold rounds
+    got_i, got_d = exact_knn_big(qs, pts, 10, metric=metric, point_block=128)
+    assert np.allclose(got_d, ref_d, atol=1e-5)
+    # ids may differ only where distances tie
+    diff = got_i != ref_i
+    assert np.allclose(got_d[diff], ref_d[diff], atol=1e-5)
+
+
+def test_exact_knn_big_accepts_memmap(tmp_path):
+    m = LatentMixtureModel(dim=8, n_clusters=4, seed=2, chunk_size=64)
+    view = generate_memmap(tmp_path / "c.npy", m, 200)
+    qs = m.queries(5)
+    got_i, got_d = exact_knn_big(qs, view, 4, point_block=64)
+    ref_i, ref_d = exact_knn(qs, np.asarray(view), 4)
+    assert np.allclose(got_d, ref_d, atol=1e-5)
+
+
+def test_exact_knn_big_validation():
+    pts = np.zeros((10, 4), np.float32)
+    qs = np.zeros((2, 4), np.float32)
+    with pytest.raises(ValueError):
+        exact_knn_big(qs, pts, 0)
+    with pytest.raises(ValueError):
+        exact_knn_big(qs, pts, 11)
+    with pytest.raises(ValueError):
+        exact_knn_big(qs, pts, 2, metric="hamming")

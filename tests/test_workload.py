@@ -3,7 +3,20 @@
 import numpy as np
 import pytest
 
-from repro.data.workload import closed_loop, poisson_arrivals, uniform_arrivals
+from repro.data.workload import (
+    ArrivalProcess,
+    Bursty,
+    ClosedLoop,
+    Diurnal,
+    Poisson,
+    TraceReplay,
+    TrafficSpec,
+    Uniform,
+    closed_loop,
+    poisson_arrivals,
+    resolve_workload,
+    uniform_arrivals,
+)
 
 
 def test_closed_loop_all_at_zero():
@@ -37,3 +50,179 @@ def test_invalid_rates():
         uniform_arrivals(5, -1)
     with pytest.raises(ValueError):
         closed_loop(-1)
+
+
+# --------------------------------------------------- declarative processes
+def _empirical_qps(evs):
+    span_us = evs[-1].arrival_us - evs[0].arrival_us
+    return (len(evs) - 1) / (span_us * 1e-6)
+
+
+@pytest.mark.parametrize("proc,expected_qps", [
+    (Uniform(rate_qps=10_000), 10_000),
+    (Poisson(rate_qps=10_000, seed=3), 10_000),
+    (Diurnal(base_qps=5_000, peak_qps=15_000, period_s=0.5, seed=3), 10_000),
+    # short dwells so the stream spans many phase cycles: the empirical
+    # rate of an MMPP converges per-cycle, not per-event.
+    (Bursty(base_qps=5_000, burst_qps=30_000, mean_burst_us=5_000,
+            mean_idle_us=20_000, seed=3), 10_000),
+])
+def test_process_empirical_rate_matches_mean(proc, expected_qps):
+    """Each process's generated stream hits its declared mean rate.
+
+    Sample sizes are chosen so a 15% tolerance is well past the streams'
+    standard error; bursty gets the most events because phase dwell
+    times dominate its variance.
+    """
+    n = 30_000 if isinstance(proc, Bursty) else 8_000
+    evs = proc.events(n)
+    assert proc.mean_qps == pytest.approx(expected_qps, rel=1e-6)
+    assert _empirical_qps(evs) == pytest.approx(expected_qps, rel=0.15)
+    arr = [e.arrival_us for e in evs]
+    assert arr == sorted(arr)
+    assert [e.query_id for e in evs] == list(range(n))
+
+
+def test_diurnal_rate_modulation():
+    """Arrivals concentrate around the sinusoid's peak, thin out at the
+    trough: compare event counts in the peak vs trough half-periods."""
+    proc = Diurnal(base_qps=1_000, peak_qps=20_000, period_s=0.2, seed=5)
+    evs = proc.events(8_000)
+    period_us = 0.2e6
+    # phase 0: trough at t=0, peak at half period.
+    in_peak = in_trough = 0
+    for e in evs:
+        frac = (e.arrival_us % period_us) / period_us
+        if 0.25 <= frac < 0.75:
+            in_peak += 1
+        else:
+            in_trough += 1
+    assert in_peak > 3 * in_trough
+
+
+def test_bursty_has_burst_and_idle_phases():
+    """Gap distribution must be bimodal-ish: bursts produce gaps near
+    1/burst_qps, idle stretches near 1/base_qps."""
+    proc = Bursty(base_qps=1_000, burst_qps=100_000, seed=11)
+    evs = proc.events(20_000)
+    gaps = np.diff([e.arrival_us for e in evs])
+    assert (gaps < 50).sum() > 1000   # burst-phase gaps (~10us mean)
+    assert (gaps > 300).sum() > 50    # idle-phase gaps (~1000us mean)
+
+
+@pytest.mark.parametrize("proc", [
+    ClosedLoop(),
+    Uniform(rate_qps=5_000),
+    Poisson(rate_qps=5_000, seed=2),
+    Diurnal(base_qps=2_000, peak_qps=9_000, period_s=0.3, phase=0.25, seed=2),
+    Bursty(base_qps=2_000, burst_qps=20_000, seed=2),
+    TraceReplay(arrival_us=(0.0, 5.0, 7.5), query_ids=(4, 2, 9)),
+])
+def test_process_seed_determinism_and_json_roundtrip(proc):
+    n = 3 if isinstance(proc, TraceReplay) else 500
+    a = proc.events(n)
+    b = proc.events(n)
+    assert [e.arrival_us for e in a] == [e.arrival_us for e in b]
+    back = ArrivalProcess.from_json(proc.to_json())
+    assert back == proc
+    c = back.events(n)
+    assert [e.arrival_us for e in a] == [e.arrival_us for e in c]
+    # explicit seed override beats the declared seed, deterministically
+    if not isinstance(proc, (ClosedLoop, Uniform, TraceReplay)):
+        d = proc.events(n, seed=123)
+        e = proc.events(n, seed=123)
+        assert [x.arrival_us for x in d] == [x.arrival_us for x in e]
+        assert [x.arrival_us for x in d] != [x.arrival_us for x in a]
+
+
+def test_poisson_process_matches_legacy_helper():
+    """Poisson.events is byte-identical to the long-standing
+    poisson_arrivals helper (same rng stream)."""
+    proc = Poisson(rate_qps=7_500, seed=9)
+    new = proc.events(200)
+    old = poisson_arrivals(200, 7_500, seed=9)
+    assert [e.arrival_us for e in new] == [e.arrival_us for e in old]
+
+
+def test_trace_replay_from_events_preserves_ids():
+    evs = poisson_arrivals(10, 1_000, seed=4)
+    shuffled = [evs[i] for i in (3, 1, 4, 0, 2, 5, 9, 7, 8, 6)]
+    tr = TraceReplay.from_events(shuffled)
+    out = tr.events(10)
+    assert [e.arrival_us for e in out] == sorted(e.arrival_us for e in evs)
+    assert {e.query_id for e in out} == {e.query_id for e in evs}
+
+
+def test_parse_cli_forms():
+    assert ArrivalProcess.parse("closed") == ClosedLoop()
+    assert ArrivalProcess.parse("uniform:5000") == Uniform(rate_qps=5000)
+    assert ArrivalProcess.parse("poisson:12000") == Poisson(rate_qps=12000)
+    assert ArrivalProcess.parse("diurnal:100:900") == Diurnal(
+        base_qps=100, peak_qps=900)
+    assert ArrivalProcess.parse("diurnal:100:900:2.5") == Diurnal(
+        base_qps=100, peak_qps=900, period_s=2.5)
+    assert ArrivalProcess.parse("bursty:100:9000") == Bursty(
+        base_qps=100, burst_qps=9000)
+    with pytest.raises(ValueError):
+        ArrivalProcess.parse("sinusoid:1:2")
+    with pytest.raises(ValueError):
+        ArrivalProcess.parse("poisson")
+
+
+def test_process_validation():
+    with pytest.raises(ValueError):
+        Poisson(rate_qps=0)
+    with pytest.raises(ValueError):
+        Diurnal(base_qps=900, peak_qps=100)  # peak must exceed base
+    with pytest.raises(ValueError):
+        Bursty(base_qps=1000, burst_qps=500)  # burst must exceed base
+    with pytest.raises(ValueError):
+        TraceReplay(arrival_us=(-1.0, 1.0))  # negative timestamp
+    # unsorted traces are legal input; events() emits them in time order
+    out = TraceReplay(arrival_us=(5.0, 1.0)).events(2)
+    assert [e.arrival_us for e in out] == [1.0, 5.0]
+    with pytest.raises(ValueError):
+        ArrivalProcess.from_dict({"kind": "nope"})
+
+
+# ------------------------------------------------------------- TrafficSpec
+def test_traffic_spec_roundtrip_and_admission_flag():
+    spec = TrafficSpec(process=Poisson(rate_qps=2_000, seed=1),
+                       n_queries=64, deadline_us=500.0, max_queue_depth=8)
+    assert spec.has_admission
+    back = TrafficSpec.from_json(spec.to_json())
+    assert back == spec
+    plain = TrafficSpec(process=ClosedLoop())
+    assert not plain.has_admission
+    with pytest.raises(ValueError):
+        TrafficSpec(process=ClosedLoop(), deadline_us=-1.0)
+    with pytest.raises(ValueError):
+        TrafficSpec(process=ClosedLoop(), max_queue_depth=0)
+
+
+def test_traffic_spec_events_uses_spec_n_and_seed():
+    spec = TrafficSpec(process=Poisson(rate_qps=2_000, seed=1),
+                       n_queries=32, seed=77)
+    evs = spec.events(128)  # spec's own n wins over the default
+    assert len(evs) == 32
+    assert [e.arrival_us for e in evs] == [
+        e.arrival_us for e in Poisson(rate_qps=2_000).events(32, seed=77)
+    ]
+
+
+def test_resolve_workload_forms():
+    evs, spec = resolve_workload(None, 4)
+    assert spec is None and all(e.arrival_us == 0.0 for e in evs)
+    evs, spec = resolve_workload(Poisson(rate_qps=1_000, seed=0), 16)
+    assert spec is None and len(evs) == 16
+    raw = poisson_arrivals(8, 1_000, seed=0)
+    evs, spec = resolve_workload(raw, 8)
+    assert spec is None and list(evs) == raw
+    s = TrafficSpec(process=ClosedLoop(), max_queue_depth=2)
+    evs, spec = resolve_workload(s, 4)
+    assert spec is s and len(evs) == 4
+    # no admission knobs -> spec not propagated
+    evs, spec = resolve_workload(TrafficSpec(process=ClosedLoop()), 4)
+    assert spec is None
+    with pytest.raises(ValueError, match="4 events for 5 queries"):
+        resolve_workload(closed_loop(4), 5)
