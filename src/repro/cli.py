@@ -9,6 +9,8 @@ Commands
                latency-vs-QPS curve + max sustainable QPS
                (docs/load_testing.md)
 ``chaos``      serve a workload under a fault plan (docs/robustness.md)
+``stream``     serve while streaming insert/delete waves churn the graph,
+               graded against degradation SLOs (docs/robustness.md)
 ``tune``       run the §IV-C adaptive tuner for a configuration
 ``figure``     regenerate one of the paper's figures/tables
 """
@@ -143,6 +145,55 @@ def build_parser() -> argparse.ArgumentParser:
     ld.add_argument("--seed", type=int, default=0)
     ld.add_argument("-o", "--output", default=None, metavar="PATH",
                     help="write the sweep as a BENCH_load.json document")
+
+    st = sub.add_parser(
+        "stream",
+        help="serve while insert/delete waves churn the graph, graded "
+             "against degradation SLOs (docs/robustness.md)",
+    )
+    st.add_argument("--dataset", default="sift1m-mini")
+    st.add_argument("--n", type=int, default=4000)
+    st.add_argument("--queries", type=int, default=64,
+                    help="query templates; --events arrivals replay them")
+    st.add_argument("--events", type=int, default=None,
+                    help="arrival events (default: one per template)")
+    st.add_argument("--degree", type=int, default=12)
+    st.add_argument("--ef", type=int, default=64,
+                    help="dynamic-graph search/link ef")
+    st.add_argument("--k", type=int, default=16)
+    st.add_argument("--slots", type=int, default=8)
+    st.add_argument("--backend", choices=("vectorized", "compiled"),
+                    default="vectorized",
+                    help="lockstep search backend (traces price the jobs)")
+    st.add_argument("--precision", choices=("float32", "int8", "pq"),
+                    default="float32")
+    st.add_argument("--workload", default="poisson:2000", metavar="PROC",
+                    help="arrival process: closed | uniform:QPS | "
+                         "poisson:QPS | diurnal:BASE:PEAK[:PERIOD_S] | "
+                         "bursty:BASE:BURST | spike:BASE:AT_US:N[:WIDTH_US]")
+    st.add_argument("--deadline-us", type=float, default=None,
+                    help="relative drop deadline per query")
+    st.add_argument("--insert-qps", type=float, default=2000.0,
+                    help="steady insert rate (vectors/s of simulated time)")
+    st.add_argument("--delete-qps", type=float, default=500.0,
+                    help="steady delete rate")
+    st.add_argument("--wave-us", type=float, default=10_000.0,
+                    help="update batching window")
+    st.add_argument("--plan", default=None,
+                    help="fault plan name/path; its update faults (storm, "
+                         "compaction-stall, codebook-drift) are consumed by "
+                         "the runner (e.g. 'update-storm')")
+    st.add_argument("--compact-threshold", type=float, default=0.05,
+                    help="auto-compact when tombstones exceed this fraction "
+                         "of the live set")
+    st.add_argument("--min-answered", type=float, default=0.99)
+    st.add_argument("--max-recall-drop", type=float, default=0.02,
+                    help="recall@k floor relative to the frozen-graph oracle")
+    st.add_argument("--p99-ceiling-us", type=float, default=None,
+                    help="e2e p99 SLO ceiling (unset: not enforced)")
+    st.add_argument("--seed", type=int, default=0)
+    st.add_argument("-o", "--output", default=None, metavar="PATH",
+                    help="write the run as a BENCH_stream.json document")
 
     c = sub.add_parser("chaos", help="serve a workload under a fault plan "
                                      "(docs/robustness.md)")
@@ -469,6 +520,60 @@ def _cmd_load(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    from .data import load_dataset
+    from .data.workload import ArrivalProcess, TrafficSpec
+    from .graphs import build_cagra
+    from .graphs.dynamic import DynamicGraph
+    from .resilience import load_plan
+    from .streaming import DegradationSLO, UpdateStream, serve_while_update
+
+    ds = load_dataset(args.dataset, n=args.n, n_queries=args.queries,
+                      gt_k=max(32, args.k), seed=args.seed)
+    dyn = DynamicGraph(
+        ds.base,
+        build_cagra(ds.base, graph_degree=args.degree, metric=ds.metric),
+        metric=ds.metric, ef=args.ef,
+    )
+    try:
+        process = ArrivalProcess.parse(args.workload)
+        faults = load_plan(args.plan) if args.plan else None
+    except ValueError as e:
+        print(str(e), file=sys.stderr)
+        return 2
+    workload = TrafficSpec(process, n_queries=args.events,
+                           deadline_us=args.deadline_us, seed=args.seed)
+    stream = UpdateStream(insert_qps=args.insert_qps,
+                          delete_qps=args.delete_qps,
+                          wave_us=args.wave_us, seed=args.seed + 7)
+    slo = DegradationSLO(min_answered_frac=args.min_answered,
+                         max_recall_drop=args.max_recall_drop,
+                         p99_ceiling_us=args.p99_ceiling_us)
+    report = serve_while_update(
+        dyn, ds.queries, stream,
+        workload=workload, n_queries=args.events, k=args.k,
+        slots=args.slots, backend=args.backend, precision=args.precision,
+        faults=faults, slo=slo, compact_threshold=args.compact_threshold,
+    )
+    print(f"dataset={args.dataset} n={args.n} plan={args.plan or 'none'}")
+    print(report.summary())
+    if args.output:
+        import json as _json
+
+        from .core.serving import _json_safe
+
+        doc = {"benchmark": "serve-while-update stream",
+               "dataset": {"name": args.dataset, "n": args.n,
+                           "metric": ds.metric},
+               "plan": args.plan,
+               "report": report.to_dict()}
+        with open(args.output, "w", encoding="utf-8") as fh:
+            _json.dump(_json_safe(doc), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    return 0 if report.passed else 1
+
+
 def _cmd_chaos(args) -> int:
     from .resilience import ResiliencePolicy, load_plan, run_chaos
     from .telemetry import Telemetry, write_metrics
@@ -573,6 +678,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "load": _cmd_load,
         "chaos": _cmd_chaos,
+        "stream": _cmd_stream,
         "tune": _cmd_tune,
         "figure": _cmd_figure,
     }[args.command]

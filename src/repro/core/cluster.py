@@ -366,16 +366,17 @@ class ShardedServer:
             queries = queries[None, :]
         nq = queries.shape[0]
         evs, spec = resolve_workload(cfg.workload, nq)
-        if spec is not None:
-            # Every query fans out to every shard; shedding on one shard's
-            # queue would leave the fan-in with a partial answer that is
-            # not a quorum decision.  Admission control belongs in front
-            # of the fan-out (the load driver), not per shard.
-            raise ValueError(
-                "ShardedServer does not support admission control "
-                "(deadline_us/max_queue_depth); shed before the fan-out "
-                "instead (see docs/load_testing.md)"
-            )
+        if spec is not None and cstats is None:
+            # Admission control runs *per shard*: each shard's engine keeps
+            # its own queue over the fanned-out stream, and a query shed or
+            # deadline-dropped on one shard is answered from the remaining
+            # shards through the quorum fan-in (flagged ``partial``).  That
+            # makes the shed-vs-partial decision a quorum decision, so the
+            # resilient merge path — not the all-shards barrier — is the
+            # only correct fan-in; arm the default policy when the caller
+            # supplied none.
+            policy = DEFAULT_POLICY
+            cstats = ResilienceStats()
         ordered = sorted(evs, key=lambda e: e.query_id)
 
         per_shard = []
@@ -399,7 +400,7 @@ class ShardedServer:
                 slots=cfg.slots, telemetry=shard_tel,
                 faults=sub, resilience=policy,
             )
-            part = engine.serve(jobs)
+            part = BaseGraphSystem._run_engine(engine, jobs, spec)
             recs = {r.query_id: r for r in part.records}
             if sfault is not None and sfault.kind == "kill":
                 cstats.note_fault("shard_kill")
@@ -482,6 +483,7 @@ class ShardedServer:
         ids = np.full((nq, k), -1, dtype=np.int64)
         dists = np.full((nq, k), np.inf, dtype=np.float32)
         dropped_union = {i for p in parts for i in p.meta.get("dropped_ids", [])}
+        shed_union = {i for p in parts for i in p.meta.get("shed_ids", [])}
         records: list[QueryRecord] = []
         total_merge_us = 0.0
         penalty_sum = 0.0
@@ -493,9 +495,10 @@ class ShardedServer:
                 if qid in answered[g]
             )
             if not comps:
-                # Every shard lost it: a deadline drop is already counted
-                # by the engines; anything else is a cluster-level failure.
-                if qid not in dropped_union:
+                # Every shard lost it: a deadline drop / admission shed is
+                # already counted by the engines; anything else is a
+                # cluster-level failure.
+                if qid not in dropped_union and qid not in shed_union:
                     cstats.failed_ids.append(qid)
                 continue
             deadline = comps[0][0] + policy.straggler_budget_us
@@ -538,9 +541,22 @@ class ShardedServer:
             [p.meta.get("resilience") for p in parts] + [cstats.to_meta()]
         )
         # A quorum answer rescues queries an individual shard gave up on.
+        answered_ids = {r.query_id for r in records}
         res["failed_ids"] = sorted(
-            set(res["failed_ids"]) - {r.query_id for r in records}
+            set(res["failed_ids"]) - answered_ids
         )
+        # Cluster-level admission census: a query only counts as dropped /
+        # shed when *no* shard answered it (a partial answer is a quorum
+        # rescue, not a drop), and never in both buckets at once.
+        dropped_final = dropped_union - answered_ids
+        shed_final = shed_union - answered_ids - dropped_final
+        extra = {}
+        if any("max_queue_depth" in p.meta for p in parts):
+            # Every shard runs the same admission spec; surface the knob.
+            extra["max_queue_depth"] = next(
+                p.meta["max_queue_depth"] for p in parts
+                if "max_queue_depth" in p.meta
+            )
         serve = ServeReport(
             records=records,
             makespan_us=makespan,
@@ -552,13 +568,16 @@ class ShardedServer:
                 "mode": "sharded",
                 "n_gpus": n,
                 "quorum_k": K,
-                "dropped": sum(p.meta.get("dropped", 0) for p in parts),
-                "dropped_ids": sorted(dropped_union),
+                "dropped": len(dropped_final),
+                "dropped_ids": sorted(dropped_final),
+                "shed": len(shed_final),
+                "shed_ids": sorted(shed_final),
                 "resilience": res,
                 "failed": len(res["failed_ids"]),
                 "failed_ids": res["failed_ids"],
                 "est_recall_penalty": penalty_sum / max(1, len(records)),
                 "pcie": [p.pcie for p in parts],
+                **extra,
             },
         )
         if tel.enabled:

@@ -31,7 +31,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..resilience import FaultPlan, ResiliencePolicy
     from ..telemetry import Telemetry
 
-__all__ = ["QueryJob", "QueryRecord", "ServeConfig", "ServeReport", "as_serve_config"]
+__all__ = [
+    "QueryJob",
+    "QueryRecord",
+    "ServeConfig",
+    "ServeReport",
+    "as_serve_config",
+    "merge_serve_reports",
+]
 
 
 @dataclass(frozen=True)
@@ -344,3 +351,60 @@ class ServeReport:
     def from_json(cls, data: str | bytes) -> "ServeReport":
         """Rebuild a report from :meth:`to_json` output."""
         return cls.from_dict(json.loads(data))
+
+
+def merge_serve_reports(
+    parts: list[ServeReport],
+    meta: dict | None = None,
+    update: dict | None = None,
+) -> ServeReport:
+    """Concatenate sequential (same-clock) reports into one.
+
+    The serve-while-update runner serves queries in epochs between update
+    waves, each epoch through its own engine pass on the shared simulated
+    clock; this fan-in stitches the epochs back into a single report.
+
+    Accounting rule (the BENCH_stream fix): **only query work enters the
+    latency stream**.  ``records`` / ``gpu_cta_busy_us`` / ``host_busy_us``
+    aggregate the query epochs alone; insert/delete/compaction work arrives
+    via ``update`` and lands under ``meta["update"]`` — so every latency
+    percentile, ``throughput_qps``, and ``gpu_utilization`` read off this
+    report describe queries, never build waves.  (Queries *blocked behind*
+    a wave still pay for it in e2e latency, because their records keep the
+    true arrival time; that wait is traffic the wave delayed, not build
+    work mislabelled as a query.)
+    """
+    if not parts:
+        raise ValueError("need at least one report to merge")
+    records = sorted(
+        (r for p in parts for r in p.records), key=lambda r: r.query_id
+    )
+    agg: dict = {
+        "dropped": sum(p.meta.get("dropped", 0) for p in parts),
+        "dropped_ids": sorted(
+            i for p in parts for i in p.meta.get("dropped_ids", [])
+        ),
+    }
+    if any("shed" in p.meta for p in parts):
+        agg["shed"] = sum(p.meta.get("shed", 0) for p in parts)
+        agg["shed_ids"] = sorted(
+            i for p in parts for i in p.meta.get("shed_ids", [])
+        )
+    if any("failed" in p.meta for p in parts):
+        agg["failed"] = sum(p.meta.get("failed", 0) for p in parts)
+        agg["failed_ids"] = sorted(
+            i for p in parts for i in p.meta.get("failed_ids", [])
+        )
+    if update is not None:
+        agg["update"] = update
+    if meta:
+        agg.update(meta)
+    return ServeReport(
+        records=records,
+        makespan_us=max(p.makespan_us for p in parts),
+        gpu_cta_busy_us=sum(p.gpu_cta_busy_us for p in parts),
+        n_cta_slots=max(p.n_cta_slots for p in parts),
+        pcie=None,
+        host_busy_us=sum(p.host_busy_us for p in parts),
+        meta=agg,
+    )

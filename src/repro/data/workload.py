@@ -43,6 +43,7 @@ __all__ = [
     "Poisson",
     "Diurnal",
     "Bursty",
+    "Spike",
     "TraceReplay",
     "TrafficSpec",
     "resolve_workload",
@@ -163,7 +164,8 @@ class ArrivalProcess:
     def parse(text: str) -> "ArrivalProcess":
         """Parse a compact CLI form: ``closed``, ``uniform:R``,
         ``poisson:R``, ``diurnal:BASE:PEAK[:PERIOD_S]``,
-        ``bursty:BASE:BURST`` (rates in QPS)."""
+        ``bursty:BASE:BURST``, ``spike:BASE:AT_US:N[:WIDTH_US]``
+        (rates in QPS)."""
         parts = text.split(":")
         name, args = parts[0], [float(p) for p in parts[1:]]
         if name in ("closed", "closed_loop"):
@@ -177,10 +179,16 @@ class ArrivalProcess:
             return Diurnal(base_qps=args[0], peak_qps=args[1], period_s=period)
         if name == "bursty" and len(args) == 2:
             return Bursty(base_qps=args[0], burst_qps=args[1])
+        if name == "spike" and len(args) in (3, 4):
+            width = args[3] if len(args) == 4 else 10_000.0
+            return Spike(
+                base_qps=args[0],
+                spikes=((args[1], int(args[2]), width),),
+            )
         raise ValueError(
             f"cannot parse arrival process {text!r}; expected closed | "
             f"uniform:R | poisson:R | diurnal:BASE:PEAK[:PERIOD_S] | "
-            f"bursty:BASE:BURST"
+            f"bursty:BASE:BURST | spike:BASE:AT_US:N[:WIDTH_US]"
         )
 
 
@@ -342,6 +350,56 @@ class Bursty(ArrivalProcess):
 
 
 @dataclass(frozen=True)
+class Spike(ArrivalProcess):
+    """Poisson baseline plus deterministic query spikes at fixed instants.
+
+    Each spike ``(at_us, count, width_us)`` injects exactly ``count``
+    arrivals evenly spaced across ``[at_us, at_us + width_us)`` — the
+    query-side mirror of an update storm, placed at a *known* simulation
+    time so chaos experiments can align query pressure with graph churn
+    (:mod:`repro.streaming`).  Only the baseline is stochastic; the spikes
+    land at the same instants for every seed.
+    """
+
+    base_qps: float
+    spikes: tuple[tuple[float, int, float], ...] = ()
+    seed: int = 0
+    kind: ClassVar[str] = "spike"
+
+    def __post_init__(self) -> None:
+        if self.base_qps <= 0:
+            raise ValueError("base_qps must be positive")
+        norm = []
+        for sp in self.spikes:
+            at, count, width = sp
+            if at < 0 or width <= 0:
+                raise ValueError("spike needs at_us >= 0 and width_us > 0")
+            if int(count) < 1:
+                raise ValueError("spike count must be >= 1")
+            norm.append((float(at), int(count), float(width)))
+        object.__setattr__(self, "spikes", tuple(norm))
+
+    @property
+    def mean_qps(self) -> float:
+        """Baseline rate (spikes are transient and excluded)."""
+        return self.base_qps
+
+    def events(self, n_queries: int, seed: int | None = None) -> list[QueryEvent]:
+        if n_queries < 0:
+            raise ValueError("n_queries must be non-negative")
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        gaps = rng.exponential(1e6 / self.base_qps, size=n_queries)
+        times = np.cumsum(gaps)
+        burst = [
+            at + i * width / count
+            for at, count, width in self.spikes
+            for i in range(count)
+        ]
+        merged = np.sort(np.concatenate([times, np.asarray(burst, dtype=np.float64)]))
+        return [QueryEvent(i, float(t)) for i, t in enumerate(merged[:n_queries])]
+
+
+@dataclass(frozen=True)
 class TraceReplay(ArrivalProcess):
     """Replay explicit arrival timestamps (e.g. a production trace).
 
@@ -406,9 +464,11 @@ class TrafficSpec:
 
     Accepted anywhere :class:`~repro.core.serving.ServeConfig.workload` is.
     Admission control needs an admission queue, so it is honoured by the
-    dynamic-batching engines (ALGAS and the fleet driver) and by
-    :class:`~repro.core.cluster.ReplicatedServer`; the static baselines and
-    :class:`~repro.core.cluster.ShardedServer` reject specs that set it.
+    dynamic-batching engines (ALGAS and the fleet driver), by
+    :class:`~repro.core.cluster.ReplicatedServer`, and by
+    :class:`~repro.core.cluster.ShardedServer` (one admission queue per
+    shard; the quorum merge counts a query as dropped only when *no*
+    shard answered it).  The static baselines reject specs that set it.
     """
 
     process: ArrivalProcess

@@ -131,6 +131,7 @@ def occlusion_prune_mask(
     metric: str = "l2",
     chunk: int = 256,
     rule: str = "mrng",
+    forced: np.ndarray | None = None,
 ) -> np.ndarray:
     """Chunked triangle-inequality occlusion prune over candidate pools.
 
@@ -146,6 +147,11 @@ def occlusion_prune_mask(
     ``rule="detour"`` is CAGRA's relaxation — occlude against *all*
     earlier-ranked candidates, kept or not — which needs no scan but
     prunes strictly more.  Rank 0 is always kept; padding never is.
+
+    ``forced`` (same shape, bool) marks columns that are kept
+    unconditionally and occlude later ranks as usual — how the delete
+    repair pins a row's surviving edges while diversifying only the
+    candidates competing for the freed slots.
     """
     points = np.asarray(points, dtype=np.float32)
     pool_ids = np.asarray(pool_ids)
@@ -166,6 +172,7 @@ def occlusion_prune_mask(
             pair = 1.0 - np.einsum("ckd,cjd->ckj", g, g)
         # pair[c, w, j] = d(w_rank_w, c_rank_j); inf where w >= j or w padded.
         pair = np.where(tri[None, :, :] | invalid[:, :, None], np.inf, pair)
+        fc = None if forced is None else (forced[lo:hi] & ~invalid)
         if rule == "mrng":
             kc = np.zeros((hi - lo, K), dtype=bool)
             kc[:, 0] = ~invalid[:, 0]
@@ -174,11 +181,15 @@ def occlusion_prune_mask(
                     (pair[:, :j, j] < pool_d[lo:hi, j][:, None]) & kc[:, :j]
                 ).any(axis=1)
                 kc[:, j] = ~invalid[:, j] & ~occ
+                if fc is not None:
+                    kc[:, j] |= fc[:, j]
             keep[lo:hi] = kc
         else:
             best_detour = pair.min(axis=1)  # (c, K): cheapest earlier-ranked detour
             keep[lo:hi] = (best_detour >= pool_d[lo:hi]) & ~invalid
             keep[lo:hi, 0] = ~invalid[:, 0]
+            if fc is not None:
+                keep[lo:hi] |= fc
     return keep
 
 
@@ -198,6 +209,7 @@ def _prefix_search(
     metric: str,
     row_entries: np.ndarray | None = None,
     collect_expansions: bool = False,
+    alive_mask: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Lockstep beam searches of vertices ``[q_lo, q_hi)`` against the
     inserted prefix ``[0, visible)``; returns (W, ef) pools sorted by
@@ -237,6 +249,7 @@ def _prefix_search(
             record_trace=False,
             n_visible=visible,
             record_expansions=collect_expansions,
+            alive_mask=alive_mask,
         )
         eng.run(100 * ef + 100, what="batched insertion search")
         if collect_expansions:

@@ -1,34 +1,66 @@
-"""Streaming index updates: inserts and deletes over a graph index.
+"""Streaming index updates: vectorized insert/delete waves over a graph index.
 
 Online serving systems (the paper's target deployment) rarely get a frozen
-corpus; this module adds the standard update story on top of any
-:class:`~repro.graphs.base.GraphIndex`:
+corpus; this module adds the "built for change" update story on top of any
+:class:`~repro.graphs.base.GraphIndex`, rebuilt around the PR 4 wave
+machinery instead of the original scalar per-point loop:
 
-* **insert** — NSW-style: greedy-search the current graph for the new
-  point's neighbours, link bidirectionally, cap degrees (keep closest);
-* **delete** — tombstone the vertex, then *patch* its in-neighbours by
-  reconnecting them to the deleted vertex's out-neighbours (the FreshDiskANN
-  repair rule), so connectivity survives without a rebuild;
-* **search** — tombstoned vertices still route (their edges remain until
-  patched vertices drop them) but are filtered from results.
+* **insert waves** — :meth:`DynamicGraph.insert_batch` appends a whole wave
+  of points, lockstep-searches them against the visible prefix (the same
+  :class:`~repro.search.batched.LockstepEngine` the vectorized builders
+  use, with internal doubling sub-waves when the wave dwarfs the index),
+  links the nearest survivors bidirectionally and degree-caps in bulk
+  (:func:`~repro.graphs.build_batched._add_links`);
+* **delete waves** — :meth:`delete_batch` tombstones in O(wave): dead
+  vertices are masked *at expansion* (the engine's ``alive_mask``), so a
+  deleted point can never enter a candidate list — "no tombstone in top-k"
+  holds by construction in every backend, not by a post-hoc filter;
+* **compaction** — :meth:`compact` runs the deferred FreshDiskANN repair
+  in bulk: every live in-neighbour of a tombstone drops the dead edge and
+  inherits the tombstone's live out-neighbours (dedup, distance-trim),
+  dead rows are zeroed, and the cached frozen snapshot is dropped via
+  :meth:`~repro.graphs.base.GraphIndex.invalidate_cache` so stale padded
+  neighbour matrices cannot be served.  Recall sags between a delete wave
+  and its compaction — that sag is exactly what the serve-while-update
+  degradation SLOs (:mod:`repro.streaming`) measure;
+* **search** — :meth:`search` / :meth:`search_batch` accept ``backend=``
+  and ``precision=`` like the static path: the scalar greedy loop is the
+  oracle, ``"vectorized"``/``"compiled"`` run the lockstep engine directly
+  on the live padded arrays (no freeze needed), and quantized precisions
+  traverse on cached codecs that are *extended* on insert waves and
+  re-trained when codebook drift is detected (:meth:`codec_status`).
 
-The structure is adjacency-list based (amortized O(degree) updates);
-:meth:`DynamicGraph.freeze` exports a CSR snapshot for the GPU kernels.
+Vertex ids are stable for the lifetime of the structure (tombstoned ids
+are never reused); only :meth:`freeze` remaps to a dense snapshot.  Every
+mutation bumps :attr:`version` — the epoch counterpart of the batcher's
+slot-epoch guards, letting serving layers detect a graph that changed
+between dispatches.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..data.metrics import query_distances
+from ..data.metrics import pair_distances, query_distances
 from .base import GraphIndex
+from .build_batched import (
+    _add_links,
+    _compact_rows,
+    _prefix_search,
+    _select_links,
+    occlusion_prune_mask,
+)
 from .utils import medoid
 
 __all__ = ["DynamicGraph"]
 
+#: Re-train when new points reconstruct this many times worse than the
+#: codec's training-time baseline (see :meth:`DynamicGraph._extend_codecs`).
+DEFAULT_DRIFT_THRESHOLD = 4.0
+
 
 class DynamicGraph:
-    """Mutable graph over a growable point set."""
+    """Mutable graph over a growable point set (SoA, capacity-doubling)."""
 
     def __init__(
         self,
@@ -37,6 +69,7 @@ class DynamicGraph:
         metric: str = "l2",
         max_degree: int | None = None,
         ef: int = 48,
+        drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
     ):
         points = np.asarray(points, dtype=np.float32)
         if points.shape[0] != graph.n_vertices:
@@ -44,112 +77,499 @@ class DynamicGraph:
         self.metric = metric
         self.max_degree = max_degree or max(graph.max_degree, 4)
         self.ef = ef
-        self._points: list[np.ndarray] = [points[i] for i in range(points.shape[0])]
-        self._adj: list[list[int]] = [
-            [int(v) for v in graph.neighbors(u)] for u in range(graph.n_vertices)
-        ]
-        self._alive = [True] * graph.n_vertices
-        self._n_alive = graph.n_vertices
+        self.drift_threshold = drift_threshold
+        n, dim = points.shape
+        cap = max(n, 16)
+        self._pts = np.zeros((cap, dim), dtype=np.float32)
+        self._pts[:n] = points
+        self._adj = np.full((cap, self.max_degree), -1, dtype=np.int64)
+        self._counts = np.zeros(cap, dtype=np.int64)
+        self._alive = np.zeros(cap, dtype=bool)
+        self._alive[:n] = True
+        for u in range(n):
+            nbrs = np.asarray(graph.neighbors(u), dtype=np.int64)[: self.max_degree]
+            self._adj[u, : nbrs.size] = nbrs
+            self._counts[u] = nbrs.size
+        self._n_total = n
+        self._n_alive = n
+        self._pending_dead: list[int] = []
         self._frozen: tuple[np.ndarray, GraphIndex, np.ndarray] | None = None
+        self._codecs: dict[str, object] = {}
+        self._codec_baseline: dict[str, float] = {}
+        self.version = 0
+        self.compactions = 0
+        self.codec_retrains = 0
         # Enter at the medoid: an arbitrary vertex may sit in a poorly
         # reachable pocket of the graph.
-        self._entry = medoid(points, metric) if graph.n_vertices else None
+        self._entry = int(medoid(points, metric)) if n else None
 
     # ------------------------------------------------------------- queries
     @property
     def n_total(self) -> int:
         """All vertices ever inserted (including tombstones)."""
-        return len(self._adj)
+        return self._n_total
 
     @property
     def n_alive(self) -> int:
         return self._n_alive
 
+    @property
+    def n_tombstones(self) -> int:
+        """Tombstones whose edges have not been compacted away yet."""
+        return len(self._pending_dead)
+
+    @property
+    def tombstone_fraction(self) -> float:
+        """Uncompacted tombstones as a fraction of the live set."""
+        return len(self._pending_dead) / max(self._n_alive, 1)
+
     def is_alive(self, v: int) -> bool:
-        return self._alive[v]
+        return bool(self._alive[v])
+
+    def alive_ids(self) -> np.ndarray:
+        return np.flatnonzero(self._alive[: self._n_total]).astype(np.int64)
 
     def points_matrix(self) -> np.ndarray:
-        return np.stack(self._points) if self._points else np.empty((0, 0), np.float32)
+        return self._pts[: self._n_total].copy()
 
     # -------------------------------------------------------------- search
-    def search(self, query: np.ndarray, k: int, l: int | None = None):
-        """Greedy search (Alg. 1 semantics); tombstones route but are
-        filtered from the returned TopK."""
-        if self._n_alive == 0:
-            return np.empty(0, np.int64), np.empty(0, np.float32)
-        l = l or max(self.ef, k)
-        query = np.asarray(query, dtype=np.float32)
-        entry = self._entry
-        if not self._alive[entry]:
-            entry = next(i for i, a in enumerate(self._alive) if a)
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        l: int | None = None,
+        backend: str = "scalar",
+        precision: str = "float32",
+        rerank_mult: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Greedy search; tombstones are masked at expansion (never routed,
+        never returned).  ``backend``/``precision`` mirror the static path."""
+        if backend == "scalar" and precision == "float32":
+            if self._n_alive == 0:
+                return np.empty(0, np.int64), np.empty(0, np.float32)
+            return self._search_scalar(np.asarray(query, np.float32), k, l)
+        ids, dists, _ = self.search_batch(
+            np.asarray(query, np.float32)[None, :], k, l=l, backend=backend,
+            precision=precision, rerank_mult=rerank_mult, record_trace=False,
+        )
+        m = int((ids[0] >= 0).sum())
+        return ids[0, :m].copy(), dists[0, :m].copy()
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        l: int | None = None,
+        backend: str = "vectorized",
+        precision: str = "float32",
+        rerank_mult: int | None = None,
+        record_trace: bool = False,
+    ):
+        """Lockstep batch search over the *live* structure (no freeze).
+
+        Returns ``(ids, dists, traces)``: ``(B, k)`` arrays padded with
+        -1 / inf past each row's result count, and per-query
+        :class:`~repro.gpusim.trace.CTATrace` objects (``None`` entries
+        when ``record_trace`` is off) for cost-model pricing.
+        """
+        from ..search.batched import _engine_cls
+        from ..search.compiled import resolve_backend
+        from ..search.precision import (
+            DEFAULT_RERANK_MULT,
+            exact_rerank,
+            rerank_step_record,
+        )
+
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        B = queries.shape[0]
+        out_ids = np.full((B, k), -1, dtype=np.int64)
+        out_d = np.full((B, k), np.inf, dtype=np.float32)
+        traces: list = [None] * B
+        if self._n_alive == 0 or B == 0:
+            return out_ids, out_d, traces
+        if backend == "scalar":
+            if precision != "float32":
+                raise ValueError(
+                    "scalar dynamic search supports precision='float32' only"
+                )
+            for i in range(B):
+                ids, dists = self._search_scalar(queries[i], k, l)
+                out_ids[i, : ids.size] = ids
+                out_d[i, : dists.size] = dists
+            return out_ids, out_d, traces
+        backend = resolve_backend(backend)
+        codec = self.traversal_codec(precision)
+        rerank_mult = DEFAULT_RERANK_MULT if rerank_mult is None else rerank_mult
+        cand_capacity = max(l or max(self.ef, k), k)
+        n = self._n_total
+        eng = _engine_cls(backend == "compiled")(
+            self._pts[:n],
+            (self._adj[:n], self._counts[:n]),
+            queries,
+            np.arange(B, dtype=np.int64),
+            np.full((B, 1), self._entry, dtype=np.int64),
+            cand_capacity,
+            metric=self.metric,
+            record_trace=record_trace,
+            codec=codec,
+            alive_mask=self._alive[:n],
+        )
+        eng.run(100 * cand_capacity + 100, what="dynamic batch search")
+        for r in range(B):
+            if codec is None:
+                ids, dists = eng.results_row(r, k)
+            else:
+                rcap = max(k, rerank_mult * k)
+                approx_ids, _ = eng.results_row(r, rcap)
+                qnorm = None if eng._qnorm is None else eng._qnorm[r]
+                ids, dists = exact_rerank(
+                    eng.points, queries[r], self.metric, approx_ids, k, qnorm=qnorm
+                )
+                trace = eng.trace_row(r)
+                if trace is not None:
+                    trace.steps.append(
+                        rerank_step_record(
+                            int(approx_ids.size), int(self._pts.shape[1]),
+                            float(dists[0]) if dists.size else float("nan"),
+                        )
+                    )
+                    trace.result_len = int(ids.size)
+            out_ids[r, : ids.size] = ids
+            out_d[r, : dists.size] = dists
+            traces[r] = eng.trace_row(r)
+        return out_ids, out_d, traces
+
+    def _search_scalar(
+        self, query: np.ndarray, k: int, l: int | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Scalar oracle (Alg. 1 semantics) with expansion-time tombstone
+        masking — the reference for both lockstep backends."""
+        lcap = l or max(self.ef, k)
+        entry = self._live_entry()
         visited = {entry}
-        d0 = self._dist(query, [entry])[0]
-        cand: list[list] = [[float(d0), entry, False]]
+        d0 = float(query_distances(query, self._pts[entry][None, :], self.metric)[0])
+        cand: list[list] = [[d0, entry, False]]
         while True:
             sel = next((c for c in cand if not c[2]), None)
             if sel is None:
                 break
             sel[2] = True
-            fresh = [u for u in self._adj[sel[1]] if u not in visited]
+            row = self._adj[sel[1], : self._counts[sel[1]]]
+            fresh = [
+                int(u) for u in row if self._alive[u] and int(u) not in visited
+            ]
             if not fresh:
                 continue
             visited.update(fresh)
-            nd = self._dist(query, fresh)
+            nd = query_distances(query, self._pts[fresh], self.metric)
             cand.extend([float(d), u, False] for d, u in zip(nd, fresh))
             cand.sort(key=lambda c: (c[0], c[1]))
-            del cand[l:]
-        live = [(d, u) for d, u, _ in cand if self._alive[u]][:k]
+            del cand[lcap:]
+        top = cand[:k]
         return (
-            np.array([u for _, u in live], dtype=np.int64),
-            np.array([d for d, _ in live], dtype=np.float32),
+            np.array([u for _, u, _ in top], dtype=np.int64),
+            np.array([d for d, _, _ in top], dtype=np.float32),
         )
 
     # ------------------------------------------------------------- updates
     def insert(self, point: np.ndarray) -> int:
-        """Insert a point; returns its new vertex id."""
-        point = np.asarray(point, dtype=np.float32)
-        vid = len(self._adj)
-        self._invalidate_frozen()
+        """Insert a single point; returns its new vertex id."""
+        return int(self.insert_batch(np.asarray(point, np.float32)[None, :])[0])
+
+    def insert_batch(self, points: np.ndarray) -> np.ndarray:
+        """Insert a wave of points; returns their new vertex ids.
+
+        The wave is lockstep-searched against the visible prefix; waves
+        larger than the current index split into doubling sub-waves (each
+        sub-wave sees everything inserted before it), the PR 4 builder
+        schedule — so a storm-sized burst onto a small index still links
+        against meaningful neighbourhoods.
+        """
+        pts = np.ascontiguousarray(points, dtype=np.float32)
+        if pts.ndim == 1:
+            pts = pts[None, :]
+        W = pts.shape[0]
+        if W == 0:
+            return np.empty(0, dtype=np.int64)
+        if pts.shape[1] != self._pts.shape[1]:
+            raise ValueError("dimension mismatch")
+        self._mutate()
+        start = self._n_total
+        ids = np.arange(start, start + W, dtype=np.int64)
+        self._ensure_capacity(start + W)
+        self._pts[start : start + W] = pts
+        pos = 0
         if self._n_alive == 0:
-            self._points.append(point)
-            self._adj.append([])
-            self._alive.append(True)
-            self._n_alive = 1
-            self._entry = vid
-            return vid
-        ids, _ = self.search(point, k=self.max_degree, l=self.ef)
-        self._points.append(point)
-        self._adj.append([int(u) for u in ids])
-        self._alive.append(True)
-        self._n_alive += 1
-        for u in ids:
-            self._adj[int(u)].append(vid)
-            if len(self._adj[int(u)]) > self.max_degree:
-                self._trim(int(u))
-        return vid
+            # Bootstrap: the first point has nobody to link to.
+            self._adj[start] = -1
+            self._counts[start] = 0
+            self._alive[start] = True
+            self._n_total += 1
+            self._n_alive += 1
+            self._entry = start
+            pos = 1
+        while pos < W:
+            sub = min(W - pos, max(self._n_alive, 256))
+            lo = start + pos
+            self._insert_wave(lo, lo + sub)
+            pos += sub
+        self._extend_codecs(pts)
+        return ids
+
+    def _insert_wave(self, lo: int, hi: int) -> None:
+        """Link vertices ``[lo, hi)`` (points already staged) into the graph."""
+        visible = self._n_total
+        ef = max(self.ef, self.max_degree + 1)
+        pool_ids, pool_d = _prefix_search(
+            self._pts, lo, hi, visible, self._adj, self._counts,
+            self._live_entry(), ef, self.metric, alive_mask=self._alive,
+        )
+        links = _select_links(
+            self._pts, pool_ids, pool_d, self.max_degree, self.metric, "closest"
+        )
+        n = hi - lo
+        self._adj[lo:hi] = links
+        self._counts[lo:hi] = (links >= 0).sum(axis=1)
+        self._alive[lo:hi] = True
+        self._n_total += n
+        self._n_alive += n
+        rows, cols = np.nonzero(links >= 0)
+        if rows.size:
+            _add_links(
+                self._pts, self._adj, self._counts,
+                links[rows, cols], lo + rows,
+                self.max_degree, self.metric, trim="closest", dedup=True,
+            )
 
     def delete(self, vid: int) -> None:
-        """Tombstone ``vid`` and patch its in-neighbours' edges."""
-        if not 0 <= vid < len(self._adj):
+        """Tombstone ``vid`` and immediately patch its in-neighbours (the
+        scalar FreshDiskANN rule — a one-element wave with eager repair)."""
+        self.delete_batch([vid], patch=True)
+
+    def delete_batch(self, ids, patch: bool = False) -> None:
+        """Tombstone a wave of vertices.
+
+        With ``patch=False`` (the streaming default) this is O(wave):
+        deletion is pure masking, the dead edges stay in place as routing
+        metadata until :meth:`compact` repairs them in bulk.  With
+        ``patch=True`` the repair runs eagerly for this wave.
+        """
+        arr = np.unique(np.asarray(ids, dtype=np.int64).ravel())
+        if arr.size != np.asarray(ids).size:
+            raise ValueError("duplicate vertex ids in delete wave")
+        if arr.size == 0:
+            return
+        if arr[0] < 0 or arr[-1] >= self._n_total:
             raise IndexError("vertex id out of range")
-        if not self._alive[vid]:
-            raise ValueError(f"vertex {vid} already deleted")
-        self._invalidate_frozen()
-        self._alive[vid] = False
-        self._n_alive -= 1
-        out = [u for u in self._adj[vid] if self._alive[u]]
-        # Patch: every in-neighbour replaces its edge to vid with edges
-        # toward vid's (alive) out-neighbours, then trims to the cap.
-        for u in range(len(self._adj)):
-            if vid in self._adj[u] and self._alive[u]:
-                self._adj[u] = [w for w in self._adj[u] if w != vid]
-                merged = list(dict.fromkeys(self._adj[u] + [w for w in out if w != u]))
-                self._adj[u] = merged
-                if len(self._adj[u]) > self.max_degree:
-                    self._trim(u)
-        self._adj[vid] = []
-        if self._entry == vid and self._n_alive:
-            self._entry = next(i for i, a in enumerate(self._alive) if a)
+        dead_already = ~self._alive[arr]
+        if dead_already.any():
+            raise ValueError(
+                f"vertex {int(arr[dead_already][0])} already deleted"
+            )
+        self._mutate()
+        self._alive[arr] = False
+        self._n_alive -= int(arr.size)
+        if patch:
+            self._patch_dead(arr)
+            self._adj[arr] = -1
+            self._counts[arr] = 0
+        else:
+            self._pending_dead.extend(int(v) for v in arr)
+        if self._n_alive and (self._entry is None or not self._alive[self._entry]):
+            self._entry = self._pick_entry()
+
+    def compact(self) -> dict:
+        """Deferred bulk repair: patch every live in-neighbour of pending
+        tombstones, zero dead rows, drop cached snapshots.
+
+        Returns a stats dict (``cleared``/``patched_rows``/``version``).
+        Queries running concurrently (in the simulated sense: between
+        dispatches) see either the pre- or post-compaction adjacency, never
+        a half-written row — the batcher's slot-epoch guards plus
+        :attr:`version` make the boundary observable.
+        """
+        self._mutate()
+        self.compactions += 1
+        cleared = len(self._pending_dead)
+        patched = 0
+        if cleared:
+            dead = np.asarray(self._pending_dead, dtype=np.int64)
+            patched = self._patch_dead(dead)
+            self._adj[dead] = -1
+            self._counts[dead] = 0
+            self._pending_dead = []
+        if self._n_alive and (self._entry is None or not self._alive[self._entry]):
+            self._entry = self._pick_entry()
+        return {
+            "cleared": cleared,
+            "patched_rows": patched,
+            "version": self.version,
+        }
+
+    def _patch_dead(self, dead: np.ndarray) -> int:
+        """FreshDiskANN repair, vectorized: live rows pointing at ``dead``
+        drop those edges and inherit the dead vertices' live out-neighbours
+        into the freed capacity (dedup, closest-first).
+
+        Inherited edges only ever *fill the slots the dead edges vacated* —
+        they never evict a surviving edge.  A repair that re-trims whole
+        rows to keep-closest collapses the builder's diversified
+        neighbourhoods into pure kNN lists and measurably sinks recall
+        after large delete waves; patching gaps preserves the navigable
+        structure while restoring the connectivity the tombstones routed.
+
+        Which inherited candidates win the freed slots is decided by the
+        MRNG occlusion rule with the surviving edges pinned as forced
+        occluders (:func:`~repro.graphs.build_batched.occlusion_prune_mask`
+        ``forced=``): a candidate already reachable through a closer kept
+        neighbour is skipped, so the fills extend the row's coverage
+        instead of piling onto the direction its survivors already serve.
+        Against adversarial delete waves this recovers several recall
+        points over closest-first fills at identical degree budgets.
+        """
+        n = self._n_total
+        is_dead = np.zeros(n, dtype=bool)
+        is_dead[dead] = True
+        adjv = self._adj[:n]
+        valid = adjv >= 0
+        dead_edge = valid & is_dead[np.clip(adjv, 0, None)]
+        rows_aff = np.flatnonzero(dead_edge.any(axis=1) & self._alive[:n])
+        if rows_aff.size == 0:
+            return 0
+        sub = adjv[rows_aff]
+        subm = dead_edge[rows_aff]
+        rr, cc = np.nonzero(subm)
+        d_ids = sub[rr, cc]
+        # Compacted live out-lists of the dead set (dead→dead chains are
+        # dropped, matching the scalar rule's alive-only inheritance).
+        dpos = np.full(n, -1, dtype=np.int64)
+        dpos[dead] = np.arange(dead.size)
+        dead_adj = adjv[dead]
+        dead_live = (dead_adj >= 0) & self._alive[np.clip(dead_adj, 0, None)]
+        douts, _, dcnt = _compact_rows(dead_adj, dead_live, self._adj.shape[1])
+        # Drop the dead edges first, then bulk-append the inherited ones.
+        new_ids, _, ncnt = _compact_rows(sub, valid[rows_aff] & ~subm, sub.shape[1])
+        self._adj[rows_aff] = new_ids
+        self._counts[rows_aff] = ncnt
+        k = dpos[d_ids]
+        reps = dcnt[k]
+        if reps.sum() == 0:
+            return int(rows_aff.size)
+        targets = np.repeat(rows_aff[rr], reps)
+        flat_k = np.repeat(k, reps)
+        off = np.repeat(np.cumsum(reps) - reps, reps)
+        srcs = douts[flat_k, np.arange(targets.size) - off]
+        ok = srcs != targets
+        targets, srcs = targets[ok], srcs[ok]
+        # Dedup (target, src) pairs, drop edges the row already has.
+        key = np.unique(targets * np.int64(n) + srcs)
+        targets, srcs = key // n, key % n
+        present = (self._adj[targets] == srcs[:, None]).any(axis=1)
+        targets, srcs = targets[~present], srcs[~present]
+        if targets.size == 0:
+            return int(rows_aff.size)
+        # Rank each row's inherited candidates by distance, then let the
+        # occlusion prune (survivors pinned) pick the fills.
+        d = pair_distances(self._pts[targets], self._pts[srcs], self.metric)
+        order = np.lexsort((d, targets))
+        t_s, s_s, d_s = targets[order], srcs[order], d[order]
+        starts = np.r_[0, np.flatnonzero(np.diff(t_s)) + 1]
+        group_start = np.repeat(starts, np.diff(np.r_[starts, t_s.size]))
+        rank = np.arange(t_s.size) - group_start
+        # Bound the prune pool: slots to fill never exceed max_degree, and
+        # far-ranked candidates only matter as occluders of closer ones.
+        cap = 4 * self.max_degree
+        in_pool = rank < cap
+        t_s, s_s, d_s, rank = t_s[in_pool], s_s[in_pool], d_s[in_pool], rank[in_pool]
+        starts = np.r_[0, np.flatnonzero(np.diff(t_s)) + 1]
+        rows = np.unique(t_s)
+        rpos = np.full(n, -1, dtype=np.int64)
+        rpos[rows] = np.arange(rows.size)
+        S = self.max_degree
+        W = S + int(rank.max()) + 1
+        pool_ids = np.full((rows.size, W), -1, dtype=np.int64)
+        pool_d = np.full((rows.size, W), np.inf, dtype=np.float32)
+        # Survivor segment first (rows are left-compacted already): forced
+        # kept, so they only act as occluders of the inherited candidates.
+        pool_ids[:, :S] = self._adj[rows, :S]
+        pool_d[:, :S] = 0.0
+        ri = rpos[t_s]
+        pool_ids[ri, S + rank] = s_s
+        pool_d[ri, S + rank] = d_s
+        forced = np.zeros((rows.size, W), dtype=bool)
+        forced[:, :S] = pool_ids[:, :S] >= 0
+        keep = occlusion_prune_mask(
+            self._pts, pool_ids, pool_d, self.metric, forced=forced
+        )
+        kept = keep[ri, S + rank]
+        # Rank each row's *kept* candidates and fill freed capacity only.
+        ksum = np.cumsum(kept)
+        base = np.repeat(ksum[starts] - kept[starts],
+                         np.diff(np.r_[starts, kept.size]))
+        kept_rank = ksum - kept - base
+        fill = kept & (kept_rank < (self.max_degree - self._counts[t_s]))
+        t_f, s_f, r_f = t_s[fill], s_s[fill], kept_rank[fill]
+        if t_f.size:
+            self._adj[t_f, self._counts[t_f] + r_f] = s_f
+            self._counts[:n] += np.bincount(t_f, minlength=n)
+        return int(rows_aff.size)
+
+    # -------------------------------------------------------------- codecs
+    def traversal_codec(self, precision: str):
+        """Cached traversal codec over all staged points (dead rows carry
+        unused codes — expansion never admits them).  Codecs survive insert
+        waves via :meth:`~repro.search.precision.Int8Codec.extend` and are
+        re-trained when drift trips the threshold."""
+        from ..search.precision import make_codec
+
+        if precision == "float32":
+            return None
+        if precision not in self._codecs:
+            codec = make_codec(precision, self._pts[: self._n_total], self.metric)
+            self._codecs[precision] = codec
+            self._codec_baseline[precision] = codec.reconstruction_error(
+                self._pts[: self._n_total]
+            )
+        return self._codecs[precision]
+
+    def codec_status(self, precision: str) -> dict:
+        """Drift probe for a cached codec: baseline vs current error."""
+        if precision not in self._codecs:
+            return {"fitted": False}
+        codec = self._codecs[precision]
+        base = self._codec_baseline[precision]
+        cur = codec.reconstruction_error(self._pts[: self._n_total])
+        return {
+            "fitted": True,
+            "baseline_error": base,
+            "current_error": cur,
+            "stale": bool(base > 0 and cur > self.drift_threshold * base),
+            "retrains": self.codec_retrains,
+        }
+
+    def _extend_codecs(self, new_pts: np.ndarray) -> None:
+        """Extend cached codecs with the wave's codes; re-train on drift.
+
+        The stale-codebook policy: if the wave's reconstruction error under
+        the frozen codebook exceeds ``drift_threshold ×`` the training-time
+        baseline (codebook-drift injection produces exactly this), re-fit
+        on the full current corpus and count the re-train.
+        """
+        from ..search.precision import make_codec
+
+        for prec, codec in list(self._codecs.items()):
+            codec.extend(new_pts)
+            base = self._codec_baseline[prec]
+            err = codec.reconstruction_error(new_pts)
+            if base > 0 and err > self.drift_threshold * base:
+                fresh = make_codec(prec, self._pts[: self._n_total], self.metric)
+                self._codecs[prec] = fresh
+                self._codec_baseline[prec] = fresh.reconstruction_error(
+                    self._pts[: self._n_total]
+                )
+                self.codec_retrains += 1
 
     # -------------------------------------------------------------- export
     def freeze(self) -> tuple[np.ndarray, GraphIndex, np.ndarray]:
@@ -159,42 +579,69 @@ class DynamicGraph:
         maps compact ids back to the dynamic ids.  The snapshot (and with
         it the GraphIndex's padded neighbour-matrix cache, which the
         batched search engine gathers from) is cached until the next
-        :meth:`insert`/:meth:`delete`, so repeated searches between
-        updates don't rebuild the CSR.
+        mutation, which routes through :meth:`GraphIndex.invalidate_cache`
+        so a stale padded matrix can never be served.
         """
         if self._frozen is not None:
             return self._frozen
-        alive_ids = [i for i, a in enumerate(self._alive) if a]
-        remap = {old: new for new, old in enumerate(alive_ids)}
-        pts = np.stack([self._points[i] for i in alive_ids]) if alive_ids else (
-            np.empty((0, 0), np.float32)
+        n = self._n_total
+        alive_ids = np.flatnonzero(self._alive[:n]).astype(np.int64)
+        remap = np.full(n, -1, dtype=np.int64)
+        remap[alive_ids] = np.arange(alive_ids.size)
+        pts = (
+            self._pts[alive_ids].copy()
+            if alive_ids.size
+            else np.empty((0, 0), np.float32)
         )
-        lists = [
-            np.array(
-                [remap[u] for u in self._adj[i] if self._alive[u]], dtype=np.int32
-            )
-            for i in alive_ids
-        ]
+        lists = []
+        for u in alive_ids:
+            row = self._adj[u, : self._counts[u]]
+            live = remap[row[self._alive[row]]]
+            lists.append(live.astype(np.int32))
         self._frozen = (
             pts,
             GraphIndex.from_neighbor_lists(lists, kind="dynamic"),
-            np.array(alive_ids, dtype=np.int64),
+            alive_ids,
         )
         return self._frozen
 
     # ------------------------------------------------------------ internal
-    def _invalidate_frozen(self) -> None:
-        """Mutation path: drop the cached snapshot and its graph's padded
-        neighbour-matrix cache so stale adjacency can't be served."""
+    def _mutate(self) -> None:
+        """Every mutation: bump the version epoch and drop cached views."""
+        self.version += 1
         if self._frozen is not None:
             self._frozen[1].invalidate_cache()
             self._frozen = None
-    def _dist(self, query: np.ndarray, ids: list[int]) -> np.ndarray:
-        pts = np.stack([self._points[i] for i in ids])
-        return query_distances(query, pts, self.metric)
 
-    def _trim(self, u: int) -> None:
-        nbrs = self._adj[u]
-        d = self._dist(self._points[u], nbrs)
-        order = np.argsort(d, kind="stable")[: self.max_degree]
-        self._adj[u] = [nbrs[i] for i in order]
+    def _ensure_capacity(self, n: int) -> None:
+        cap = self._pts.shape[0]
+        if n <= cap:
+            return
+        while cap < n:
+            cap *= 2
+        grown_pts = np.zeros((cap, self._pts.shape[1]), dtype=np.float32)
+        grown_pts[: self._n_total] = self._pts[: self._n_total]
+        grown_adj = np.full((cap, self._adj.shape[1]), -1, dtype=np.int64)
+        grown_adj[: self._n_total] = self._adj[: self._n_total]
+        self._pts, self._adj = grown_pts, grown_adj
+        self._counts = np.concatenate(
+            [self._counts, np.zeros(cap - self._counts.size, dtype=np.int64)]
+        )
+        self._alive = np.concatenate(
+            [self._alive, np.zeros(cap - self._alive.size, dtype=bool)]
+        )
+
+    def _live_entry(self) -> int:
+        if self._entry is None or not self._alive[self._entry]:
+            self._entry = self._pick_entry()
+        return self._entry
+
+    def _pick_entry(self) -> int:
+        """Closest live vertex to the live centroid — a cheap medoid proxy
+        that keeps the entry central as the corpus churns."""
+        alive = self.alive_ids()
+        if alive.size == 0:
+            return 0
+        centroid = self._pts[alive].mean(axis=0)
+        d = query_distances(centroid, self._pts[alive], self.metric)
+        return int(alive[int(np.argmin(d))])

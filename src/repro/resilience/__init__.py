@@ -31,6 +31,7 @@ from .faults import (
     PCIeStall,
     ShardFault,
     SlotFault,
+    UpdateFault,
     named_plan,
 )
 from .policy import (
@@ -46,6 +47,7 @@ __all__ = [
     "SlotFault",
     "PCIeStall",
     "ShardFault",
+    "UpdateFault",
     "named_plan",
     "NAMED_PLANS",
     "ResiliencePolicy",

@@ -20,6 +20,13 @@ Fault taxonomy
                 (queued transactions start when it reopens).
 ``ShardFault``  cluster-level: ``kill`` (no answers visible after
                 ``at_us``) or ``slow`` (every CTA duration × ``factor``).
+``UpdateFault`` streaming-update plane (consumed by the serve-while-update
+                runner, :mod:`repro.streaming`, not by the engines):
+                ``storm`` (a burst of inserts+deletes at ``at_us``),
+                ``compaction_stall`` (compaction cycles take ``factor`` ×
+                longer), ``codebook_drift`` (inserted points after
+                ``at_us`` are shifted by ``magnitude``, aging int8/PQ
+                codebooks until the re-train policy fires).
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ __all__ = [
     "SlotFault",
     "PCIeStall",
     "ShardFault",
+    "UpdateFault",
     "FaultPlan",
     "FaultInjector",
     "named_plan",
@@ -41,6 +49,7 @@ __all__ = [
 
 _SLOT_KINDS = ("hang", "corrupt", "straggle")
 _SHARD_KINDS = ("kill", "slow")
+_UPDATE_KINDS = ("storm", "compaction_stall", "codebook_drift")
 
 
 @dataclass(frozen=True)
@@ -103,6 +112,42 @@ class ShardFault:
 
 
 @dataclass(frozen=True)
+class UpdateFault:
+    """A fault on the streaming-update plane (docs/robustness.md).
+
+    * ``storm`` — a burst of ``n_inserts`` + ``n_deletes`` landing as one
+      update wave at ``at_us``, on top of the stream's steady rates;
+    * ``compaction_stall`` — every compaction cycle's (simulated) service
+      time is stretched by ``factor``, holding the serve barrier longer;
+    * ``codebook_drift`` — insert vectors arriving after ``at_us`` are
+      shifted by ``magnitude`` (in units of per-dimension corpus spread),
+      aging a frozen int8/PQ codebook until the stale-codebook detector
+      triggers a re-train.
+    """
+
+    kind: str  # "storm" | "compaction_stall" | "codebook_drift"
+    at_us: float = 0.0
+    n_inserts: int = 0
+    n_deletes: int = 0
+    factor: float = 4.0
+    magnitude: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _UPDATE_KINDS:
+            raise ValueError(f"unknown update fault kind {self.kind!r}")
+        if self.at_us < 0:
+            raise ValueError("at_us must be >= 0")
+        if self.n_inserts < 0 or self.n_deletes < 0:
+            raise ValueError("storm sizes must be >= 0")
+        if self.kind == "storm" and self.n_inserts + self.n_deletes == 0:
+            raise ValueError("a storm needs inserts or deletes")
+        if self.kind == "compaction_stall" and self.factor <= 1.0:
+            raise ValueError("compaction_stall factor must be > 1")
+        if self.kind == "codebook_drift" and self.magnitude <= 0:
+            raise ValueError("codebook_drift magnitude must be > 0")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, seeded chaos scenario (empty by default)."""
 
@@ -110,11 +155,13 @@ class FaultPlan:
     slot_faults: tuple[SlotFault, ...] = ()
     pcie_stalls: tuple[PCIeStall, ...] = ()
     shard_faults: tuple[ShardFault, ...] = ()
+    update_faults: tuple[UpdateFault, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "slot_faults", tuple(self.slot_faults))
         object.__setattr__(self, "pcie_stalls", tuple(self.pcie_stalls))
         object.__setattr__(self, "shard_faults", tuple(self.shard_faults))
+        object.__setattr__(self, "update_faults", tuple(self.update_faults))
         seen = set()
         for f in self.slot_faults:
             key = (f.slot_id, f.on_dispatch, f.shard)
@@ -124,7 +171,19 @@ class FaultPlan:
 
     @property
     def empty(self) -> bool:
-        return not (self.slot_faults or self.pcie_stalls or self.shard_faults)
+        return not (
+            self.slot_faults
+            or self.pcie_stalls
+            or self.shard_faults
+            or self.update_faults
+        )
+
+    def update_fault(self, kind: str) -> UpdateFault | None:
+        """The first update fault of ``kind`` (None when unarmed)."""
+        for f in self.update_faults:
+            if f.kind == kind:
+                return f
+        return None
 
     # -------------------------------------------------------- cluster views
     def for_shard(self, shard: int) -> "FaultPlan":
@@ -188,6 +247,7 @@ class FaultPlan:
             "slot_faults": [vars(f) for f in self.slot_faults],
             "pcie_stalls": [vars(s) for s in self.pcie_stalls],
             "shard_faults": [vars(f) for f in self.shard_faults],
+            "update_faults": [vars(f) for f in self.update_faults],
         }
 
     @classmethod
@@ -197,6 +257,9 @@ class FaultPlan:
             slot_faults=tuple(SlotFault(**f) for f in data.get("slot_faults", [])),
             pcie_stalls=tuple(PCIeStall(**s) for s in data.get("pcie_stalls", [])),
             shard_faults=tuple(ShardFault(**f) for f in data.get("shard_faults", [])),
+            update_faults=tuple(
+                UpdateFault(**f) for f in data.get("update_faults", [])
+            ),
         )
 
     def to_json(self) -> str:
@@ -269,6 +332,16 @@ NAMED_PLANS: dict[str, object] = {
             SlotFault(1, "straggle", factor=8.0, on_dispatch=2),
         ),
         pcie_stalls=(PCIeStall(start_us=50.0, duration_us=100.0),),
+    ),
+    # The streaming acceptance scenario: a 5k-insert / 1k-delete burst
+    # lands mid-serve while compaction cycles run 6x slow (docs/
+    # robustness.md "Streaming updates & update storms").
+    "update-storm": lambda: FaultPlan(
+        seed=11,
+        update_faults=(
+            UpdateFault("storm", at_us=30_000.0, n_inserts=5000, n_deletes=1000),
+            UpdateFault("compaction_stall", factor=6.0),
+        ),
     ),
 }
 

@@ -127,6 +127,7 @@ class LockstepEngine:
         n_visible: int | None = None,
         record_expansions: bool = False,
         codec=None,
+        alive_mask: np.ndarray | None = None,
     ):
         if cand_capacity <= 0:
             raise ValueError("cand_capacity must be positive")
@@ -149,6 +150,15 @@ class LockstepEngine:
         if n_visible is not None and n_visible <= 0:
             raise ValueError("n_visible must be positive")
         self.n_visible = n_visible
+        # Tombstone mask (streaming indexes): expansion never admits a dead
+        # vertex, so deleted points cannot appear in any candidate list —
+        # "no tombstone in top-k" holds by construction rather than by a
+        # post-hoc filter.  Entry points must themselves be alive.
+        if alive_mask is not None:
+            alive_mask = np.asarray(alive_mask, dtype=bool)
+            if alive_mask.ndim != 1 or alive_mask.shape[0] < self.nbr_mat.shape[0]:
+                raise ValueError("alive_mask must cover every vertex")
+        self.alive_mask = alive_mask
         self.dim = int(self.points.shape[1])
         R = self.row_query.size
         L = cand_capacity
@@ -382,6 +392,12 @@ class LockstepEngine:
             # Construction-time prefix mask: edges into not-yet-inserted
             # vertices are invisible to this wave's searches.
             valid &= nb < self.n_visible
+            deg = valid.sum(axis=1)
+        if self.alive_mask is not None:
+            # Tombstone mask: edges into deleted vertices are traversable
+            # metadata in the adjacency but never expanded.  Clip the
+            # gather — padding slots hold -1 and are already invalid.
+            valid &= self.alive_mask[np.clip(nb, 0, None)]
             deg = valid.sum(axis=1)
         nbr_flat = nb[valid].astype(np.int64)
         pair_rows = np.repeat(pick_rows, deg)

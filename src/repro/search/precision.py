@@ -169,6 +169,34 @@ class Int8Codec:
         """Fused per-dispatch kernel with preallocated scratch (see below)."""
         return Int8Kernel(self, state)
 
+    def _encode(self, points: np.ndarray) -> np.ndarray:
+        codes = np.rint((points - self.lo) / self.scale)
+        return np.clip(codes, 0, 255).astype(np.uint8)
+
+    def extend(self, points: np.ndarray) -> "Int8Codec":
+        """Append codes for freshly inserted points (codebook unchanged).
+
+        Streaming indexes grow between re-trains; the affine ranges stay
+        frozen, so points outside the trained envelope clip — that loss is
+        what :meth:`reconstruction_error` watches for.
+        """
+        points = np.asarray(points, dtype=np.float32)
+        codes = self._encode(points)
+        self.codes = np.concatenate([self.codes, codes], axis=0)
+        if self.metric == "l2":
+            rec = codes.astype(np.float32) * self.scale + self.lo
+            self._pnorm_hat = np.concatenate(
+                [self._pnorm_hat, np.einsum("ij,ij->i", rec, rec)]
+            )
+        return self
+
+    def reconstruction_error(self, points: np.ndarray) -> float:
+        """Mean squared reconstruction error of ``points`` under the
+        *current* codebook — the stale-codebook drift probe."""
+        points = np.asarray(points, dtype=np.float32)
+        rec = self._encode(points).astype(np.float32) * self.scale + self.lo
+        return float(((points - rec) ** 2).sum(axis=1).mean())
+
 
 class PQCodec:
     """PQ-ADC traversal substrate: ``m`` sub-codebook lookups per hop.
@@ -291,6 +319,19 @@ class PQCodec:
     def make_kernel(self, state: np.ndarray) -> "PQKernel":
         """Fused per-dispatch kernel with preallocated scratch (see below)."""
         return PQKernel(self, state)
+
+    def extend(self, points: np.ndarray) -> "PQCodec":
+        """Append codes for freshly inserted points (codebooks unchanged)."""
+        points = np.asarray(points, dtype=np.float32)
+        self.codes = np.concatenate([self.codes, self.pq.encode(points)], axis=0)
+        return self
+
+    def reconstruction_error(self, points: np.ndarray) -> float:
+        """Mean squared reconstruction error of ``points`` under the
+        *current* codebooks — the stale-codebook drift probe."""
+        points = np.asarray(points, dtype=np.float32)
+        rec = self.pq.decode(self.pq.encode(points))
+        return float(((points - rec) ** 2).sum(axis=1).mean())
 
 
 class Int8Kernel:

@@ -125,7 +125,7 @@ def test_static_engines_reject_admission(mini, name):
         system.serve(ds.queries, ServeConfig(workload=spec))
 
 
-def test_sharded_rejects_admission_replicated_accepts(mini):
+def test_sharded_and_replicated_accept_admission(mini):
     ds, g = mini
     kw = dict(metric=ds.metric, k=8, l_total=64, batch_size=8, seed=0)
     spec = TrafficSpec(process=Poisson(rate_qps=500_000, seed=1),
@@ -134,10 +134,18 @@ def test_sharded_rejects_admission_replicated_accepts(mini):
     rep = rs.serve(ds.queries, ServeConfig(workload=spec))
     assert "shed" in rep.serve.meta  # admission ran on the replicas
 
+    # Sharded serving arms the same admission policy on every per-shard
+    # queue and reconciles drops at quorum fan-in: a query only counts as
+    # dropped/shed at the cluster level if *no* shard answered it.
     builder = lambda pts: build_cagra(pts, graph_degree=16, metric=ds.metric)
     ss = ShardedServer(ds.base, builder, n_gpus=2, **kw)
-    with pytest.raises(ValueError, match="admission control"):
-        ss.serve(ds.queries, ServeConfig(workload=spec))
+    srep = ss.serve(ds.queries, ServeConfig(workload=spec))
+    meta = srep.serve.meta
+    assert meta["max_queue_depth"] == 4
+    answered = {r.query_id for r in srep.serve.records}
+    assert answered.isdisjoint(meta["dropped_ids"])
+    assert answered.isdisjoint(meta["shed_ids"])
+    assert len(answered) + meta["dropped"] + meta["shed"] == len(ds.queries)
 
 
 # ---------------------------------------------------------------- overrides

@@ -1,0 +1,293 @@
+"""Serve-while-update: determinism, SLO grading, compaction invariants.
+
+Covers the streaming subsystem end to end (docs/robustness.md):
+
+* :class:`~repro.streaming.UpdateStream` / wave materialization and the
+  ``Spike`` arrival process (round-trips, determinism, storm tagging);
+* :func:`~repro.streaming.serve_while_update` — the property suite pins
+  byte-identical reports for identical seeds, and the invariant tests pin
+  the degradation SLOs across a compaction boundary: no tombstoned vertex
+  in any answer, no duplicated ids in a top-k row, no lost queries;
+* :func:`~repro.core.serving.merge_serve_reports` — update-wave work must
+  land under ``meta["update"]``, never in the query latency stream;
+* the update-fault plan plumbing and the sharded admission path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.serving import QueryRecord, ServeReport, merge_serve_reports
+from repro.data.synthetic import latent_mixture
+from repro.data.workload import ArrivalProcess, Poisson, Spike, TrafficSpec
+from repro.graphs import build_cagra
+from repro.graphs.dynamic import DynamicGraph
+from repro.resilience import FaultPlan, UpdateFault, named_plan
+from repro.streaming import (
+    DegradationSLO,
+    UpdateStorm,
+    UpdateStream,
+    serve_while_update,
+)
+
+BASE = latent_mixture(400, 16, intrinsic_dim=8, seed=21)
+QUERIES = latent_mixture(24, 16, intrinsic_dim=8, seed=22)
+
+
+def fresh_graph(ef: int = 48) -> DynamicGraph:
+    return DynamicGraph(
+        BASE,
+        build_cagra(BASE, graph_degree=10, seed=0),
+        max_degree=12,
+        ef=ef,
+    )
+
+
+# ---------------------------------------------------------------- UpdateStream
+def test_update_stream_round_trip_and_waves():
+    stream = UpdateStream(
+        insert_qps=2000.0, delete_qps=500.0, wave_us=5_000.0,
+        storms=(UpdateStorm(12_000.0, n_inserts=50, n_deletes=10),), seed=3,
+    )
+    assert UpdateStream.from_json(stream.to_json()) == stream
+    w1 = stream.waves(40_000.0)
+    w2 = stream.waves(40_000.0)
+    assert w1 == w2  # seeded
+    assert [w for w in w1 if w.storm] == [
+        w for w in w1 if w.at_us == 12_000.0 and w.n_inserts == 50
+    ]
+    assert all(w.at_us <= 40_000.0 for w in w1)
+    assert all(a.at_us <= b.at_us for a, b in zip(w1, w1[1:]))
+    # Different seed, different steady waves.
+    assert stream.waves(40_000.0, seed=99) != w1
+
+
+def test_update_stream_with_storm_merges_sorted():
+    s = UpdateStream(storms=(UpdateStorm(20_000.0, n_inserts=5),))
+    s2 = s.with_storm(UpdateStorm(10_000.0, n_deletes=3))
+    assert [x.at_us for x in s2.storms] == [10_000.0, 20_000.0]
+    assert s.storms != s2.storms  # frozen original untouched
+
+
+def test_update_stream_validation():
+    with pytest.raises(ValueError):
+        UpdateStream(insert_qps=-1.0)
+    with pytest.raises(ValueError):
+        UpdateStream(wave_us=0.0)
+    with pytest.raises(ValueError):
+        UpdateStorm(1000.0)  # no inserts, no deletes
+
+
+def test_spike_process_round_trip_and_determinism():
+    sp = Spike(base_qps=1000.0, spikes=((10_000.0, 8, 2_000.0),), seed=4)
+    assert ArrivalProcess.from_json(sp.to_json()) == sp
+    assert ArrivalProcess.parse("spike:1000:10000:8") == Spike(
+        base_qps=1000.0, spikes=((10_000.0, 8, 10_000.0),)
+    )
+    ev1, ev2 = sp.events(32), sp.events(32)
+    assert [e.arrival_us for e in ev1] == [e.arrival_us for e in ev2]
+    # The deterministic burst lands regardless of the baseline draw.
+    in_burst = [e for e in ev1 if 10_000.0 <= e.arrival_us < 12_000.0]
+    assert len(in_burst) >= 8
+
+
+# ------------------------------------------------------------------ fault plan
+def test_update_fault_plan_round_trip():
+    plan = FaultPlan(
+        seed=5,
+        update_faults=(
+            UpdateFault("storm", at_us=10_000.0, n_inserts=100, n_deletes=20),
+            UpdateFault("compaction_stall", factor=3.0),
+            UpdateFault("codebook_drift", at_us=5_000.0, magnitude=1.5),
+        ),
+    )
+    back = FaultPlan.from_json(plan.to_json())
+    assert back == plan
+    assert back.update_fault("storm").n_inserts == 100
+    assert back.update_fault("compaction_stall").factor == 3.0
+    assert plan.update_fault("nope" if False else "storm") is not None
+    # Shard views carry only engine-consumable faults.
+    assert back.for_shard(0).update_faults == ()
+    named = named_plan("update-storm")
+    assert named.update_fault("storm").n_inserts == 5000
+    assert named.update_fault("compaction_stall").factor == 6.0
+
+
+# ----------------------------------------------------- serve-while-update runs
+def run_stream(stream_seed=3, workload_seed=1, faults=None, **kw):
+    dyn = fresh_graph()
+    stream = UpdateStream(
+        insert_qps=4000.0, delete_qps=2000.0, wave_us=4_000.0,
+        seed=stream_seed,
+    )
+    kw.setdefault("k", 8)
+    kw.setdefault("slots", 4)
+    return serve_while_update(
+        dyn, QUERIES, stream,
+        workload=Poisson(rate_qps=2000.0, seed=workload_seed),
+        faults=faults, **kw,
+    )
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.integers(0, 2**16), st.integers(0, 2**16))
+def test_serve_while_update_deterministic(stream_seed, workload_seed):
+    """Same seeds => byte-identical StreamReport (records, waves, meta)."""
+    a = run_stream(stream_seed, workload_seed)
+    b = run_stream(stream_seed, workload_seed)
+    assert a.to_json() == b.to_json()
+
+
+def test_compaction_boundary_invariants():
+    """Across forced compactions: no tombstone answered, no duplicate ids
+    in a top-k row, no query lost, every event answered."""
+    plan = FaultPlan(
+        seed=1,
+        update_faults=(
+            UpdateFault("storm", at_us=4_000.0, n_inserts=200, n_deletes=80),
+            UpdateFault("compaction_stall", factor=6.0),
+        ),
+    )
+    rep = run_stream(faults=plan, compact_threshold=0.02)
+    assert sum(1 for w in rep.waves if w["compacted"]) >= 1
+    assert rep.tombstoned_answers == 0
+    assert rep.duplicate_rows == 0
+    assert rep.lost == 0
+    assert rep.answered == rep.n_events
+    assert rep.verdict()["tombstoned_answers"]["ok"]
+    # The storm wave is tagged and the stall stretched its barrier.
+    storm_waves = [w for w in rep.waves if w["storm"]]
+    assert storm_waves and storm_waves[0]["n_inserts"] == 200
+
+
+def test_degradation_slo_verdict():
+    rep = run_stream()
+    v = rep.verdict()
+    assert set(v) >= {"answered", "recall_drop", "tombstoned_answers",
+                      "duplicate_rows", "lost"}
+    assert rep.passed == all(c["ok"] for c in v.values())
+    # A p99 ceiling of ~0 must fail the run.
+    tight = run_stream(slo=DegradationSLO(p99_ceiling_us=1e-3))
+    assert not tight.passed
+    assert not tight.verdict()["p99_e2e_us"]["ok"]
+
+
+def test_wave_barrier_lands_in_e2e_not_service():
+    """Queries arriving during a wave wait for it: the wait shows up in
+    e2e latency (true arrival restored) but never in service latency or
+    the gpu busy accounting (the satellite-6 rule)."""
+    plan = FaultPlan(
+        seed=2,
+        update_faults=(UpdateFault("storm", at_us=2_000.0, n_inserts=400),),
+    )
+    rep = run_stream(faults=plan)
+    upd = rep.serve.meta["update"]
+    assert upd["update_busy_us"] > 0
+    assert upd["n_inserts"] >= 400
+    storm = next(w for w in rep.waves if w["storm"])
+    blocked = [
+        r for r in rep.serve.records
+        if storm["start_us"] <= r.arrival_us < storm["start_us"] + storm["duration_us"]
+    ]
+    assert blocked, "storm must overlap some arrivals for this test"
+    for r in blocked:
+        # dispatched only after the barrier lifted
+        assert r.dispatch_us >= storm["start_us"] + storm["duration_us"] - 1e-6
+        assert r.e2e_latency_us >= r.service_latency_us
+    # Query-side GPU accounting equals the sum of per-epoch busy time;
+    # wave work is only in meta["update"].
+    assert rep.serve.gpu_cta_busy_us < upd["update_busy_us"] + rep.serve.gpu_cta_busy_us
+
+
+def test_runner_rejects_scalar_backend():
+    with pytest.raises(ValueError, match="trace-recording"):
+        run_stream(backend="scalar")
+
+
+def test_runner_admission_spec_dropped_not_lost():
+    dyn = fresh_graph()
+    stream = UpdateStream(insert_qps=2000.0, wave_us=5_000.0, seed=3)
+    spec = TrafficSpec(
+        Poisson(rate_qps=50_000.0, seed=1), deadline_us=30.0
+    )
+    rep = serve_while_update(dyn, QUERIES, stream, workload=spec, k=8, slots=2)
+    assert rep.answered + rep.dropped == rep.n_events
+    assert rep.lost == 0
+
+
+# ------------------------------------------------------- report merge account
+def _mk_report(qids, arrival, busy, meta=None):
+    recs = [
+        QueryRecord(query_id=q, arrival_us=arrival, dispatch_us=arrival + 1,
+                    gpu_start_us=arrival + 2, gpu_end_us=arrival + 5,
+                    detected_us=arrival + 6, complete_us=arrival + 7)
+        for q in qids
+    ]
+    return ServeReport(records=recs, makespan_us=arrival + 10,
+                       gpu_cta_busy_us=busy, n_cta_slots=4,
+                       meta={"dropped": 0, "dropped_ids": [], **(meta or {})})
+
+
+def test_merge_serve_reports_accounting():
+    a = _mk_report([2, 0], 100.0, 30.0)
+    b = _mk_report([1], 500.0, 20.0, meta={"dropped": 1, "dropped_ids": [9]})
+    update = {"update_busy_us": 1e6, "n_waves": 3}
+    merged = merge_serve_reports([a, b], meta={"n_epochs": 2}, update=update)
+    assert [r.query_id for r in merged.records] == [0, 1, 2]
+    assert merged.gpu_cta_busy_us == 50.0  # query work only — never waves
+    assert merged.makespan_us == 510.0
+    assert merged.meta["update"] == update
+    assert merged.meta["dropped"] == 1 and merged.meta["dropped_ids"] == [9]
+    assert merged.meta["n_epochs"] == 2
+    # Latency percentiles come from records alone: the 1-second wave under
+    # meta["update"] must not move them.
+    assert merged.percentile_latency_us(99) == pytest.approx(6.0)
+    with pytest.raises(ValueError):
+        merge_serve_reports([])
+
+
+# --------------------------------------------- dynamic search backends (sat 1)
+def test_dynamic_search_backend_parity_and_freeze_invalidation():
+    dyn = fresh_graph(ef=64)
+    q = QUERIES[0]
+    ids_s, _ = dyn.search(q, 8, backend="scalar")
+    ids_v, _ = dyn.search(q, 8, backend="vectorized")
+    assert set(ids_s.tolist()) == set(ids_v.tolist())
+    ids_q, _ = dyn.search(q, 8, backend="vectorized", precision="int8",
+                          rerank_mult=4)
+    assert len(set(ids_q.tolist())) == len(ids_q)
+    with pytest.raises(ValueError):
+        dyn.search(q, 8, backend="scalar", precision="int8")
+    # freeze() caches until a mutation invalidates it.
+    f1 = dyn.freeze()
+    assert dyn.freeze() is f1
+    v0 = dyn.version
+    dyn.insert(QUERIES[1])
+    assert dyn.version > v0
+    f2 = dyn.freeze()
+    assert f2 is not f1
+    assert f2[0].shape[0] == f1[0].shape[0] + 1
+
+
+# ------------------------------------------------- sharded admission (sat 2)
+def test_sharded_server_accepts_admission_spec():
+    from repro.core import ServeConfig, ShardedServer
+
+    server = ShardedServer(
+        BASE,
+        lambda pts: build_cagra(pts, graph_degree=8, seed=0),
+        n_gpus=2, k=8, batch_size=4, seed=0,
+    )
+    spec = TrafficSpec(Poisson(rate_qps=1_000_000.0, seed=0),
+                       deadline_us=0.5, max_queue_depth=2)
+    rep = server.serve(QUERIES, ServeConfig(workload=spec))
+    meta = rep.serve.meta
+    n = QUERIES.shape[0]
+    assert len(rep.serve.records) + meta["dropped"] + meta.get("shed", 0) <= n
+    assert meta["dropped"] + meta.get("shed", 0) > 0  # the point of the spec
+    # Shed/dropped queries are an admission decision, not shard failures.
+    assert meta.get("failed", 0) == 0
+    # Unconstrained specs keep the fast path.
+    rep2 = server.serve(QUERIES, ServeConfig(workload=Poisson(rate_qps=500.0)))
+    assert len(rep2.serve.records) == n
