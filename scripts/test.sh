@@ -17,7 +17,13 @@
 #                              # open-loop Poisson stream at half capacity
 #                              # must keep p99 e2e within 20x the unloaded
 #                              # mean service time and answer >=99% of
-#                              # queries — docs/load_testing.md)
+#                              # queries — docs/load_testing.md) + hybrid
+#                              # gate (~30 s; at 3x memory oversubscription
+#                              # the pilot+CPU-refine tier must be >=3x
+#                              # faster simulated than the UM-spill
+#                              # baseline at recall@10 within 0.02 and beat
+#                              # a host-only greedy loop on wall clock —
+#                              # docs/performance.md)
 #   scripts/test.sh --chaos    # chaos smoke only: (a) serve under the fixed
 #                              # "smoke" fault plan (1 of 4 shards killed,
 #                              # slots hung/corrupted, PCIe stalled) and
@@ -66,12 +72,16 @@ if [ "$run_tier1" = 1 ]; then
   python -m pytest -x -q ${PYTEST_TIMEOUT_ARGS[@]+"${PYTEST_TIMEOUT_ARGS[@]}"}
   # Optional extra: the compiled-backend job.  numba is an optional
   # dependency the container image does not ship (resolve_backend degrades
-  # "compiled" requests to "vectorized" with a warning), so the dedicated
-  # compiled-backend suite only asserts real JIT behaviour where numba is
-  # installed; elsewhere it runs in fallback mode and just checks the
-  # degradation contract.
+  # "compiled" requests to "vectorized" with a warning).  The jit-tier
+  # tests guard themselves with pytest.importorskip("numba"), so in the
+  # sweep above they skip *silently* on bare images — probe for numba and,
+  # when it imports, run the jit tier as its own visible job so a broken
+  # JIT path fails CI instead of hiding behind a skip (-rs surfaces any
+  # skip that still happens, e.g. a numba/llvmlite version mismatch).
   if python -c "import numba" >/dev/null 2>&1; then
-    echo "numba available: compiled-backend suite runs with real JIT kernels"
+    echo "numba available: exercising the compiled-backend jit tier"
+    python -m pytest tests/test_compiled_backend.py -q -rs -k "jitted" \
+      ${PYTEST_TIMEOUT_ARGS[@]+"${PYTEST_TIMEOUT_ARGS[@]}"}
   else
     echo "numba not installed; compiled-backend suite covers fallback only"
   fi

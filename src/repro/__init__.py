@@ -29,6 +29,7 @@ from .core import (
 from .data import Dataset, load_dataset, recall
 from .gpusim import RTX_A6000, CostModel, CostParams, DeviceProperties
 from .graphs import GraphIndex, build_cagra, build_nsw, build_nsw_fast
+from .hybrid import HybridSystem, PilotIndex, build_pilot
 from .resilience import FaultPlan, ResiliencePolicy, named_plan, run_chaos
 from .search import BeamConfig, IVFFlatIndex, intra_cta_search, multi_cta_search
 from .telemetry import MetricsRegistry, Telemetry
@@ -63,6 +64,9 @@ __all__ = [
     "build_cagra",
     "build_nsw",
     "build_nsw_fast",
+    "HybridSystem",
+    "PilotIndex",
+    "build_pilot",
     "BeamConfig",
     "IVFFlatIndex",
     "intra_cta_search",

@@ -65,6 +65,31 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--l", dest="l_total", type=int, default=128)
     s.add_argument("--batch", type=int, default=16)
     s.add_argument("--nprobe", type=int, default=8, help="IVF only")
+    s.add_argument("--tier", choices=("gpu", "hybrid"), default="gpu",
+                   help="'hybrid' serves through the memory-bounded CPU-GPU "
+                        "tier: GPU pilot-subgraph traversal, PCIe candidate "
+                        "shipment, bounded CPU refinement "
+                        "(docs/performance.md); ALGAS system only")
+    s.add_argument("--capacity-gib", type=float, default=None,
+                   help="device memory budget the pilot subgraph is sized "
+                        "against (default: full device HBM)")
+    s.add_argument("--sample-ratio", type=float, default=None,
+                   help="pilot vertex sample fraction (default: auto-sized "
+                        "to fit --capacity-gib)")
+    s.add_argument("--pilot-dim", type=int, default=None,
+                   help="pilot reduced dimensionality (default: auto)")
+    s.add_argument("--reduction", choices=("svd", "random"), default="svd",
+                   help="pilot dimensionality reduction: truncated SVD or "
+                        "seeded random projection")
+    s.add_argument("--n-candidates", type=int, default=32,
+                   help="candidate ids each pilot search ships over PCIe "
+                        "to seed the CPU refinement")
+    s.add_argument("--refine-steps", type=int, default=12,
+                   help="CPU refinement graph-walk step budget "
+                        "(0 = exact re-rank of the candidates only)")
+    s.add_argument("--pilot-l-total", type=int, default=None,
+                   help="pilot traversal candidate budget (default: "
+                        "min(max(2*n_candidates, 32), l))")
     s.add_argument("--precision", choices=("float32", "int8", "pq"),
                    default="float32",
                    help="traversal distance substrate: 'int8' walks the "
@@ -302,6 +327,10 @@ def _cmd_serve(args) -> int:
 
     ds = load_dataset(args.dataset, n=args.n, n_queries=args.queries,
                       gt_k=max(64, args.k), seed=args.seed)
+    if args.tier == "hybrid" and args.system != "algas":
+        print("--tier hybrid is only available with --system algas",
+              file=sys.stderr)
+        return 2
     if args.system == "ivf":
         if args.precision != "float32":
             print("--precision selects the graph-traversal substrate; "
@@ -331,11 +360,29 @@ def _cmd_serve(args) -> int:
                       backend=args.backend)
         if args.system == "algas":
             ht = args.host_threads
-            system = ALGASSystem(
-                ds.base, g, host_threads=ht if ht == "auto" else int(ht),
+            algas_kw = dict(
+                host_threads=ht if ht == "auto" else int(ht),
                 state_mode=args.state_mode, beam=not args.no_beam,
                 build_info=build_info, **common,
             )
+            if args.tier == "hybrid":
+                from .hybrid import HybridSystem
+
+                cap = (None if args.capacity_gib is None
+                       else int(args.capacity_gib * 2**30))
+                system = HybridSystem(
+                    ds.base, g,
+                    capacity_bytes=cap,
+                    sample_ratio=args.sample_ratio,
+                    pilot_dim=args.pilot_dim,
+                    reduction=args.reduction,
+                    n_candidates=args.n_candidates,
+                    refine_steps=args.refine_steps,
+                    pilot_l_total=args.pilot_l_total,
+                    **algas_kw,
+                )
+            else:
+                system = ALGASSystem(ds.base, g, **algas_kw)
         elif args.system == "cagra":
             system = CAGRASystem(ds.base, g, **common)
             system.build_info = build_info
@@ -368,6 +415,13 @@ def _cmd_serve(args) -> int:
         print(f"graph build   = {build_meta['graph']} "
               f"backend={build_meta['build_backend']} "
               f"({build_meta['build_seconds']:.2f}s)")
+    tier_meta = rep.serve.meta.get("tier")
+    if tier_meta:
+        pi, rf = tier_meta["pilot"], tier_meta["refine"]
+        print(f"tier          = hybrid "
+              f"(pilot {pi['n_pilot']}x{pi['pilot_dim']} {pi['reduction']}, "
+              f"fits={pi['fits']}; refine {rf['n_candidates']} cands, "
+              f"{rf['steps_run']} steps, {rf['mean_host_us']:.1f} us host)")
     prec_meta = rep.serve.meta.get("precision")
     if prec_meta and prec_meta["precision"] != "float32":
         codec = prec_meta["codec"]

@@ -250,17 +250,29 @@ class DynamicBatchEngine:
                 # by the FINISH flag.  PCIe orders posted writes, so the flag
                 # is issued immediately after the push (no round-trip wait);
                 # the host merges from *local* memory once it sees the flag.
-                link.transfer(
-                    sim_.now,
-                    cfg.k * cfg.result_entry_bytes,
-                    tag="result-push",
-                    overhead_us=link.MMIO_OVERHEAD_US,
-                )
+                # Hybrid-tier jobs instead push their *candidate pool* as a
+                # bulk DMA whose completion gates collection: the CPU
+                # refinement needs the candidate ids on the host, so link
+                # congestion and injected PCIe stalls delay the refine hop.
+                if job.result_entries is None:
+                    link.transfer(
+                        sim_.now,
+                        cfg.k * cfg.result_entry_bytes,
+                        tag="result-push",
+                        overhead_us=link.MMIO_OVERHEAD_US,
+                    )
+                    push_gate = 0.0
+                else:
+                    push_gate = link.transfer(
+                        sim_.now,
+                        job.result_entries * cfg.result_entry_bytes,
+                        tag="candidates",
+                    )
                 if not is_last:
                     chan.publish(sim_.now)
                     return
                 if cfg.merge_on_cpu:
-                    ready_at[slot_id] = chan.publish(sim_.now)
+                    ready_at[slot_id] = max(chan.publish(sim_.now), push_gate)
                 else:
                     # GPU-merge ablation: the persistent kernel must yield to
                     # a merge kernel before results are ready (§IV-B); only
@@ -385,6 +397,10 @@ class DynamicBatchEngine:
                 t += merger.merge_cost_only(cfg.n_parallel, cfg.k)
             else:
                 t += self.cm.cpu_merge_us(1, cfg.k)  # filter only
+            # Staged-tier host work (hybrid CPU refinement): the thread
+            # walks the full-precision graph from the shipped candidates
+            # before the query completes.  0.0 for pure-GPU jobs.
+            t += job.host_us
             rec.complete_us = t
             outstanding -= 1
             if tel.enabled:

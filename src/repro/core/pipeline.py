@@ -326,6 +326,14 @@ class BaseGraphSystem:
             jobs, managed=managed, max_queue_depth=spec.max_queue_depth
         )
 
+    def _serve_hybrid(self, queries: np.ndarray, cfg) -> "SystemReport":
+        """Hybrid-tier serve hook; only pilot-equipped systems provide it."""
+        raise ValueError(
+            f"tier='hybrid' requires a system with a pilot index "
+            f"(repro.hybrid.HybridSystem); {type(self).__name__} serves "
+            f"tier='gpu' only"
+        )
+
     def serve(
         self,
         queries: np.ndarray,
@@ -340,6 +348,9 @@ class BaseGraphSystem:
         ``QueryEvent`` list (docs/load_testing.md).
         """
         cfg = as_serve_config(config, owner=f"{type(self).__name__}.serve")
+        tier = cfg.tier or getattr(self, "tier", None) or "gpu"
+        if tier == "hybrid":
+            return self._serve_hybrid(queries, cfg)
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]

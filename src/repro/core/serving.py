@@ -51,12 +51,25 @@ class QueryJob:
     cta_durations_us: tuple[float, ...]
     dim: int
     k: int
+    #: extra host-side work after collection (µs) — the hybrid tier's CPU
+    #: refinement walk lands here; 0.0 for pure-GPU serves.
+    host_us: float = 0.0
+    #: per-CTA result-push width override (entries shipped over PCIe at
+    #: FINISH).  None → the engine's ``k`` as a posted MMIO write (the
+    #: pre-hybrid behaviour); set → a DMA of this many id+dist entries
+    #: whose *completion* gates collection, so PCIe stalls delay the
+    #: downstream refinement hop (docs/performance.md, hybrid tier).
+    result_entries: int | None = None
 
     def __post_init__(self) -> None:
         if not self.cta_durations_us:
             raise ValueError("a job needs at least one CTA duration")
         if any(d < 0 for d in self.cta_durations_us):
             raise ValueError("durations must be non-negative")
+        if self.host_us < 0:
+            raise ValueError("host_us must be non-negative")
+        if self.result_entries is not None and self.result_entries <= 0:
+            raise ValueError("result_entries must be positive")
 
     @property
     def n_ctas(self) -> int:
@@ -129,7 +142,11 @@ class ServeConfig:
       see :mod:`repro.search.precision`); quantized precisions finish with
       an exact float32 re-rank of the best candidates;
     * ``rerank_mult`` — exact re-rank pool multiplier (re-score
-      ``rerank_mult × k`` survivors; ignored for float32).
+      ``rerank_mult × k`` survivors; ignored for float32);
+    * ``tier`` — serving tier: ``"gpu"`` traverses the full graph on the
+      device (the pre-hybrid behaviour), ``"hybrid"`` runs the staged
+      pilot-subgraph → PCIe candidate transfer → CPU refinement pipeline
+      (:mod:`repro.hybrid`; requires a system with a pilot index).
     """
 
     workload: "TrafficSpec | ArrivalProcess | list[QueryEvent] | None" = None
@@ -141,6 +158,7 @@ class ServeConfig:
     resilience: "ResiliencePolicy | None" = None
     precision: str | None = None
     rerank_mult: int | None = None
+    tier: str | None = None
 
     def __post_init__(self) -> None:
         from ..resilience import FaultPlan, ResiliencePolicy
@@ -170,6 +188,10 @@ class ServeConfig:
             "scalar", "vectorized", "compiled"
         ):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.tier is not None and self.tier not in ("gpu", "hybrid"):
+            raise ValueError(
+                f"unknown tier {self.tier!r}; expected 'gpu' or 'hybrid'"
+            )
         if self.workload is not None and not isinstance(
             self.workload, (TrafficSpec, ArrivalProcess)
         ):

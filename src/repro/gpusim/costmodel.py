@@ -85,6 +85,14 @@ class CostParams:
     #: — slower than an FMA group because lookups are bank-conflict prone,
     #: but each covers a whole subspace instead of one dimension)
     lut_lookup_cycles: float = 12.0
+    #: CPU nanoseconds per dimension of a host-side float32 distance
+    #: (SIMD FMA throughput on one core; the hybrid tier's refine walk)
+    cpu_fma_ns: float = 0.05
+    #: effective host memory bandwidth for streaming full-precision
+    #: vectors during CPU refinement, GB/s — each fetch is a contiguous
+    #: multi-KB row, so this sits near DDR5 sequential rates, still far
+    #: below device HBM (which is exactly why the pilot stage runs on GPU)
+    host_mem_bw_gbps: float = 40.0
 
 
 @dataclass(frozen=True)
@@ -253,6 +261,28 @@ class CostModel:
             return self.params.cpu_filter_ns * k * 1e-3
         ops = n_lists + k * (1 + math.log2(n_lists))
         return (ops * self.params.cpu_heap_op_ns + k * self.params.cpu_filter_ns) * 1e-3
+
+    def cpu_refine_us(self, n_dists: int, dim: int, ef: int = 1) -> float:
+        """Host-side bounded graph walk of the hybrid tier (stage 3).
+
+        ``n_dists`` full-width float32 distances against host-resident
+        vectors: each costs ``dim`` SIMD FMAs plus streaming ``4·dim``
+        bytes from host memory (the dominant term at high dimension —
+        random vector fetches run at DDR, not HBM, speed), and each scored
+        point pays ~``log2(ef)`` heap operations to maintain the bounded
+        candidate list.
+        """
+        if n_dists <= 0:
+            return 0.0
+        p = self.params
+        bytes_ = n_dists * dim * 4
+        heap_ops = n_dists * max(1.0, math.log2(max(ef, 2)))
+        ns = (
+            n_dists * dim * p.cpu_fma_ns
+            + heap_ops * p.cpu_heap_op_ns
+            + bytes_ / p.host_mem_bw_gbps
+        )
+        return ns * 1e-3
 
     # ---------------------------------------------------------- GPU (merge)
     def gpu_merge_us(self, n_lists: int, k: int) -> float:

@@ -70,10 +70,21 @@ class DynamicGraph:
         max_degree: int | None = None,
         ef: int = 48,
         drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+        link_select: str = "occlusion",
     ):
         points = np.asarray(points, dtype=np.float32)
         if points.shape[0] != graph.n_vertices:
             raise ValueError("points and graph size mismatch")
+        if link_select not in ("closest", "occlusion"):
+            raise ValueError(
+                f"unknown link_select {link_select!r}; "
+                f"expected 'closest' or 'occlusion'"
+            )
+        #: fresh-row link policy for insert waves: ``"occlusion"`` runs the
+        #: MRNG diversifying prune over each new vertex's candidate pool
+        #: (edges survive churn better — see the recall-under-churn
+        #: regression test), ``"closest"`` keeps the plain NSW nearest-m.
+        self.link_select = link_select
         self.metric = metric
         self.max_degree = max_degree or max(graph.max_degree, 4)
         self.ef = ef
@@ -327,7 +338,8 @@ class DynamicGraph:
             self._live_entry(), ef, self.metric, alive_mask=self._alive,
         )
         links = _select_links(
-            self._pts, pool_ids, pool_d, self.max_degree, self.metric, "closest"
+            self._pts, pool_ids, pool_d, self.max_degree, self.metric,
+            self.link_select,
         )
         n = hi - lo
         self._adj[lo:hi] = links
@@ -340,7 +352,7 @@ class DynamicGraph:
             _add_links(
                 self._pts, self._adj, self._counts,
                 links[rows, cols], lo + rows,
-                self.max_degree, self.metric, trim="closest", dedup=True,
+                self.max_degree, self.metric, trim=self.link_select, dedup=True,
             )
 
     def delete(self, vid: int) -> None:

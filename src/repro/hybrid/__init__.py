@@ -1,0 +1,20 @@
+"""Memory-bounded CPU–GPU hybrid serving tier (PilotANN-style).
+
+Serve corpora larger than device memory: traverse a sampled,
+dimension-reduced *pilot* subgraph on the GPU, ship the surviving
+candidates over PCIe, and refine on host full-precision vectors with a
+bounded graph walk.  See docs/performance.md §"Hybrid CPU–GPU tier".
+"""
+
+from .pilot import PilotIndex, build_pilot, size_pilot
+from .refine import RefineResult, bounded_refine
+from .system import HybridSystem
+
+__all__ = [
+    "PilotIndex",
+    "build_pilot",
+    "size_pilot",
+    "RefineResult",
+    "bounded_refine",
+    "HybridSystem",
+]

@@ -423,22 +423,30 @@ class PQKernel:
     """
 
     __slots__ = ("codes", "base", "flat", "width", "cosine", "_cap",
-                 "_c8", "_idx", "_q64", "_vals", "_acc")
+                 "_itype", "_c8", "_idx", "_q64", "_vals", "_acc")
 
     def __init__(self, codec: "PQCodec", state: np.ndarray):
         self.codes = codec.codes
-        self.base = codec._base
         self.flat = state.reshape(-1)
         self.width = state.shape[1]
         self.cosine = codec.metric == "cosine"
+        # Index dtype is half the remaining per-candidate traffic: the
+        # two in-place passes over the (n, m) index buffer move 8·m
+        # bytes each in int64 — at m = dim/8 that is as many bytes as
+        # the original float32 vector, cancelling the code compression.
+        # Every flat index is < state.size, so when the table fits int32
+        # (any realistic dispatch; 2^31 entries is ~70k queries at
+        # m=120, ks=256) the narrow type gathers identical values.
+        self._itype = np.int32 if state.size < 2**31 else np.int64
+        self.base = codec._base.astype(self._itype)
         self._cap = 0
 
     def _grow(self, n: int) -> None:
         cap = max(n, 2 * self._cap, 512)
         m = self.codes.shape[1]
         self._c8 = np.empty((cap, m), dtype=self.codes.dtype)
-        self._idx = np.empty((cap, m), dtype=np.int64)
-        self._q64 = np.empty(cap, dtype=np.int64)
+        self._idx = np.empty((cap, m), dtype=self._itype)
+        self._q64 = np.empty(cap, dtype=self._itype)
         self._vals = np.empty((cap, m), dtype=np.float32)
         self._acc = np.empty(cap, dtype=np.float32)
         self._cap = cap
@@ -458,9 +466,9 @@ class PQKernel:
         # node ids and idx is built from in-range codes/subspace offsets,
         # so no index ever actually clips.
         np.take(self.codes, ids, axis=0, out=c8, mode="clip")
-        np.copyto(idx, c8, casting="unsafe")  # uint8 → int64: exact
+        np.copyto(idx, c8, casting="unsafe")  # uint8 → int: exact
         idx += self.base[None, :]
-        np.multiply(qrows, self.width, out=q64)
+        np.multiply(qrows, self.width, out=q64, casting="unsafe")
         idx += q64[:, None]
         np.take(self.flat, idx, out=vals, mode="clip")
         np.sum(vals, axis=1, out=acc)

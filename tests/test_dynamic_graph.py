@@ -100,3 +100,46 @@ def test_validation(dyn):
     d.delete(7)
     with pytest.raises(ValueError):
         d.delete(7)
+
+
+def test_link_select_validates():
+    pts = latent_mixture(100, 16, intrinsic_dim=8, seed=3)
+    g = build_cagra(pts, graph_degree=8)
+    with pytest.raises(ValueError, match="link_select"):
+        DynamicGraph(pts, g, link_select="nearest")
+    assert DynamicGraph(pts, g, link_select="closest").link_select == "closest"
+    assert DynamicGraph(pts, g).link_select == "occlusion"
+
+
+def test_occlusion_linking_recall_under_churn():
+    """Regression for the PR 8 headroom: occlusion-diverse fresh-row links
+    must hold recall at least as well as closest-only linking after a
+    sustained insert/delete churn (closest-only clusters edges and strands
+    whole regions once their hub neighbours die)."""
+    rng = np.random.default_rng(11)
+    pts = latent_mixture(600, 24, intrinsic_dim=10, seed=11)
+    seed_pts, stream = pts[:300], pts[300:]
+    g = build_cagra(seed_pts, graph_degree=8)
+
+    recalls = {}
+    for select in ("closest", "occlusion"):
+        d = DynamicGraph(seed_pts, g, max_degree=8, ef=32, link_select=select)
+        churn_rng = np.random.default_rng(7)
+        for lo in range(0, len(stream), 50):
+            d.insert_batch(stream[lo : lo + 50])
+            alive = d.alive_ids()
+            kill = churn_rng.choice(alive, size=25, replace=False)
+            d.delete_batch(kill)
+            d.compact()
+        alive = d.alive_ids()
+        live_pts = d.points_matrix()[alive]
+        queries = pts[::23]
+        gt, _ = exact_knn(queries, live_pts, 5)
+        found = np.stack([
+            np.searchsorted(alive, d.search(q, 5)[0]) for q in queries
+        ])
+        recalls[select] = recall(found, gt)
+    # Occlusion linking must not lose to closest-only, and must stay
+    # serviceable in absolute terms after ~12 churn waves.
+    assert recalls["occlusion"] >= recalls["closest"] - 0.01
+    assert recalls["occlusion"] > 0.8
