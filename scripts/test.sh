@@ -69,7 +69,20 @@ if [ "$run_tier1" = 1 ]; then
   else
     echo "ruff not installed; skipping lint step"
   fi
-  python -m pytest -x -q ${PYTEST_TIMEOUT_ARGS[@]+"${PYTEST_TIMEOUT_ARGS[@]}"}
+  # Fan the suite across cores when pytest-xdist is available (optional,
+  # like pytest-timeout above); fall back to the serial run otherwise.
+  # -x is dropped under xdist: fail-fast and parallel dispatch interact
+  # badly (workers keep finishing tests already in flight).
+  PYTEST_DIST_ARGS=()
+  if python -c "import xdist" >/dev/null 2>&1; then
+    PYTEST_DIST_ARGS=(-n auto)
+    echo "pytest-xdist available: running tier-1 with -n auto"
+    python -m pytest -q "${PYTEST_DIST_ARGS[@]}" \
+      ${PYTEST_TIMEOUT_ARGS[@]+"${PYTEST_TIMEOUT_ARGS[@]}"}
+  else
+    echo "pytest-xdist not installed; running tier-1 serially"
+    python -m pytest -x -q ${PYTEST_TIMEOUT_ARGS[@]+"${PYTEST_TIMEOUT_ARGS[@]}"}
+  fi
   # Optional extra: the compiled-backend job.  numba is an optional
   # dependency the container image does not ship (resolve_backend degrades
   # "compiled" requests to "vectorized" with a warning).  The jit-tier

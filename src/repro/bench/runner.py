@@ -25,6 +25,7 @@ from ..core.serving import ServeReport
 from ..data import Dataset, load_dataset
 from ..data.workload import closed_loop
 from ..graphs import GraphIndex, build_cagra, build_nsw_fast
+from ..parallel import make_pool
 
 __all__ = [
     "BenchScale",
@@ -35,6 +36,7 @@ __all__ = [
     "cached_search",
     "scheduled_report",
     "serve_system",
+    "run_sweep",
     "BENCH_DATASETS",
 ]
 
@@ -155,6 +157,26 @@ def serve_system(
 
 # ----------------------------------------------------------------- IVF cache
 _ivf_cache: dict[tuple, SystemReport] = {}
+
+
+def run_sweep(fn, configs, parallelism: int = 0, parallel_mode: str = "process"):
+    """Apply ``fn`` to every config, optionally fanned across workers.
+
+    The multi-core entry point for benchmark sweeps: each config is an
+    independent (system build + search + schedule) pipeline, so the sweep
+    scales across cores with no shared state.  Results return in config
+    order regardless of completion order, so a parallel sweep emits the
+    same result list as a sequential one.
+
+    Process workers run ``fn`` in a separate interpreter: ``fn`` must be
+    picklable (a module-level function, not a lambda) and the runner's
+    per-process caches (:func:`get_dataset`, :func:`cached_search`) warm
+    independently per worker — fork-context pools inherit already-warm
+    parent caches copy-on-write.  Use ``parallel_mode="thread"`` to share
+    the parent's caches when ``fn`` is numpy-bound.
+    """
+    with make_pool(parallelism, parallel_mode) as pool:
+        return pool.map(fn, list(configs))
 
 
 def serve_ivf(

@@ -47,6 +47,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "(docs/performance.md); 'scalar' is the one-vertex-"
                         "at-a-time oracle")
     b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--parallelism", type=int, default=0,
+                   help="worker count for the wave-build searches "
+                        "(nsw/hnsw only; 0 = sequential)")
+    b.add_argument("--parallel-mode", choices=("process", "thread"),
+                   default="process",
+                   help="worker pool flavor for --parallelism")
     b.add_argument("-o", "--output", required=True, help="output .npz path")
 
     s = sub.add_parser("serve", help="serve the query set with a system")
@@ -167,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="p99 e2e budget for the sustainable-QPS headline "
                          "(default: 20x the unloaded mean service time)")
     ld.add_argument("--min-answered", type=float, default=0.99)
+    ld.add_argument("--parallelism", type=int, default=0,
+                    help="worker count for the rate sweep "
+                         "(0 = sequential; identical curves)")
+    ld.add_argument("--parallel-mode", choices=("process", "thread"),
+                    default="process",
+                    help="worker pool flavor for --parallelism")
     ld.add_argument("--seed", type=int, default=0)
     ld.add_argument("-o", "--output", default=None, metavar="PATH",
                     help="write the sweep as a BENCH_load.json document")
@@ -235,6 +247,12 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--k", type=int, default=8)
     c.add_argument("--degree", type=int, default=12)
     c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--parallelism", type=int, default=0,
+                   help="worker count for shard/replica fan-out "
+                        "(0 = sequential; results are identical)")
+    c.add_argument("--parallel-mode", choices=("process", "thread"),
+                   default="process",
+                   help="worker pool flavor for --parallelism")
     c.add_argument("--watchdog-us", type=float, default=None,
                    help="watchdog no-progress budget (default: policy default)")
     c.add_argument("--min-completion", type=float, default=0.99,
@@ -298,12 +316,16 @@ def _cmd_build(args) -> int:
                         build_backend=bb)
     elif args.graph == "nsw":
         g = build_nsw(ds.base, m=args.degree // 2, metric=ds.metric,
-                      seed=args.seed, build_backend=bb)
+                      seed=args.seed, build_backend=bb,
+                      parallelism=args.parallelism,
+                      parallel_mode=args.parallel_mode)
     elif args.graph == "nsw-fast":
         g = build_nsw_fast(ds.base, m=args.degree // 2, metric=ds.metric, seed=args.seed)
     elif args.graph == "hnsw":
         g = build_hnsw(ds.base, m=args.degree // 2, metric=ds.metric,
-                       seed=args.seed, build_backend=bb)
+                       seed=args.seed, build_backend=bb,
+                       parallelism=args.parallelism,
+                       parallel_mode=args.parallel_mode)
     elif args.graph == "nsg":
         g = build_nsg(ds.base, out_degree=args.degree, metric=ds.metric,
                       seed=args.seed, build_backend=bb)
@@ -537,6 +559,7 @@ def _cmd_load(args) -> int:
     curves[label_fixed] = sweep_load(
         templates, make_process, rates, args.events, fleet,
         seed=args.seed, warmup_frac=args.warmup_frac, progress=progress,
+        parallelism=args.parallelism, parallel_mode=args.parallel_mode,
     )
     if args.autoscale:
         # Floor at the fixed-fleet size: the comparison is "same starting
@@ -551,6 +574,7 @@ def _cmd_load(args) -> int:
             templates, make_process, rates, args.events, fleet,
             autoscaler=policy, seed=args.seed,
             warmup_frac=args.warmup_frac, progress=progress,
+            parallelism=args.parallelism, parallel_mode=args.parallel_mode,
         )
     for label, pts in curves.items():
         mx = max_sustainable_qps(pts, budget, args.min_answered)
@@ -654,6 +678,8 @@ def _cmd_chaos(args) -> int:
         seed=args.seed,
         policy=policy,
         telemetry=tel,
+        parallelism=args.parallelism,
+        parallel_mode=args.parallel_mode,
     )
     print(f"plan={args.plan} seed={result.plan.seed}")
     print(result.summary())

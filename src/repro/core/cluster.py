@@ -30,23 +30,42 @@ a :class:`~repro.resilience.faults.FaultPlan` is sliced per GPU with
 
 With no plan and no policy both servers are bit-identical to the plain
 fan-out (every resilience branch is gated on them).
+
+Multi-core execution (docs/performance.md): each shard/replica leg is an
+independent simulation, so both servers fan their legs over a
+:class:`~repro.parallel.pool.WorkerPool` when ``parallelism`` (the server
+knob or :attr:`~repro.core.serving.ServeConfig.parallelism`) exceeds one.
+Corpora, CSR arrays, and padded neighbour matrices cross to process
+workers as :class:`~repro.parallel.shared.ArrayRef` handles — the vectors
+are never pickled — and fan-in is deterministic: ``WorkerPool.map``
+returns in submission order, shard-fault bookkeeping runs in the parent,
+and workers record telemetry into fresh per-shard registries the parent
+folds back in shard order.  A serve therefore produces a byte-identical
+:class:`~repro.core.serving.ServeReport` (and telemetry) at any worker
+count, including ``parallelism=0``.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import uuid
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..data.workload import resolve_workload
 from ..graphs.base import GraphIndex
+from ..parallel import ArrayRef, SharedArena, make_pool, resolve_ref
 from ..resilience.policy import (
     DEFAULT_POLICY,
     ResilienceStats,
     merge_resilience_meta,
 )
 from ..search.topk import heap_merge
-from ..telemetry import NULL_TELEMETRY
+from ..telemetry import NULL_TELEMETRY, Telemetry
+from .dynamic_batcher import DynamicBatchEngine
+from .host import host_meta
 from .pipeline import ALGASSystem, BaseGraphSystem, SystemReport
 from .serving import (
     QueryJob,
@@ -132,13 +151,110 @@ def _merged_report(
     )
 
 
+# ----------------------------------------------------------- worker tasks
+#
+# The fan-out tasks live at module level (picklable by reference) and take
+# one payload dict.  Sequential and thread pools pass live objects in the
+# payload; process pools pass ArrayRefs plus constructor kwargs and the
+# worker rebuilds each shard system once, caching it for the pool's
+# lifetime (pool workers are reused across serves).
+
+#: process-worker cache: arena token + shard id -> rebuilt system.
+_WORKER_SYSTEMS: dict[str, ALGASSystem] = {}
+
+
+def _payload_queries(payload: dict) -> np.ndarray:
+    q = payload["queries"]
+    return resolve_ref(q) if isinstance(q, ArrayRef) else q
+
+
+def _payload_system(payload: dict) -> ALGASSystem:
+    system = payload.get("system")
+    if system is not None:
+        return system
+    key = payload["cache_key"]
+    system = _WORKER_SYSTEMS.get(key)
+    if system is None:
+        pts = resolve_ref(payload["pts"])
+        graph = GraphIndex(
+            resolve_ref(payload["indptr"]),
+            resolve_ref(payload["indices"]),
+            kind=payload["graph_kind"],
+        )
+        # The padded neighbour matrix is the big per-shard artifact the
+        # batched kernels gather from; inject the parent's shared copy so
+        # the worker never rebuilds (or copies) it.
+        graph.__dict__["_nbr_cache"] = (
+            resolve_ref(payload["nbr_mat"]),
+            resolve_ref(payload["nbr_deg"]),
+        )
+        system = ALGASSystem(pts, graph, **payload["kwargs"])
+        _WORKER_SYSTEMS[key] = system
+    return system
+
+
+def _worker_telemetry(payload: dict) -> Telemetry | None:
+    labels = payload["tel_labels"]
+    return Telemetry(labels=labels) if labels is not None else None
+
+
+def _shard_serve_task(payload: dict):
+    """One shard's serve leg: search → price → schedule, in any pool mode.
+
+    Returns ``(topk ids, topk dists, ServeReport, worker telemetry,
+    sum of job GPU times, job count)``.  Fault *bookkeeping* (stats/
+    telemetry notes, kill-time record filtering) stays in the parent; the
+    leg only applies the slow-down pricing it was handed.
+    """
+    system = _payload_system(payload)
+    queries = _payload_queries(payload)
+    s_ids, s_dists, traces = system.search_all(
+        queries, backend=payload["backend"], seed=payload["seed"]
+    )
+    jobs = system.jobs_from_traces(traces, payload["ordered"])
+    if payload["slow_factor"] is not None:
+        jobs = _scaled_jobs(jobs, payload["slow_factor"])
+    wtel = _worker_telemetry(payload)
+    engine = system.make_engine(
+        slots=payload["slots"], telemetry=wtel,
+        faults=payload["faults"], resilience=payload["resilience"],
+    )
+    part = BaseGraphSystem._run_engine(engine, jobs, payload["spec"])
+    gpu_sum = float(sum(j.gpu_time_us for j in jobs))
+    return s_ids, s_dists, part, wtel, gpu_sum, len(jobs)
+
+
+def _replica_engine_task(payload: dict):
+    """One replica's scheduling leg: replay already-priced jobs through a
+    rebuilt dynamic engine (replicas hold identical indexes, so search ran
+    once in the parent and only the engine pass fans out)."""
+    wtel = _worker_telemetry(payload)
+    engine = DynamicBatchEngine(
+        payload["device"], payload["cost_model"], payload["config"],
+        telemetry=wtel, faults=payload["faults"],
+        resilience=payload["resilience"],
+    )
+    part = BaseGraphSystem._run_engine(engine, payload["jobs"], payload["spec"])
+    return part, wtel
+
+
+def _build_shard_task(payload: dict):
+    """Build one shard's graph from the shared corpus (build fan-out)."""
+    pts = resolve_ref(payload["pts"])
+    return payload["builder"](np.ascontiguousarray(pts[payload["ids"]]))
+
+
 class ReplicatedServer:
     """R identical ALGAS replicas, queries dealt round-robin."""
 
-    def __init__(self, base: np.ndarray, graph: GraphIndex, n_gpus: int = 2, **algas_kwargs):
+    def __init__(self, base: np.ndarray, graph: GraphIndex, n_gpus: int = 2,
+                 parallelism: int = 0, parallel_mode: str = "process",
+                 **algas_kwargs):
         if n_gpus <= 0:
             raise ValueError("n_gpus must be positive")
         self.n_gpus = n_gpus
+        self.parallelism = parallelism
+        self.parallel_mode = parallel_mode
         # One system: replicas hold identical indexes, so the search (and
         # its traces) is the same on every replica.
         self.system = ALGASSystem(base, graph, **algas_kwargs)
@@ -165,10 +281,13 @@ class ReplicatedServer:
             traces, sorted(evs, key=lambda e: e.query_id)
         )
         groups = [jobs[g :: self.n_gpus] for g in range(self.n_gpus)]
-        parts: list[ServeReport] = []
-        # Per non-empty group: (gpu, answered records, rescue-needed qids,
-        # qid -> original job).
-        served: list[tuple[int, list[QueryRecord], list[int], dict[int, QueryJob]]] = []
+
+        # Fan the engine legs out.  Replicas never touch the corpus during
+        # scheduling, so the payload is just (device, cost model, engine
+        # config, jobs) — small and picklable; no shared arena needed.
+        engine_cfg = self.system.engine_config(cfg.slots)
+        tasks: list[tuple[int, dict]] = []
+        gpu_sum, gpu_n = 0.0, 0
         for g, group in enumerate(groups):
             if not group:
                 continue
@@ -181,16 +300,36 @@ class ReplicatedServer:
                 run_jobs = _scaled_jobs(group, sfault.factor)
                 cstats.note_fault("shard_slow")
                 tel.fault_injected("shard_slow")
-            # Each replica aggregates into the shared registry under its
-            # own ``gpu`` label (no-op when telemetry is off).
-            shard_tel = tel.scoped(gpu=str(g)) if tel.enabled else None
-            engine = self.system.make_engine(
-                slots=cfg.slots, telemetry=shard_tel,
-                faults=sub, resilience=policy,
-            )
-            part = BaseGraphSystem._run_engine(engine, run_jobs, spec)
+            gpu_sum += float(sum(j.gpu_time_us for j in run_jobs))
+            gpu_n += len(run_jobs)
+            tasks.append((g, {
+                "device": self.system.device,
+                "cost_model": self.system.cost_model,
+                "config": engine_cfg,
+                "jobs": run_jobs,
+                "spec": spec,
+                "faults": sub,
+                "resilience": policy,
+                # Each replica aggregates under its own ``gpu`` label into
+                # a private registry the parent merges back in gpu order
+                # (no-op when telemetry is off).
+                "tel_labels": ({**tel.labels, "gpu": str(g)}
+                               if tel.enabled else None),
+            }))
+        par = cfg.parallelism if cfg.parallelism is not None else self.parallelism
+        mode = cfg.parallel_mode if cfg.parallel_mode is not None else self.parallel_mode
+        with make_pool(min(par or 0, len(tasks)), mode) as pool:
+            results = pool.map(_replica_engine_task, [p for _, p in tasks])
+
+        parts: list[ServeReport] = []
+        # Per non-empty group: (gpu, answered records, rescue-needed qids,
+        # qid -> original job).
+        served: list[tuple[int, list[QueryRecord], list[int], dict[int, QueryJob]]] = []
+        for (g, _), (part, wtel) in zip(tasks, results):
+            tel.merge_from(wtel)
             recs = list(part.records)
             rescue = list(part.meta.get("failed_ids", []))
+            sfault = plan.shard_fault(g) if plan is not None else None
             if sfault is not None and sfault.kind == "kill":
                 cstats.note_fault("shard_kill")
                 tel.fault_injected("shard_kill")
@@ -198,13 +337,20 @@ class ReplicatedServer:
                 rescue += [r.query_id for r in recs if r.complete_us > sfault.at_us]
                 recs = [r for r in recs if r.complete_us <= sfault.at_us]
             parts.append(part)
-            served.append((g, recs, rescue, {j.query_id: j for j in group}))
+            served.append((g, recs, rescue, {j.query_id: j for j in groups[g]}))
 
+        host = host_meta(
+            self.system.device, self.system.cost_model,
+            cfg.slots or self.system.batch_size, self.system.n_parallel,
+            self.system.k, int(self.system.base.shape[1]),
+            gpu_sum / gpu_n if gpu_n else 0.0, self.system.host_threads,
+        )
+        extra = {} if host is None else {"host": host}
         if cstats is None:
             serve = _merged_report(
                 parts,
                 n_cta_slots=self.n_gpus * self.system.batch_size * self.system.n_parallel,
-                meta={"mode": "replicated", "n_gpus": self.n_gpus},
+                meta={"mode": "replicated", "n_gpus": self.n_gpus, **extra},
             )
             tel.observe_report(serve, mode="replicated")
             return SystemReport(ids=ids, dists=dists, serve=serve, traces=traces)
@@ -216,7 +362,8 @@ class ReplicatedServer:
         serve = _merged_report(
             parts,
             n_cta_slots=self.n_gpus * self.system.batch_size * self.system.n_parallel,
-            meta={"mode": "replicated", "n_gpus": self.n_gpus, **hedge_meta},
+            meta={"mode": "replicated", "n_gpus": self.n_gpus,
+                  **hedge_meta, **extra},
             records=records,
             makespan_us=makespan,
             cluster_stats=cstats,
@@ -329,29 +476,124 @@ class ShardedServer:
     def __init__(
         self,
         base: np.ndarray,
-        graph_builder,
+        graph_builder=None,
         n_gpus: int = 2,
         seed: int = 0,
+        *,
+        graphs: list[GraphIndex] | None = None,
+        parallelism: int = 0,
+        parallel_mode: str = "process",
         **algas_kwargs,
     ):
-        """``graph_builder(points) -> GraphIndex`` builds each shard's graph."""
+        """``graph_builder(points) -> GraphIndex`` builds each shard's graph.
+
+        Alternatively pass prebuilt per-shard graphs via ``graphs=`` (one
+        per GPU, built over the point sets that :meth:`shard_assignments`
+        yields for the same ``(n_gpus, seed)``).  ``parallelism`` fans the
+        shard builds — and, by default, every ``serve()`` — across worker
+        processes; builders that cannot pickle (lambdas, closures) fall
+        back to a thread pool automatically.
+        """
         if n_gpus <= 0:
             raise ValueError("n_gpus must be positive")
         base = np.asarray(base, dtype=np.float32)
         if base.shape[0] < n_gpus * 2:
             raise ValueError("too few points to shard")
+        if graphs is None and graph_builder is None:
+            raise ValueError("need a graph_builder or prebuilt graphs=")
         self.n_gpus = n_gpus
-        rng = np.random.default_rng(seed)
-        perm = rng.permutation(base.shape[0])
-        self.shards: list[_Shard] = []
+        self.parallelism = parallelism
+        self.parallel_mode = parallel_mode
         self.k = algas_kwargs.get("k", 16)
-        for g in range(n_gpus):
-            ids = np.sort(perm[g::n_gpus])
-            pts = base[ids]
-            graph = graph_builder(pts)
-            self.shards.append(
-                _Shard(ALGASSystem(pts, graph, **algas_kwargs), ids)
-            )
+        self._algas_kwargs = dict(algas_kwargs)
+        # Lazily-built process-worker payloads (shared corpus/graph refs).
+        self._arena: SharedArena | None = None
+        self._proc_payloads: list[dict] | None = None
+        assignments = self.shard_assignments(base.shape[0], n_gpus, seed)
+        if graphs is not None:
+            if len(graphs) != n_gpus:
+                raise ValueError(
+                    f"graphs= must hold one graph per GPU "
+                    f"(got {len(graphs)}, n_gpus={n_gpus})"
+                )
+            for g, (graph, ids) in enumerate(zip(graphs, assignments)):
+                if graph.n_vertices != ids.size:
+                    raise ValueError(
+                        f"graphs[{g}] covers {graph.n_vertices} vertices but "
+                        f"shard {g} holds {ids.size} points; build each graph "
+                        f"over base[shard_assignments(n, n_gpus, seed)[g]]"
+                    )
+            built = list(graphs)
+        else:
+            built = self._build_graphs(base, assignments, graph_builder)
+        self.shards: list[_Shard] = [
+            _Shard(ALGASSystem(base[ids], graph, **algas_kwargs), ids)
+            for ids, graph in zip(assignments, built)
+        ]
+
+    @staticmethod
+    def shard_assignments(
+        n_points: int, n_gpus: int, seed: int = 0
+    ) -> list[np.ndarray]:
+        """Deterministic shard membership: a seeded permutation dealt
+        round-robin, each shard's global ids returned sorted.  Build
+        graphs for ``graphs=`` over exactly these point sets."""
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(n_points)
+        return [np.sort(perm[g::n_gpus]) for g in range(n_gpus)]
+
+    def _build_graphs(self, base, assignments, graph_builder) -> list[GraphIndex]:
+        n = min(self.parallelism or 0, self.n_gpus)
+        if n > 1:
+            mode = self.parallel_mode
+            if mode == "process":
+                try:
+                    pickle.dumps(graph_builder)
+                except Exception:
+                    # Lambdas/closures can't cross a process boundary;
+                    # threads still overlap the numpy-heavy build phases.
+                    mode = "thread"
+            with make_pool(n, mode) as pool, \
+                    SharedArena(enabled=pool.is_process) as arena:
+                ref = arena.share(base)
+                return pool.map(_build_shard_task, [
+                    {"pts": ref, "ids": ids, "builder": graph_builder}
+                    for ids in assignments
+                ])
+        return [graph_builder(base[ids]) for ids in assignments]
+
+    # ------------------------------------------------------ serve payloads
+    def _shard_payloads(self) -> list[dict]:
+        """Static per-shard payloads for process workers: shared refs to
+        the corpus slice, CSR arrays, and the padded neighbour matrix,
+        plus the constructor kwargs.  Built once; the arena (and thus the
+        segments) lives as long as the server."""
+        if self._proc_payloads is None:
+            self._arena = SharedArena()
+            token = f"{os.getpid()}_{uuid.uuid4().hex[:8]}"
+            payloads = []
+            for g, shard in enumerate(self.shards):
+                system = shard.system
+                mat, deg = system.graph.neighbor_matrix()
+                payloads.append({
+                    "cache_key": f"{token}:{g}",
+                    "pts": self._arena.share(system.base),
+                    "indptr": self._arena.share(system.graph.indptr),
+                    "indices": self._arena.share(system.graph.indices),
+                    "nbr_mat": self._arena.share(mat),
+                    "nbr_deg": self._arena.share(deg),
+                    "graph_kind": system.graph.kind,
+                    "kwargs": self._algas_kwargs,
+                })
+            self._proc_payloads = payloads
+        return self._proc_payloads
+
+    def close(self) -> None:
+        """Release the shared-memory segments backing process workers."""
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+            self._proc_payloads = None
 
     def serve(
         self,
@@ -379,29 +621,61 @@ class ShardedServer:
             cstats = ResilienceStats()
         ordered = sorted(evs, key=lambda e: e.query_id)
 
+        par = cfg.parallelism if cfg.parallelism is not None else self.parallelism
+        mode = cfg.parallel_mode if cfg.parallel_mode is not None else self.parallel_mode
+        pool = make_pool(min(par or 0, self.n_gpus), mode)
+        qarena = None
+        try:
+            if pool.is_process:
+                static = self._shard_payloads()
+                # Queries are per-serve; share them through a transient
+                # arena reclaimed as soon as the fan-out returns.
+                qarena = SharedArena()
+                q_ref = qarena.share(queries)
+            payloads = []
+            for g in range(self.n_gpus):
+                sub = plan.for_shard(g) if plan is not None else None
+                if sub is not None and sub.empty:
+                    sub = None
+                sfault = plan.shard_fault(g) if plan is not None else None
+                slow = None
+                if sfault is not None and sfault.kind == "slow":
+                    slow = sfault.factor
+                    cstats.note_fault("shard_slow")
+                    tel.fault_injected("shard_slow")
+                p = {
+                    "backend": cfg.backend,
+                    "seed": cfg.seed,
+                    "ordered": ordered,
+                    "slots": cfg.slots,
+                    "spec": spec,
+                    "faults": sub,
+                    "resilience": policy,
+                    "slow_factor": slow,
+                    "tel_labels": ({**tel.labels, "shard": str(g)}
+                                   if tel.enabled else None),
+                }
+                if pool.is_process:
+                    p.update(static[g])
+                    p["queries"] = q_ref
+                else:
+                    p["system"] = self.shards[g].system
+                    p["queries"] = queries
+                payloads.append(p)
+            results = pool.map(_shard_serve_task, payloads)
+        finally:
+            pool.close()
+            if qarena is not None:
+                qarena.close()
+
         per_shard = []
         parts = []
         answered: list[dict[int, QueryRecord]] = []
-        for g, shard in enumerate(self.shards):
-            s_ids, s_dists, traces = shard.system.search_all(
-                queries, backend=cfg.backend, seed=cfg.seed
-            )
-            jobs = shard.system.jobs_from_traces(traces, ordered)
-            sub = plan.for_shard(g) if plan is not None else None
-            if sub is not None and sub.empty:
-                sub = None
-            sfault = plan.shard_fault(g) if plan is not None else None
-            if sfault is not None and sfault.kind == "slow":
-                jobs = _scaled_jobs(jobs, sfault.factor)
-                cstats.note_fault("shard_slow")
-                tel.fault_injected("shard_slow")
-            shard_tel = tel.scoped(shard=str(g)) if tel.enabled else None
-            engine = shard.system.make_engine(
-                slots=cfg.slots, telemetry=shard_tel,
-                faults=sub, resilience=policy,
-            )
-            part = BaseGraphSystem._run_engine(engine, jobs, spec)
+        gpu_sum, gpu_n = 0.0, 0
+        for g, (s_ids, s_dists, part, wtel, gsum, gn) in enumerate(results):
+            tel.merge_from(wtel)
             recs = {r.query_id: r for r in part.records}
+            sfault = plan.shard_fault(g) if plan is not None else None
             if sfault is not None and sfault.kind == "kill":
                 cstats.note_fault("shard_kill")
                 tel.fault_injected("shard_kill")
@@ -410,20 +684,29 @@ class ShardedServer:
                 }
             parts.append(part)
             answered.append(recs)
-            per_shard.append((s_ids, s_dists, shard.local_to_global))
+            per_shard.append((s_ids, s_dists, self.shards[g].local_to_global))
+            gpu_sum += gsum
+            gpu_n += gn
 
+        sys0 = self.shards[0].system
+        host = host_meta(
+            sys0.device, sys0.cost_model, cfg.slots or sys0.batch_size,
+            sys0.n_parallel, self.k, int(queries.shape[1]),
+            gpu_sum / gpu_n if gpu_n else 0.0, sys0.host_threads,
+        )
         if cstats is None:
             return self._merge_all(
-                queries, ordered, per_shard, answered, parts, tel, ids_shape=nq
+                queries, ordered, per_shard, answered, parts, tel,
+                ids_shape=nq, host=host,
             )
         return self._merge_quorum(
             queries, ordered, per_shard, answered, parts, policy, cstats, tel,
-            ids_shape=nq,
+            ids_shape=nq, host=host,
         )
 
     # --------------------------------------------------------- merge paths
     def _merge_all(self, queries, ordered, per_shard, answered, parts, tel,
-                   ids_shape):
+                   ids_shape, host=None):
         """Healthy fan-in: every query waits for every shard (bit-identical
         to the pre-resilience server)."""
         nq = ids_shape
@@ -454,6 +737,10 @@ class ShardedServer:
             records.append(rec)
         makespan = max(r.complete_us for r in records) if records else 0.0
         sys0 = self.shards[0].system
+        meta = {"mode": "sharded", "n_gpus": self.n_gpus,
+                "pcie": [p.pcie for p in parts]}
+        if host is not None:
+            meta["host"] = host
         serve = ServeReport(
             records=records,
             makespan_us=makespan,
@@ -461,8 +748,7 @@ class ShardedServer:
             n_cta_slots=self.n_gpus * sys0.batch_size * sys0.n_parallel,
             pcie=None,
             host_busy_us=sum(p.host_busy_us for p in parts) + nq * merge_us,
-            meta={"mode": "sharded", "n_gpus": self.n_gpus,
-                  "pcie": [p.pcie for p in parts]},
+            meta=meta,
         )
         if tel.enabled:
             # Cross-shard fan-in cost: one extra host merge per query.
@@ -472,7 +758,7 @@ class ShardedServer:
         return SystemReport(ids=ids, dists=dists, serve=serve, traces=[])
 
     def _merge_quorum(self, queries, ordered, per_shard, answered, parts,
-                      policy, cstats, tel, ids_shape):
+                      policy, cstats, tel, ids_shape, host=None):
         """Resilient fan-in: answer from the K-of-N shards that reported
         within the straggler budget of the first; flag subsets ``partial``."""
         nq = ids_shape
@@ -551,6 +837,8 @@ class ShardedServer:
         dropped_final = dropped_union - answered_ids
         shed_final = shed_union - answered_ids - dropped_final
         extra = {}
+        if host is not None:
+            extra["host"] = host
         if any("max_queue_depth" in p.meta for p in parts):
             # Every shard runs the same admission spec; surface the knob.
             extra["max_queue_depth"] = next(

@@ -10,12 +10,18 @@ low-dimensional/SIFT regime of Fig. 18).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..gpusim.costmodel import CostModel
 from ..gpusim.device import DeviceProperties
 
-__all__ = ["partition_slots", "HostLoadEstimate", "estimate_host_load"]
+__all__ = [
+    "partition_slots",
+    "HostLoadEstimate",
+    "estimate_host_load",
+    "host_meta",
+]
 
 
 def partition_slots(n_slots: int, n_threads: int) -> list[list[int]]:
@@ -43,8 +49,6 @@ class HostLoadEstimate:
 
     def threads_needed(self) -> int:
         """Threads required to keep per-thread utilization below ~70 %."""
-        import math
-
         total = self.service_us_per_query * self.completion_rate_per_us
         return max(1, math.ceil(total / 0.7))
 
@@ -75,3 +79,39 @@ def estimate_host_load(
     rate = n_slots / mean_gpu_time_us
     util = service * rate / n_threads
     return HostLoadEstimate(service, rate, util)
+
+
+def host_meta(
+    device: DeviceProperties,
+    cost_model: CostModel,
+    n_slots: int,
+    n_parallel: int,
+    k: int,
+    dim: int,
+    mean_gpu_time_us: float,
+    n_threads: int,
+) -> dict | None:
+    """Closed-form §V-B host provenance for ``ServeReport.meta["host"]``.
+
+    Every input is a workload/config quantity (no wall-clock, no worker
+    count), so the dict is byte-identical across ``parallelism`` settings
+    — the measured multi-core scaling it is compared against lives in
+    BENCH_parallel.json, never in the report.  Returns None for an empty
+    serve (no completions to rate).
+    """
+    if mean_gpu_time_us <= 0:
+        return None
+    est = estimate_host_load(
+        device, cost_model, n_slots, n_parallel, k, dim,
+        mean_gpu_time_us, n_threads=n_threads,
+    )
+    return {
+        "n_threads": n_threads,
+        "slot_partition": [len(t) for t in partition_slots(n_slots, n_threads)],
+        "mean_gpu_time_us": mean_gpu_time_us,
+        "service_us_per_query": est.service_us_per_query,
+        "completion_rate_per_us": est.completion_rate_per_us,
+        "utilization_per_thread": est.utilization_per_thread,
+        "threads_needed": est.threads_needed(),
+        "saturated": est.saturated,
+    }

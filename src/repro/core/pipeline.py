@@ -31,6 +31,7 @@ from ..search.intra_cta import BeamConfig, intra_cta_search
 from ..search.multi_cta import make_entries, multi_cta_search
 from ..search.precision import PRECISIONS, make_codec
 from .dynamic_batcher import DynamicBatchConfig, DynamicBatchEngine
+from .host import host_meta
 from .serving import QueryJob, ServeConfig, ServeReport, as_serve_config
 from .static_batcher import StaticBatchConfig, StaticBatchEngine
 from .tuning import TuningResult, tune
@@ -326,6 +327,16 @@ class BaseGraphSystem:
             jobs, managed=managed, max_queue_depth=spec.max_queue_depth
         )
 
+    def _host_meta(self, jobs: list[QueryJob], n_slots: int) -> dict | None:
+        """Closed-form host-thread provenance for ``meta["host"]``.
+
+        Base systems have no host-thread model (the static baselines
+        dispatch fixed batches); :class:`ALGASSystem` overrides this with
+        the §V-B estimate so every serve carries the slot partition and
+        the predicted thread saturation point.
+        """
+        return None
+
     def _serve_hybrid(self, queries: np.ndarray, cfg) -> "SystemReport":
         """Hybrid-tier serve hook; only pilot-equipped systems provide it."""
         raise ValueError(
@@ -368,6 +379,9 @@ class BaseGraphSystem:
             faults=cfg.faults, resilience=cfg.resilience,
         )
         report = self._run_engine(engine, jobs, spec)
+        host = self._host_meta(jobs, cfg.slots or self.batch_size)
+        if host is not None:
+            report.meta["host"] = host
         codec = self.traversal_codec(precision)
         report.meta["precision"] = {
             "precision": precision,
@@ -434,9 +448,15 @@ class ALGASSystem(BaseGraphSystem):
         self.state_mode = state_mode
         self.merge_on_cpu = merge_on_cpu
 
-    def make_engine(self, slots: int | None = None, telemetry=None,
-                    faults=None, resilience=None) -> DynamicBatchEngine:
-        cfg = DynamicBatchConfig(
+    def engine_config(self, slots: int | None = None) -> DynamicBatchConfig:
+        """The dynamic-engine config for one serve (``slots`` overrides the
+        configured slot count).
+
+        Split from :meth:`make_engine` so the parallel replica fan-out can
+        rebuild a byte-identical engine in a worker from picklable parts
+        (device + cost model + config) without shipping the corpus.
+        """
+        return DynamicBatchConfig(
             n_slots=slots or self.batch_size,
             n_parallel=self.n_parallel,
             k=self.k,
@@ -445,6 +465,19 @@ class ALGASSystem(BaseGraphSystem):
             merge_on_cpu=self.merge_on_cpu,
             search_backend=self.backend,
         )
-        return DynamicBatchEngine(self.device, self.cost_model, cfg,
+
+    def make_engine(self, slots: int | None = None, telemetry=None,
+                    faults=None, resilience=None) -> DynamicBatchEngine:
+        return DynamicBatchEngine(self.device, self.cost_model,
+                                  self.engine_config(slots),
                                   telemetry=telemetry, faults=faults,
                                   resilience=resilience)
+
+    def _host_meta(self, jobs: list[QueryJob], n_slots: int) -> dict | None:
+        if not jobs:
+            return None
+        mean_gpu = float(np.mean([j.gpu_time_us for j in jobs]))
+        return host_meta(
+            self.device, self.cost_model, n_slots, self.n_parallel, self.k,
+            int(self.base.shape[1]), mean_gpu, self.host_threads,
+        )

@@ -146,7 +146,17 @@ class ServeConfig:
     * ``tier`` — serving tier: ``"gpu"`` traverses the full graph on the
       device (the pre-hybrid behaviour), ``"hybrid"`` runs the staged
       pilot-subgraph → PCIe candidate transfer → CPU refinement pipeline
-      (:mod:`repro.hybrid`; requires a system with a pilot index).
+      (:mod:`repro.hybrid`; requires a system with a pilot index);
+    * ``parallelism`` — host worker count for the cluster servers'
+      shard/replica fan-out (:mod:`repro.parallel`); ``None``/0/1 run
+      sequentially (byte-identical to the pre-parallel path), ``N > 1``
+      fans the per-shard serves across ``N`` workers with deterministic
+      shard-id-ordered fan-in — reports are byte-identical at equal seeds
+      regardless of the worker count, so this knob never appears in
+      ``ServeReport.meta``;
+    * ``parallel_mode`` — worker flavour: ``"process"`` (default; true
+      multi-core over zero-copy shared corpora) or ``"thread"`` (GIL-bound
+      fallback for numpy-heavy workloads).
     """
 
     workload: "TrafficSpec | ArrivalProcess | list[QueryEvent] | None" = None
@@ -159,6 +169,8 @@ class ServeConfig:
     precision: str | None = None
     rerank_mult: int | None = None
     tier: str | None = None
+    parallelism: int | None = None
+    parallel_mode: str | None = None
 
     def __post_init__(self) -> None:
         from ..resilience import FaultPlan, ResiliencePolicy
@@ -191,6 +203,15 @@ class ServeConfig:
         if self.tier is not None and self.tier not in ("gpu", "hybrid"):
             raise ValueError(
                 f"unknown tier {self.tier!r}; expected 'gpu' or 'hybrid'"
+            )
+        if self.parallelism is not None and self.parallelism < 0:
+            raise ValueError("parallelism must be non-negative")
+        if self.parallel_mode is not None and self.parallel_mode not in (
+            "process", "thread"
+        ):
+            raise ValueError(
+                f"unknown parallel_mode {self.parallel_mode!r}; "
+                f"expected 'process' or 'thread'"
             )
         if self.workload is not None and not isinstance(
             self.workload, (TrafficSpec, ArrivalProcess)

@@ -58,6 +58,7 @@ import math
 import numpy as np
 
 from ..data.metrics import pair_distances, pairwise_distances
+from ..parallel import SharedArena, make_pool, resolve_ref
 from .base import GraphIndex
 from .knn import exact_knn_matrix, nn_descent_matrix
 from .utils import medoid
@@ -197,6 +198,118 @@ def occlusion_prune_mask(
 # growing-graph machinery (shared by the NSW-family wave builders)
 # --------------------------------------------------------------------------
 
+class _BuildShare:
+    """Multi-core state for the wave builders (docs/performance.md).
+
+    Holds a worker pool plus shared-memory mirrors of the build state:
+    the (shuffled) corpus is shared once, and the growing adjacency /
+    degree arrays are *allocated in* shared memory so the parent's
+    between-wave mutations (linking, trimming, repair) are visible to
+    workers without any copying.  The wave loop is a strict barrier —
+    workers only read during a wave's lockstep searches, the parent only
+    writes between waves — so no synchronization beyond ``pool.map`` is
+    needed.  Each row's beam search is independent of its chunk-mates,
+    which is what makes the fan-out exact: any chunking of the rows
+    produces the same pools as the sequential ``_MAX_ROWS`` sweep.
+    """
+
+    def __init__(self, points: np.ndarray, parallelism: int, mode: str):
+        self.pool = make_pool(parallelism, mode)
+        self.arena = SharedArena(enabled=self.pool.is_process)
+        self.points_ref = self.arena.share(points)
+        self.adj = None
+        self.counts = None
+        self.adj_ref = None
+        self.counts_ref = None
+
+    def alloc_graph(self, n: int, cap: int) -> tuple[np.ndarray, np.ndarray]:
+        """Segment-backed (adj, counts) the parent mutates in place."""
+        self.adj, self.adj_ref = self.arena.empty((n, cap), np.int64)
+        self.counts, self.counts_ref = self.arena.empty((n,), np.int64)
+        self.adj.fill(-1)
+        self.counts.fill(0)
+        return self.adj, self.counts
+
+    def close(self) -> None:
+        self.pool.close()
+        self.arena.close()
+
+    def __enter__(self) -> "_BuildShare":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _prefix_chunk_task(payload: dict) -> tuple[int, np.ndarray, np.ndarray]:
+    """One lockstep chunk of a wave's insertion searches (worker side)."""
+    from ..search.batched import LockstepEngine
+
+    points = resolve_ref(payload["points"])
+    adj = resolve_ref(payload["adj"])
+    counts = resolve_ref(payload["counts"])
+    ents = payload["ents"]
+    if ents is None:
+        ents = np.full((payload["rows"], 1), payload["entry"], dtype=np.int64)
+    eng = LockstepEngine(
+        points,
+        (adj, counts),
+        points[payload["lo"] : payload["hi"]],
+        np.arange(payload["rows"], dtype=np.int64),
+        ents,
+        payload["ef"],
+        metric=payload["metric"],
+        record_trace=False,
+        n_visible=payload["visible"],
+        alive_mask=payload["alive"],
+    )
+    eng.run(100 * payload["ef"] + 100, what="batched insertion search")
+    ids, dists, _sizes = eng.pools()
+    return payload["clo"], ids, dists
+
+
+def _prefix_search_parallel(
+    share: _BuildShare,
+    q_lo: int,
+    q_hi: int,
+    visible: int,
+    entry: int,
+    ef: int,
+    metric: str,
+    row_entries: np.ndarray | None,
+    alive_mask: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fan one wave's row range over the pool; identical pools to the
+    sequential sweep (rows are search-independent), deterministically
+    reassembled by chunk offset."""
+    W = q_hi - q_lo
+    per = max(1, min(_MAX_ROWS, math.ceil(W / share.pool.n_workers)))
+    payloads = []
+    for clo in range(0, W, per):
+        chi = min(W, clo + per)
+        payloads.append({
+            "points": share.points_ref,
+            "adj": share.adj_ref,
+            "counts": share.counts_ref,
+            "lo": q_lo + clo,
+            "hi": q_lo + chi,
+            "clo": clo,
+            "rows": chi - clo,
+            "entry": entry,
+            "ents": None if row_entries is None else row_entries[clo:chi],
+            "ef": ef,
+            "metric": metric,
+            "visible": visible,
+            "alive": alive_mask,
+        })
+    out_ids = np.full((W, ef), -1, dtype=np.int64)
+    out_d = np.full((W, ef), np.inf, dtype=np.float32)
+    for clo, ids, dists in share.pool.map(_prefix_chunk_task, payloads):
+        out_ids[clo : clo + ids.shape[0]] = ids
+        out_d[clo : clo + ids.shape[0]] = dists
+    return out_ids, out_d
+
+
 def _prefix_search(
     points: np.ndarray,
     q_lo: int,
@@ -210,10 +323,14 @@ def _prefix_search(
     row_entries: np.ndarray | None = None,
     collect_expansions: bool = False,
     alive_mask: np.ndarray | None = None,
+    share: _BuildShare | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Lockstep beam searches of vertices ``[q_lo, q_hi)`` against the
     inserted prefix ``[0, visible)``; returns (W, ef) pools sorted by
     ascending distance (-1 / inf padded).
+
+    ``share`` fans the row chunks over a worker pool reading the same
+    (shared-memory) build state; the pools are identical either way.
 
     ``row_entries`` optionally gives each row its own ``(W, e)`` entry
     ids (duplicates allowed) instead of the shared ``entry`` — refinement
@@ -227,6 +344,12 @@ def _prefix_search(
     """
     from ..search.batched import LockstepEngine
 
+    if share is not None and share.pool.is_parallel and not collect_expansions:
+        assert adj is share.adj and counts is share.counts
+        return _prefix_search_parallel(
+            share, q_lo, q_hi, visible, entry, ef, metric,
+            row_entries, alive_mask,
+        )
     W = q_hi - q_lo
     out_ids = np.full((W, ef), -1, dtype=np.int64)
     out_d = np.full((W, ef), np.inf, dtype=np.float32)
@@ -471,11 +594,20 @@ def _wave_build(
     select: str,
     entry_fn,
     first_wave: int,
+    share: _BuildShare | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Doubling-wave batched insertion; returns (adj (n, cap), counts)."""
+    """Doubling-wave batched insertion; returns (adj (n, cap), counts).
+
+    With ``share``, the adjacency lives in shared memory and each wave's
+    insertion searches fan across the pool; linking stays in the parent
+    (the barrier between waves).
+    """
     n = points.shape[0]
-    adj = np.full((n, cap), -1, dtype=np.int64)
-    counts = np.zeros(n, dtype=np.int64)
+    if share is not None:
+        adj, counts = share.alloc_graph(n, cap)
+    else:
+        adj = np.full((n, cap), -1, dtype=np.int64)
+        counts = np.zeros(n, dtype=np.int64)
     w0 = min(max(first_wave, m + 1), n)
     _seed_block(points, w0, m, cap, metric, select, adj, counts,
                 entry=entry_fn(w0))
@@ -484,7 +616,8 @@ def _wave_build(
     while lo < n:
         hi = min(n, 2 * lo)
         pool_ids, pool_d = _prefix_search(
-            points, lo, hi, lo, adj, counts, entry_fn(lo), ef, metric
+            points, lo, hi, lo, adj, counts, entry_fn(lo), ef, metric,
+            share=share,
         )
         links = _select_links(points, pool_ids, pool_d, m, metric, select)
         lcnt = (links >= 0).sum(axis=1)
@@ -563,6 +696,7 @@ def _refine_pass(
     entry: int,
     select: str,
     frac: float = 1.0,
+    share: _BuildShare | None = None,
 ) -> None:
     """Re-insertion sweep: re-search vertices against the finished graph
     and merge the fresh top-``m`` links (plus their reverses) into the
@@ -579,7 +713,8 @@ def _refine_pass(
     e2 = np.where(counts[:W] > 1, adj[:W, 1], e1)
     row_entries = np.stack([e1, e2], axis=1)
     pool_ids, pool_d = _prefix_search(
-        points, 0, W, n, adj, counts, entry, ef, metric, row_entries=row_entries
+        points, 0, W, n, adj, counts, entry, ef, metric,
+        row_entries=row_entries, share=share,
     )
     links = _select_links(
         points, pool_ids, pool_d, m, metric, select,
@@ -634,8 +769,15 @@ def build_nsw_batched(
     first_wave: int = 256,
     refine_passes: int = 1,
     refine_frac: float | None = None,
+    parallelism: int = 0,
+    parallel_mode: str = "process",
 ) -> GraphIndex:
     """Wave-batched NSW build (vectorized backend of ``build_nsw``).
+
+    ``parallelism > 1`` fans each wave's (and each refinement sweep's)
+    insertion searches across worker processes over a shared-memory
+    mirror of the growing graph; the produced CSR is identical at any
+    worker count (rows are search-independent, linking stays serial).
 
     Budget policy: the per-wave insertion searches run at a reduced beam
     (``5/8·ef_construction``) and the saved budget funds a refinement
@@ -656,16 +798,22 @@ def build_nsw_batched(
     rng = np.random.default_rng(seed)
     order = rng.permutation(n)  # same insertion order as the scalar build
     shuffled = np.ascontiguousarray(points[order])
-    adj, counts = _wave_build(
-        shuffled, m, wave_ef, cap, metric, "closest",
-        entry_fn=lambda lo: 0, first_wave=first_wave,
-    )
-    _repair_connectivity(shuffled, adj, counts, cap, metric, 0)
-    for _ in range(max(refine_passes, 0)):
-        _refine_pass(shuffled, adj, counts, m, ef_construction, cap, metric, 0,
-                     "closest", frac=refine_frac)
-    _repair_connectivity(shuffled, adj, counts, cap, metric, 0)
-    return _csr_from_padded(adj, counts, "nsw", remap=order)
+    share = (_BuildShare(shuffled, parallelism, parallel_mode)
+             if parallelism and parallelism > 1 else None)
+    try:
+        adj, counts = _wave_build(
+            shuffled, m, wave_ef, cap, metric, "closest",
+            entry_fn=lambda lo: 0, first_wave=first_wave, share=share,
+        )
+        _repair_connectivity(shuffled, adj, counts, cap, metric, 0)
+        for _ in range(max(refine_passes, 0)):
+            _refine_pass(shuffled, adj, counts, m, ef_construction, cap, metric,
+                         0, "closest", frac=refine_frac, share=share)
+        _repair_connectivity(shuffled, adj, counts, cap, metric, 0)
+        return _csr_from_padded(adj, counts, "nsw", remap=order)
+    finally:
+        if share is not None:
+            share.close()
 
 
 # --------------------------------------------------------------------------
@@ -682,6 +830,8 @@ def build_hnsw_batched(
     first_wave: int = 256,
     refine_passes: int = 1,
     refine_frac: float | None = None,
+    parallelism: int = 0,
+    parallel_mode: str = "process",
 ) -> GraphIndex:
     """Wave-batched flat HNSW layer-0 build (vectorized ``build_hnsw``).
 
@@ -716,18 +866,24 @@ def build_hnsw_batched(
     def entry_fn(lo: int) -> int:
         return int(np.argmax(levels[:lo]))
 
-    adj, counts = _wave_build(
-        points, m, wave_ef, cap, metric, "occlusion",
-        entry_fn=entry_fn, first_wave=first_wave,
-    )
-    _repair_connectivity(points, adj, counts, cap, metric, entry_fn(n))
-    for _ in range(max(refine_passes, 0)):
-        _refine_pass(
-            points, adj, counts, m, ef_construction, cap, metric,
-            entry_fn(n), "occlusion", frac=refine_frac,
+    share = (_BuildShare(points, parallelism, parallel_mode)
+             if parallelism and parallelism > 1 else None)
+    try:
+        adj, counts = _wave_build(
+            points, m, wave_ef, cap, metric, "occlusion",
+            entry_fn=entry_fn, first_wave=first_wave, share=share,
         )
-    _repair_connectivity(points, adj, counts, cap, metric, entry_fn(n))
-    return _csr_from_padded(adj, counts, "hnsw-l0")
+        _repair_connectivity(points, adj, counts, cap, metric, entry_fn(n))
+        for _ in range(max(refine_passes, 0)):
+            _refine_pass(
+                points, adj, counts, m, ef_construction, cap, metric,
+                entry_fn(n), "occlusion", frac=refine_frac, share=share,
+            )
+        _repair_connectivity(points, adj, counts, cap, metric, entry_fn(n))
+        return _csr_from_padded(adj, counts, "hnsw-l0")
+    finally:
+        if share is not None:
+            share.close()
 
 
 # --------------------------------------------------------------------------

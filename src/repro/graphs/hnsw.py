@@ -215,6 +215,8 @@ def build_hnsw(
     metric: str = "l2",
     seed: int = 0,
     build_backend: str = "scalar",
+    parallelism: int = 0,
+    parallel_mode: str = "process",
 ) -> GraphIndex:
     """Build an HNSW index and export its layer-0 graph (GPU-searchable).
 
@@ -236,7 +238,8 @@ def build_hnsw(
         from .build_batched import build_hnsw_batched
 
         return build_hnsw_batched(
-            points, m=m, ef_construction=ef_construction, metric=metric, seed=seed
+            points, m=m, ef_construction=ef_construction, metric=metric,
+            seed=seed, parallelism=parallelism, parallel_mode=parallel_mode,
         )
     return HNSWIndex(
         points, m=m, ef_construction=ef_construction, metric=metric, seed=seed

@@ -34,6 +34,8 @@ def build_nsw(
     max_degree: int | None = None,
     seed: int = 0,
     build_backend: str = "scalar",
+    parallelism: int = 0,
+    parallel_mode: str = "process",
 ) -> GraphIndex:
     """Incremental NSW build.
 
@@ -65,7 +67,8 @@ def build_nsw(
         from .build_batched import build_nsw_batched
 
         return build_nsw_batched(
-            points, m, ef_construction, metric, max_degree, seed
+            points, m, ef_construction, metric, max_degree, seed,
+            parallelism=parallelism, parallel_mode=parallel_mode,
         )
     cap = max_degree or 2 * m
     rng = np.random.default_rng(seed)

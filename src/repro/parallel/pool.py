@@ -1,0 +1,115 @@
+"""Worker-pool execution modes for the parallel substrate.
+
+One abstraction, three modes (docs/performance.md, "Multi-core execution"):
+
+``"process"``
+    A fork-context :class:`~concurrent.futures.ProcessPoolExecutor` —
+    true multi-core for the Python-bound serving/scheduling loops (the
+    dynamic batcher is pure Python and the GIL serializes it in threads).
+    Inputs cross via pickle, corpora via :mod:`repro.parallel.shared`.
+
+``"thread"``
+    A :class:`~concurrent.futures.ThreadPoolExecutor` — the fallback for
+    numpy-bound work (large-dim distance kernels release the GIL) and for
+    tasks that cannot pickle (lambda graph builders).  Zero-copy by
+    construction: workers share the parent's heap.
+
+``"sequential"``
+    Inline execution in the caller, byte-identical to the pre-parallel
+    code path.  ``n_workers <= 1`` always resolves here, so a
+    ``parallelism=0`` default costs nothing.
+
+``map`` is *ordered* — results come back in submission order regardless
+of completion order, which is what makes the cluster fan-in (merge by
+shard id) deterministic across worker counts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+__all__ = ["MODES", "WorkerPool", "make_pool"]
+
+MODES = ("sequential", "thread", "process")
+
+
+class WorkerPool:
+    """N workers executing single-argument tasks with ordered results."""
+
+    def __init__(self, n_workers: int = 0, mode: str = "process"):
+        if mode not in MODES:
+            raise ValueError(f"unknown pool mode {mode!r}; expected one of {MODES}")
+        n = int(n_workers or 0)
+        if n < 0:
+            raise ValueError("n_workers must be non-negative")
+        self.n_workers = max(1, n)
+        self.mode = "sequential" if n <= 1 else mode
+        self._exec = None
+        if self.mode == "process":
+            # fork shares the parent's pages copy-on-write (warm dataset /
+            # graph caches ride along for free); spawn is the portability
+            # fallback and relies solely on the shared-memory refs.
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            self._exec = ProcessPoolExecutor(self.n_workers, mp_context=ctx)
+        elif self.mode == "thread":
+            self._exec = ThreadPoolExecutor(self.n_workers)
+
+    # ------------------------------------------------------------- queries
+    @property
+    def is_process(self) -> bool:
+        return self.mode == "process"
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.mode != "sequential"
+
+    # ----------------------------------------------------------- execution
+    def map(self, fn, items) -> list:
+        """Apply ``fn`` to every item; results in submission order.
+
+        A task exception propagates as-is.  A *worker crash* (hard exit,
+        OOM kill) surfaces as a RuntimeError naming the pool — the
+        executor is broken at that point and the owner should close it;
+        any shared segments stay owned by the parent, so nothing leaks.
+        """
+        items = list(items)
+        if self._exec is None:
+            return [fn(item) for item in items]
+        futures = [self._exec.submit(fn, item) for item in items]
+        out = []
+        try:
+            for f in futures:
+                out.append(f.result())
+        except BrokenProcessPool as e:
+            raise RuntimeError(
+                f"a worker process died while executing "
+                f"{getattr(fn, '__name__', fn)!r}; the process pool is broken "
+                f"(results so far: {len(out)}/{len(items)})"
+            ) from e
+        return out
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if self._exec is not None:
+            self._exec.shutdown(wait=True, cancel_futures=True)
+            self._exec = None
+            self.mode = "sequential"
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def make_pool(parallelism: int | None, mode: str | None = None) -> WorkerPool:
+    """Resolve the ``ServeConfig.parallelism`` knobs into a pool.
+
+    ``parallelism`` None/0/1 → sequential; ``mode`` None → ``"process"``.
+    """
+    return WorkerPool(parallelism or 0, mode or "process")

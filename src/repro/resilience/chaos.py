@@ -14,6 +14,7 @@ import them back at module scope.
 
 from __future__ import annotations
 
+import functools
 import os
 from dataclasses import dataclass, field
 
@@ -87,6 +88,14 @@ class ChaosResult:
         return "\n".join(lines)
 
 
+def _cagra_builder(pts, degree: int, metric: str):
+    # Module-level (picklable) shard-graph builder: a lambda here would
+    # force the parallel shard builds down the thread fallback.
+    from ..graphs import build_cagra
+
+    return build_cagra(pts, graph_degree=degree, metric=metric)
+
+
 def run_chaos(
     plan: FaultPlan | str,
     *,
@@ -101,12 +110,17 @@ def run_chaos(
     seed: int = 0,
     policy: ResiliencePolicy | None = None,
     telemetry=None,
+    parallelism: int = 0,
+    parallel_mode: str = "process",
 ) -> ChaosResult:
     """Serve ``n_queries`` under ``plan`` and grade the outcome.
 
     ``mode`` picks the stack: ``"single"`` (one dynamic-batch engine; the
     plan's shard faults are ignored), ``"replicated"`` (hedging defense),
     or ``"sharded"`` (quorum defense — the acceptance scenario).
+    ``parallelism`` fans the shard/replica legs (and the shard builds)
+    across worker processes; the graded outcome is identical at any
+    worker count.
     """
     from ..core import ALGASSystem, ReplicatedServer, ServeConfig, ShardedServer
     from ..data import load_dataset, recall
@@ -119,16 +133,18 @@ def run_chaos(
                       seed=seed)
     cfg = ServeConfig(faults=plan, resilience=policy, telemetry=telemetry)
     common = dict(metric=ds.metric, k=k, batch_size=batch_size, seed=seed)
+    par = dict(parallelism=parallelism, parallel_mode=parallel_mode)
     if mode == "sharded":
         server = ShardedServer(
             ds.base,
-            lambda pts: build_cagra(pts, graph_degree=degree, metric=ds.metric),
-            n_gpus=n_gpus, **common,
+            functools.partial(_cagra_builder, degree=degree, metric=ds.metric),
+            n_gpus=n_gpus, **par, **common,
         )
         rep = server.serve(ds.queries, cfg)
+        server.close()
     elif mode == "replicated":
         graph = build_cagra(ds.base, graph_degree=degree, metric=ds.metric)
-        server = ReplicatedServer(ds.base, graph, n_gpus=n_gpus, **common)
+        server = ReplicatedServer(ds.base, graph, n_gpus=n_gpus, **par, **common)
         rep = server.serve(ds.queries, cfg)
     else:
         graph = build_cagra(ds.base, graph_degree=degree, metric=ds.metric)

@@ -109,6 +109,19 @@ class Telemetry:
         """A view sharing this registry/span log with extra constant labels."""
         return Telemetry(self.registry, self.spans, {**self.labels, **labels})
 
+    def merge_from(self, other: "Telemetry") -> None:
+        """Fold a worker's telemetry (registry + spans) into this one.
+
+        The parallel cluster serves hand each worker a *fresh* Telemetry
+        scoped with its shard/replica label; merging them back in shard
+        order reproduces exactly what sequential ``scoped()`` views would
+        have written into the shared registry and span log.
+        """
+        if other is None or not other.enabled:
+            return
+        self.registry.merge_from(other.registry)
+        self.spans.merge_from(other.spans)
+
     # ------------------------------------------------------ query lifecycle
     def query_submitted(self, n: int = 1) -> None:
         self.registry.counter("algas_queries_submitted_total", **self.labels).inc(n)
@@ -328,6 +341,9 @@ class NullTelemetry(Telemetry):
 
     def scoped(self, **labels) -> "NullTelemetry":
         return self
+
+    def merge_from(self, other) -> None:
+        pass
 
     def query_submitted(self, n: int = 1) -> None:
         pass

@@ -207,6 +207,50 @@ class MetricsRegistry:
         )
         return self._get("histogram", name, help, labels, extra=bounds)
 
+    # ------------------------------------------------------------- merging
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's metrics into this one.
+
+        The parallel cluster fan-in (docs/performance.md): each worker
+        serves its shard/replica into a *fresh* registry under disjoint
+        ``shard``/``gpu`` labels, and the parent folds the workers back in
+        label-scoped — counters add, histograms add bucket counts / sum /
+        count, gauges take the source value and the max high-water mark.
+        Zero-valued metrics are still created, so the merged exposition is
+        identical to a sequential serve writing through ``scoped()`` views
+        of one shared registry.
+        """
+        for name, (kind, help, extra) in other._families.items():
+            fam = self._families.get(name)
+            if fam is None:
+                self._families[name] = (kind, help, extra)
+            elif fam[0] != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {fam[0]}"
+                )
+        for (name, _), m in other._metrics.items():
+            kind, help, extra = other._families[name]
+            labels = dict(m.labels)
+            if kind == "counter":
+                dst = self.counter(name, help, **labels)
+                if m.value:
+                    dst.inc(m.value)
+            elif kind == "gauge":
+                dst = self.gauge(name, help, **labels)
+                if m.high_water != -math.inf:  # source gauge was ever set
+                    dst.value = m.value
+                    dst.high_water = max(dst.high_water, m.high_water)
+            else:
+                dst = self.histogram(name, help, buckets=m.bounds, **labels)
+                if dst.bounds != m.bounds:
+                    raise ValueError(
+                        f"histogram {name!r} merge with different buckets"
+                    )
+                for i, c in enumerate(m.bucket_counts):
+                    dst.bucket_counts[i] += c
+                dst.sum += m.sum
+                dst.count += m.count
+
     # ------------------------------------------------------------ iteration
     def collect(self):
         """Yield ``(name, kind, help, [metrics])`` sorted by name then labels."""

@@ -65,6 +65,12 @@ class SpanLog:
         self.spans.append(span)
         return span
 
+    def merge_from(self, other: "SpanLog") -> None:
+        """Append another log's spans (the parallel fan-in: workers record
+        into private logs, the parent concatenates them in shard order so
+        the merged log matches a sequential run span for span)."""
+        self.spans.extend(other.spans)
+
     def filter(
         self,
         name: str | None = None,
